@@ -1,0 +1,149 @@
+(* ccal — command-line driver for the CCAL reproduction.
+
+   Subcommands:
+     ccal stack     verify the whole Fig. 1 layer stack
+     ccal verify    certify one object (ticket, mcs, local-queue,
+                    shared-queue, qlock, ipc, all)
+     ccal pipeline  run the Fig. 5 ticket-lock pipeline with soundness
+     ccal inventory print the layer/object inventory *)
+
+open Cmdliner
+open Ccal_core
+open Ccal_objects
+
+let vi = Value.int
+
+(* ---------------- stack ---------------- *)
+
+let stack_cmd =
+  let run lock seeds =
+    let lock = match lock with "mcs" -> `Mcs | _ -> `Ticket in
+    match Ccal_verify.Stack.verify_all ~lock ~seeds () with
+    | Ok report ->
+      Format.printf "%a@." Ccal_verify.Stack.pp_report report;
+      0
+    | Error msg ->
+      Format.eprintf "stack verification failed: %s@." msg;
+      1
+  in
+  let lock =
+    Arg.(value & opt string "ticket"
+         & info [ "lock" ] ~docv:"IMPL" ~doc:"Spinlock implementation (ticket|mcs).")
+  in
+  let seeds =
+    Arg.(value & opt int 4
+         & info [ "seeds" ] ~docv:"N" ~doc:"Random schedulers per check.")
+  in
+  Cmd.v
+    (Cmd.info "stack" ~doc:"Certify and link the whole Fig. 1 layer stack")
+    Term.(const run $ lock $ seeds)
+
+(* ---------------- verify ---------------- *)
+
+let verify_one name =
+  let show = function
+    | Ok cert ->
+      Format.printf "%a@." Calculus.pp_cert cert;
+      true
+    | Error e ->
+      Format.printf "%a@." Calculus.pp_error e;
+      false
+  in
+  match name with
+  | "ticket" -> show (Ticket_lock.certify ~focus:[ 1; 2 ] ())
+  | "mcs" -> show (Mcs_lock.certify ~focus:[ 1; 2 ] ())
+  | "local-queue" -> show (Queue_local.certify ())
+  | "shared-queue" -> show (Queue_shared.certify ())
+  | "queue-stack" -> show (Queue_shared.full_stack_certify ())
+  | "qlock" -> show (Qlock.certify ())
+  | "ipc" -> show (Ipc.certify ())
+  | "rwlock" -> show (Rwlock.certify ())
+  | other ->
+    Format.eprintf "unknown object %S@." other;
+    false
+
+let objects =
+  [ "ticket"; "mcs"; "local-queue"; "shared-queue"; "queue-stack"; "qlock";
+    "ipc"; "rwlock" ]
+
+let verify_cmd =
+  let run name =
+    let names = if name = "all" then objects else [ name ] in
+    let ok = List.for_all (fun n ->
+        Format.printf "== %s ==@." n;
+        verify_one n) names
+    in
+    if ok then 0 else 1
+  in
+  let obj_arg =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"OBJECT"
+             ~doc:"Object to certify: ticket, mcs, local-queue, shared-queue, \
+                   queue-stack, qlock, ipc, or all.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Build the certificate for one object")
+    Term.(const run $ obj_arg)
+
+(* ---------------- pipeline ---------------- *)
+
+let pipeline_cmd =
+  let run seeds =
+    match Ticket_lock.certify ~focus:[ 1; 2 ] () with
+    | Error e ->
+      Format.eprintf "%a@." Calculus.pp_error e;
+      1
+    | Ok cert -> (
+      Format.printf "%a@.@." Calculus.pp_cert cert;
+      let client i =
+        Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+            Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+      in
+      match
+        Refinement.check_cert cert ~client ~scheds:(Sched.default_suite ~seeds)
+      with
+      | Ok r ->
+        Format.printf "soundness: %d schedules refined -- OK@."
+          r.Refinement.scheds_checked;
+        0
+      | Error f ->
+        Format.eprintf "%a@." Refinement.pp_failure f;
+        1)
+  in
+  let seeds =
+    Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Random schedulers.")
+  in
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Run the Fig. 5 ticket-lock pipeline end to end")
+    Term.(const run $ seeds)
+
+(* ---------------- inventory ---------------- *)
+
+let inventory_cmd =
+  let run () =
+    let layer_line (l : Layer.t) =
+      Format.printf "  %-12s %s@." l.Layer.name
+        (String.concat ", " (Layer.prim_names l))
+    in
+    Format.printf "layer interfaces (bottom to top):@.";
+    layer_line (Ccal_machine.Mx86.layer ());
+    layer_line (Ticket_lock.l0 ());
+    layer_line (Ticket_lock.overlay ());
+    layer_line (Queue_shared.underlay ());
+    layer_line (Queue_shared.overlay ());
+    layer_line (Qlock.overlay ());
+    layer_line (Ipc.overlay ());
+    Format.printf "@.objects: %s@." (String.concat ", " objects);
+    0
+  in
+  Cmd.v
+    (Cmd.info "inventory" ~doc:"Print the layer and object inventory")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "certified concurrent abstraction layers (PLDI'18 reproduction)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "ccal" ~version:"1.0.0" ~doc)
+          [ stack_cmd; verify_cmd; pipeline_cmd; inventory_cmd ]))

@@ -1,0 +1,1 @@
+examples/kernel_sim.ml: Ccal_core Ccal_objects Ccal_verify Format Game Ipc List Lock_intf Log Prog Qlock Queue_shared Replay Sched Sim_rel Thread_sched Value

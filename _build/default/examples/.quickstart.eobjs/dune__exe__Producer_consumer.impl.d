@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Calculus Ccal_core Ccal_objects Event Format Game Ipc List Log Prog Sched Sim_rel String Thread_sched Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Calculus Ccal_clight Ccal_compcertx Ccal_core Env_context Event Format Game Layer List Log Prog Refinement Result Sched Sim_rel String Value

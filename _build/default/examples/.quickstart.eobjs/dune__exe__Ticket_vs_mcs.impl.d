@@ -1,0 +1,1 @@
+examples/ticket_vs_mcs.ml: Calculus Ccal_core Ccal_objects Ccal_verify Event Format Game List Lock_intf Log Mcs_lock Prog Sched Sim_rel String Ticket_lock Value

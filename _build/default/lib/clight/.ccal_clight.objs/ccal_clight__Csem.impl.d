@@ -1,0 +1,1 @@
+lib/clight/csem.ml: Ccal_core Csyntax List Map Printf Prog String Value

@@ -1,0 +1,1 @@
+lib/clight/csem.mli: Ccal_core Csyntax

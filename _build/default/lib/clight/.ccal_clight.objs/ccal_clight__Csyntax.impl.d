@@ -1,0 +1,1 @@
+lib/clight/csyntax.ml: Format Stdlib String

@@ -1,0 +1,138 @@
+(* Abstract syntax of ClightX — the C subset of the layered language
+   (Sec. 2 writes layer implementations such as Fig. 3, 10, 11 in it).
+   Programs are first-order: integer-valued expressions, structured
+   control, and calls to the primitives of the underlay interface. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+
+type expr =
+  | Const of int
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type stmt =
+  | Sskip
+  | Sassign of string * expr  (* x = e; *)
+  | Scall of string option * string * expr list  (* x = prim(e, ...); *)
+  | Sseq of stmt * stmt
+  | Sif of expr * stmt * stmt
+  | Swhile of expr * stmt
+  | Sreturn of expr option
+
+type fn = {
+  name : string;
+  params : string list;
+  locals : string list;
+  body : stmt;
+}
+
+(* Convenience constructors for writing layer code in OCaml. *)
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( = ) a b = Binop (Eq, a, b)
+let ( <> ) a b = Binop (Ne, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)
+let ( && ) a b = Binop (And, a, b)
+let ( || ) a b = Binop (Or, a, b)
+let i n = Const n
+let v x = Var x
+
+let rec seq = function
+  | [] -> Sskip
+  | [ s ] -> s
+  | s :: rest -> Sseq (s, seq rest)
+
+let set x e = Sassign (x, e)
+let call_ prim args = Scall (None, prim, args)
+let calla x prim args = Scall (Some x, prim, args)
+let while_ cond body = Swhile (cond, body)
+let if_ cond st sf = Sif (cond, st, sf)
+let return e = Sreturn (Some e)
+let return_unit = Sreturn None
+
+(* Sizes, for the Table 1/2 line-counting analogue. *)
+
+let rec stmt_size = function
+  | Sskip -> 1
+  | Sassign _ -> 1
+  | Scall _ -> 1
+  | Sseq (a, b) -> Stdlib.( + ) (stmt_size a) (stmt_size b)
+  | Sif (_, a, b) -> Stdlib.( + ) 1 (Stdlib.( + ) (stmt_size a) (stmt_size b))
+  | Swhile (_, s) -> Stdlib.( + ) 1 (stmt_size s)
+  | Sreturn _ -> 1
+
+let fn_size fn = stmt_size fn.body
+
+(* Pretty-printing, for documentation and the CLI. *)
+
+let binop_syntax = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp_expr fmt = function
+  | Const n -> Format.pp_print_int fmt n
+  | Var x -> Format.pp_print_string fmt x
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_syntax op) pp_expr b
+  | Unop (Neg, e) -> Format.fprintf fmt "(-%a)" pp_expr e
+  | Unop (Not, e) -> Format.fprintf fmt "(!%a)" pp_expr e
+
+let rec pp_stmt fmt = function
+  | Sskip -> Format.pp_print_string fmt ";"
+  | Sassign (x, e) -> Format.fprintf fmt "%s = %a;" x pp_expr e
+  | Scall (None, p, args) ->
+    Format.fprintf fmt "%s(%a);" p pp_args args
+  | Scall (Some x, p, args) ->
+    Format.fprintf fmt "%s = %s(%a);" x p pp_args args
+  | Sseq (a, b) -> Format.fprintf fmt "%a@ %a" pp_stmt a pp_stmt b
+  | Sif (c, a, b) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {@ %a@]@ @[<v 2>} else {@ %a@]@ }"
+      pp_expr c pp_stmt a pp_stmt b
+  | Swhile (c, s) ->
+    Format.fprintf fmt "@[<v 2>while (%a) {@ %a@]@ }" pp_expr c pp_stmt s
+  | Sreturn None -> Format.pp_print_string fmt "return;"
+  | Sreturn (Some e) -> Format.fprintf fmt "return %a;" pp_expr e
+
+and pp_args fmt args =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_expr fmt args
+
+let pp_fn fmt fn =
+  Format.fprintf fmt "@[<v 2>%s(%s) {@ %a@]@ }" fn.name
+    (String.concat ", " fn.params)
+    pp_stmt fn.body

@@ -1,0 +1,1 @@
+lib/compcertx/compile.ml: Asm Asm_sem Ccal_clight Ccal_machine List Map Printf String

@@ -1,0 +1,1 @@
+lib/compcertx/compile.mli: Ccal_clight Ccal_core Ccal_machine

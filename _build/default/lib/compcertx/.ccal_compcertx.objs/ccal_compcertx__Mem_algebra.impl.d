@@ -1,0 +1,1 @@
+lib/compcertx/mem_algebra.ml: Ccal_core Format Int List Map Option Value

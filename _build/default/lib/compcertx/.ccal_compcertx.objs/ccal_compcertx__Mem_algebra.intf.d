@@ -1,0 +1,1 @@
+lib/compcertx/mem_algebra.mli: Ccal_core Format

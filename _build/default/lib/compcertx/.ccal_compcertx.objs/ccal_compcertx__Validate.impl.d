@@ -1,0 +1,1 @@
+lib/compcertx/validate.ml: Ccal_clight Ccal_core Ccal_machine Compile Env_context Event Format List Log Machine Option Printf String Value

@@ -1,0 +1,1 @@
+lib/compcertx/validate.mli: Ccal_clight Ccal_core Format

@@ -1,0 +1,1 @@
+lib/core/abs.ml: Format List Map String Value

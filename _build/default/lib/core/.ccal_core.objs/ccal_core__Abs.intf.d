@@ -1,0 +1,1 @@
+lib/core/abs.mli: Format Value

@@ -1,0 +1,1 @@
+lib/core/calculus.ml: Env_context Event Format Layer List Printf Prog Rely_guarantee Sim_rel Simulation Stdlib String Value

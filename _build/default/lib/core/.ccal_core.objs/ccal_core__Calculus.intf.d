@@ -1,0 +1,1 @@
+lib/core/calculus.mli: Env_context Event Format Layer Log Prog Sim_rel Simulation Value

@@ -1,0 +1,1 @@
+lib/core/env_context.ml: Event List Log Printf Rely_guarantee Strategy

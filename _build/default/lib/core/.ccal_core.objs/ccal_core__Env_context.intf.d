@@ -1,0 +1,1 @@
+lib/core/env_context.mli: Event Log Rely_guarantee Strategy

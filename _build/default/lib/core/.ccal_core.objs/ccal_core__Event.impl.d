@@ -1,0 +1,1 @@
+lib/core/event.ml: Format List Stdlib String Value

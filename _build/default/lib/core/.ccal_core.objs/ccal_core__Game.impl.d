@@ -1,0 +1,1 @@
+lib/core/game.ml: Event Format Layer List Log Machine Prog Rely_guarantee Sched Value

@@ -1,0 +1,1 @@
+lib/core/game.mli: Event Format Layer Log Prog Sched Value

@@ -1,0 +1,1 @@
+lib/core/layer.ml: Abs Event Hashtbl List Log Rely_guarantee Value

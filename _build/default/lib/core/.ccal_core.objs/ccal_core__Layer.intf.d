@@ -1,0 +1,1 @@
+lib/core/layer.mli: Abs Event Log Rely_guarantee Value

@@ -1,0 +1,1 @@
+lib/core/machine.ml: Abs Env_context Event Layer List Log Prog Rely_guarantee Strategy Value

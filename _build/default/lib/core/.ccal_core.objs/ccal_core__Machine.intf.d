@@ -1,0 +1,1 @@
+lib/core/machine.mli: Abs Env_context Event Layer Log Prog Strategy Value

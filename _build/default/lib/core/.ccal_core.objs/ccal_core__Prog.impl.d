@@ -1,0 +1,1 @@
+lib/core/prog.ml: List Map String Value

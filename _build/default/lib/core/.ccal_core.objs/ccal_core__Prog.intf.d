@@ -1,0 +1,1 @@
+lib/core/prog.mli: Value

@@ -1,0 +1,1 @@
+lib/core/refinement.ml: Calculus Event Format Game List Log Machine Printf Prog Sched Sim_rel String Value

@@ -1,0 +1,1 @@
+lib/core/refinement.mli: Calculus Event Format Layer Log Prog Sched Sim_rel Value

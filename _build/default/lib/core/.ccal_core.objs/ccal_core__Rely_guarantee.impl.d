@@ -1,0 +1,1 @@
+lib/core/rely_guarantee.ml: Event List Log Printf String

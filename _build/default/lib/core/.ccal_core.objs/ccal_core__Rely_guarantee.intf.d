@@ -1,0 +1,1 @@
+lib/core/rely_guarantee.mli: Event Log

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Log Result

@@ -1,0 +1,1 @@
+lib/core/sched.ml: Event List Log Printf Stdlib

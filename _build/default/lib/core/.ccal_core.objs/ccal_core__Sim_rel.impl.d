@@ -1,0 +1,1 @@
+lib/core/sim_rel.ml: Event List Log

@@ -1,0 +1,1 @@
+lib/core/sim_rel.mli: Event Log

@@ -1,0 +1,1 @@
+lib/core/simulation.ml: Env_context Event Format List Log Machine Printf Prog Sim_rel Strategy String Value

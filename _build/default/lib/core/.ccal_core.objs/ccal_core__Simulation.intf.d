@@ -1,0 +1,1 @@
+lib/core/simulation.mli: Env_context Event Format Layer Log Prog Sim_rel Strategy Value

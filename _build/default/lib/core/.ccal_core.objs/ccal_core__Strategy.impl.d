@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Event Format List Log Value

@@ -1,0 +1,129 @@
+type config = {
+  layer : Layer.t;
+  threads : (Event.tid * Prog.t) list;
+  sched : Sched.t;
+  max_steps : int;
+  log_switches : bool;
+  check_guar : bool;
+}
+
+let config ?(max_steps = 100_000) ?(log_switches = false) ?(check_guar = false)
+    layer threads sched =
+  { layer; threads; sched; max_steps; log_switches; check_guar }
+
+type status =
+  | All_done
+  | Deadlock of Event.tid list
+  | Stuck of Event.tid * string
+  | Out_of_fuel
+
+type outcome = {
+  log : Log.t;
+  results : (Event.tid * Value.t) list;
+  status : status;
+  steps : int;
+  silent_steps : int;
+  guar_violations : (Event.tid * Log.t) list;
+}
+
+type slot =
+  | Running of Machine.thread_state
+  | Finished of Value.t
+
+let run cfg =
+  let slots =
+    List.map
+      (fun (i, p) -> i, ref (Running (Machine.initial cfg.layer i p)))
+      cfg.threads
+  in
+  let results () =
+    List.filter_map
+      (fun (i, r) -> match !r with Finished v -> Some (i, v) | Running _ -> None)
+      slots
+  in
+  let rec loop log steps silent last_mover violations =
+    if steps >= cfg.max_steps then
+      { log; results = results (); status = Out_of_fuel; steps; silent_steps = silent; guar_violations = List.rev violations }
+    else
+      let pending =
+        List.filter_map
+          (fun (i, r) -> match !r with Running st -> Some (i, r, st) | Finished _ -> None)
+          slots
+      in
+      match pending with
+      | [] ->
+        { log; results = results (); status = All_done; steps; silent_steps = silent; guar_violations = List.rev violations }
+      | _ ->
+        (* Pick a mover; threads found blocked at this log are excluded and
+           the scheduler is asked again. *)
+        let rec attempt excluded =
+          let candidates =
+            List.filter (fun (i, _, _) -> not (List.mem i excluded)) pending
+          in
+          match candidates with
+          | [] ->
+            `Deadlock (List.map (fun (i, _, _) -> i) pending)
+          | _ ->
+            let runnable = List.map (fun (i, _, _) -> i) candidates in
+            let chosen =
+              match cfg.sched.Sched.pick ~step:steps log ~runnable with
+              | Some i when List.mem i runnable -> i
+              | Some _ | None -> List.hd runnable
+            in
+            let _, slot, st =
+              List.find (fun (i, _, _) -> i = chosen) candidates
+            in
+            let move_log =
+              if cfg.log_switches && last_mover <> Some chosen then
+                Log.append (Event.switch chosen) log
+              else log
+            in
+            let result, cost = Machine.step_move_counted cfg.layer chosen st move_log in
+            (match result with
+            | Machine.Moved (evs, st') ->
+              slot := Running st';
+              `Moved (chosen, move_log, evs, cost)
+            | Machine.Finished (v, _) ->
+              slot := Finished v;
+              `Moved (chosen, move_log, [], cost)
+            | Machine.Blocked_at (st', _) ->
+              slot := Running st';
+              attempt (chosen :: excluded)
+            | Machine.Stuck msg -> `Stuck (chosen, msg))
+        in
+        (match attempt [] with
+        | `Deadlock ids ->
+          { log; results = results (); status = Deadlock ids; steps; silent_steps = silent; guar_violations = List.rev violations }
+        | `Stuck (i, msg) ->
+          { log; results = results (); status = Stuck (i, msg); steps; silent_steps = silent; guar_violations = List.rev violations }
+        | `Moved (i, move_log, evs, cost) ->
+          let log' = Log.append_all evs move_log in
+          let violations =
+            if
+              cfg.check_guar && evs <> []
+              && not (cfg.layer.Layer.guar.Rely_guarantee.holds i log')
+            then (i, log') :: violations
+            else violations
+          in
+          loop log' (steps + 1) (silent + cost) (Some i) violations)
+  in
+  loop Log.empty 0 0 None []
+
+let behaviors ?max_steps ?log_switches ?check_guar layer threads scheds =
+  List.map
+    (fun sched -> run (config ?max_steps ?log_switches ?check_guar layer threads sched))
+    scheds
+
+let successful o =
+  match o.status with All_done -> o.guar_violations = [] | _ -> false
+
+let pp_status fmt = function
+  | All_done -> Format.pp_print_string fmt "all-done"
+  | Deadlock ids ->
+    Format.fprintf fmt "deadlock(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+         Format.pp_print_int)
+      ids
+  | Stuck (i, msg) -> Format.fprintf fmt "stuck(thread %d: %s)" i msg
+  | Out_of_fuel -> Format.pp_print_string fmt "out-of-fuel"

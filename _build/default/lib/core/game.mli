@@ -1,0 +1,65 @@
+(** Whole-machine game semantics.
+
+    Each run of a client program [P] over [L[D]] is a play of the game
+    involving the members of [D] plus a scheduler (Sec. 2): at every round
+    the scheduler picks a thread, which makes one move (one shared
+    primitive call, silent steps included) using its strategy; the emitted
+    events are appended to the global log.  A thread whose next shared call
+    is not enabled ([Layer.Block]) cannot be the mover; if no thread can
+    move, the machine is deadlocked.
+
+    The behaviour [⟦P⟧_{L[D]}] is the set of logs generated under all
+    schedulers; {!behaviors} approximates it over a scheduler suite. *)
+
+type config = {
+  layer : Layer.t;
+  threads : (Event.tid * Prog.t) list;  (** the domain [D] with each thread's program *)
+  sched : Sched.t;
+  max_steps : int;  (** bound on total moves (fuel) *)
+  log_switches : bool;
+      (** record a scheduling event whenever the mover changes, as the
+          multicore hardware model does (Sec. 3.1) *)
+  check_guar : bool;  (** check the layer guarantee after every move *)
+}
+
+val config :
+  ?max_steps:int ->
+  ?log_switches:bool ->
+  ?check_guar:bool ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Sched.t ->
+  config
+
+type status =
+  | All_done
+  | Deadlock of Event.tid list  (** every unfinished thread is blocked *)
+  | Stuck of Event.tid * string  (** a thread has no valid transition *)
+  | Out_of_fuel
+
+type outcome = {
+  log : Log.t;
+  results : (Event.tid * Value.t) list;  (** return values of finished threads *)
+  status : status;
+  steps : int;  (** moves performed *)
+  silent_steps : int;
+  guar_violations : (Event.tid * Log.t) list;
+      (** moves after which the guarantee failed (empty when not checked) *)
+}
+
+val run : config -> outcome
+
+val behaviors :
+  ?max_steps:int ->
+  ?log_switches:bool ->
+  ?check_guar:bool ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Sched.t list ->
+  outcome list
+(** Run the same machine under each scheduler of the suite. *)
+
+val successful : outcome -> bool
+(** [All_done] with no guarantee violation. *)
+
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,55 @@
+(** Global logs.
+
+    The global log [l] is the list of observable events recording all shared
+    operations, in chronological order (Sec. 3.1).  The paper writes
+    [l • e] for "cons-ing" an event to the log; internally we store the most
+    recent event first, which makes {!append} O(1) and makes replay functions
+    natural structural recursions (Fig. 8). *)
+
+type t
+
+val empty : t
+
+val append : Event.t -> t -> t
+(** [append e l] is the paper's [l • e]. *)
+
+val append_all : Event.t list -> t -> t
+(** [append_all es l] appends [es] in order: the head of [es] happens
+    first. *)
+
+val newest_first : t -> Event.t list
+(** Events, most recent first (the representation order used by the paper's
+    replay functions, which match on [e :: l']). *)
+
+val chronological : t -> Event.t list
+(** Events in the order they happened. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val latest : t -> Event.t option
+
+val suffix_since : t -> t -> Event.t list
+(** [suffix_since earlier later] is the chronological list of events appended
+    to [earlier] to obtain [later]; raises [Invalid_argument] if [earlier] is
+    not a prefix (by length) of [later].  Used by environment-context
+    queries, which return the events added since the last query point. *)
+
+val filter : (Event.t -> bool) -> t -> t
+(** Keep only the events satisfying the predicate (chronological order is
+    preserved).  Used by simulation relations that erase low-level events. *)
+
+val map_events : (Event.t -> Event.t list) -> t -> t
+(** [map_events f l] rewrites each event [e] into the (possibly empty)
+    sequence [f e], preserving order.  This is how the paper's simulation
+    relations on logs (e.g. [R1] mapping [i.hold] to [i.acq] and other
+    lock-related events to empty ones, Sec. 2) are implemented. *)
+
+val by_thread : Event.tid -> t -> Event.t list
+(** Chronological events produced by one thread. *)
+
+val count : (Event.t -> bool) -> t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,46 @@
+(** Rely and guarantee conditions.
+
+    In a concurrent layer interface [L[A] = (L, R, G)] (Sec. 3.2), the rely
+    condition [R] specifies the set of acceptable environment contexts and
+    the guarantee condition [G] the invariant that locally-generated events
+    maintain.  Both are per-thread invariants over the global log
+    ([R, G ∈ Id ⇀ Inv], [Inv ∈ Log → Prop], Fig. 7).
+
+    Invariants are named so that the side conditions of the layer calculus
+    (Fig. 9) that require syntactically equal conditions ([Hcomp]) can be
+    checked, and so that counterexamples print usefully. *)
+
+type t = {
+  name : string;
+  holds : Event.tid -> Log.t -> bool;
+      (** [holds i l]: the events of thread [i] in [l] satisfy the
+          invariant. *)
+}
+
+val always : t
+(** The trivial invariant (every log acceptable). *)
+
+val never : t
+(** The empty invariant (no log acceptable); unit for {!disj}. *)
+
+val make : string -> (Event.tid -> Log.t -> bool) -> t
+
+val conj : t -> t -> t
+(** Conjunction — used by [Pcomp]'s composed rely ([R_A ∩ R_B]). *)
+
+val disj : t -> t -> t
+(** Disjunction — used by [Pcomp]'s composed guarantee ([G_A ∪ G_B]). *)
+
+val same : t -> t -> bool
+(** Name-based syntactic equality, used by the [Hcomp] side conditions. *)
+
+val holds_for_all : t -> Event.tid list -> Log.t -> bool
+
+val implies_on : t -> t -> tids:Event.tid list -> logs:Log.t list -> bool
+(** [implies_on g r ~tids ~logs] checks, on the given corpus, that every
+    log satisfying [g] for a thread also satisfies [r] for that thread.
+    This is the tested analogue of the [Compat] side condition
+    "the guarantee of [L[A]] implies the rely of [L[B]]" (Fig. 9): the Coq
+    development proves the inclusion once and for all, we check it on all
+    logs produced while verifying the composed system (see DESIGN.md,
+    Substitutions). *)

@@ -1,0 +1,32 @@
+type 'a t = Log.t -> ('a, string) result
+
+let fold ~init ~step : 'a t =
+ fun l ->
+  let rec go acc = function
+    | [] -> Ok acc
+    | e :: rest -> (
+      match step acc e with
+      | Ok acc' -> go acc' rest
+      | Error _ as err -> err)
+  in
+  go init (Log.chronological l)
+
+let pure x : 'a t = fun _ -> Ok x
+
+let map f r : 'b t = fun l -> Result.map f (r l)
+
+let both ra rb : ('a * 'b) t =
+ fun l ->
+  match ra l with
+  | Error _ as e -> e
+  | Ok a -> (
+    match rb l with
+    | Error _ as e -> e
+    | Ok b -> Ok (a, b))
+
+let run_exn r l =
+  match r l with
+  | Ok x -> x
+  | Error msg -> failwith ("Replay.run_exn: stuck: " ^ msg)
+
+let well_formed r l = match r l with Ok _ -> true | Error _ -> false

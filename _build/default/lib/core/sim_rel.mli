@@ -1,0 +1,47 @@
+(** Simulation relations on logs.
+
+    A certified layer relates the logs of its underlay and overlay machines
+    by a simulation relation [R] (Sec. 2).  Every relation in the paper is
+    functional on logs: the overlay log is computed from the underlay log,
+    either event-by-event — e.g. [R1] maps [i.hold] to [i.acq], [i.inc_n]
+    to [i.rel] and the remaining lock-related events to empty sequences —
+    or by a stateful scan that merges several underlay events into one
+    overlay event, e.g. the [Rlock] of Sec. 4.2 merging [c.acq … c.rel]
+    into a single [c.deQ].  Two logs are related iff translating the
+    underlay log yields the overlay log.
+
+    Relations compose ([R ∘ S], used by the [Vcomp] rule) and the identity
+    relation is the unit. *)
+
+type t = {
+  name : string;
+  apply : Log.t -> Log.t;  (** translate a whole underlay log *)
+}
+
+val id : t
+(** The identity relation (fun-lift steps use it, Sec. 2). *)
+
+val of_events : string -> (Event.t -> Event.t list) -> t
+(** Pointwise relation: each underlay event maps to zero or more overlay
+    events independently. *)
+
+val of_log_fn : string -> (Log.t -> Log.t) -> t
+(** General (stateful-scan) relation. *)
+
+val of_table :
+  string ->
+  ?default:[ `Keep | `Drop ] ->
+  (string * [ `To of string | `Drop ]) list ->
+  t
+(** [of_table name rules]: map events by tag — [(tag, `To tag')] renames
+    the event (keeping source, arguments and return), [(tag, `Drop)]
+    erases it; unlisted tags follow [default] (default [`Keep]). *)
+
+val compose : t -> t -> t
+(** [compose r s] first translates by [r] (lower), then by [s]: the
+    relation the paper writes [S ∘ R] in [Vcomp]. *)
+
+val apply : t -> Log.t -> Log.t
+
+val related : t -> Log.t -> Log.t -> bool
+(** [related r l l']: does translating [l] yield [l']? *)

@@ -1,0 +1,94 @@
+(** Strategy simulation — the executable analogue of Definition 2.1.
+
+    [φ ≤_R φ'] holds iff for any two related environmental event sequences
+    and related initial logs, every log produced by [φ] has an [R]-related
+    log producible by [φ'].  Our relations are event translations
+    ({!Sim_rel}), for which the related overlay log is determined: it is
+    the translation of the underlay log.  The check therefore
+
+    {ol
+    {- drives the underlay strategy [φ] to completion under an environment
+       context, obtaining a log [l];}
+    {- translates [l] by [R];}
+    {- replays the translated log against the overlay strategy [φ'],
+       verifying that [φ'] produces exactly the focused thread's translated
+       events at each of its moves, accepts the translated environment
+       events in between, and terminates with a related return value.}}
+
+    Passing the check for every environment context in a suite is the
+    tested counterpart of the Coq proof obligation discharged by the paper's
+    [Fun] rule (Fig. 9); see DESIGN.md (Substitutions). *)
+
+type failure = {
+  env_name : string;
+  reason : string;
+  impl_log : Log.t;  (** underlay log at the point of failure *)
+  spec_log : Log.t;  (** overlay log reconstructed so far *)
+}
+
+type report = {
+  envs_checked : int;
+  impl_moves : int;  (** total underlay moves across all runs *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type driven = {
+  log : Log.t;
+  ret : Value.t option;  (** [None] if the strategy did not finish *)
+  moves : int;
+  blocked : bool;  (** ended blocked with the environment exhausted *)
+  refused : string option;
+}
+
+val drive :
+  ?max_moves:int ->
+  ?block_retries:int ->
+  Event.tid ->
+  Strategy.t ->
+  env:Env_context.t ->
+  init_log:Log.t ->
+  driven
+(** Drive a strategy to completion, querying the environment before every
+    move (the strategy itself decides nothing about the environment; this
+    realizes the alternation of environment and player moves). *)
+
+val replay_against :
+  Event.tid ->
+  Strategy.t ->
+  init_log:Log.t ->
+  Log.t ->
+  (Value.t option, string * Log.t) result
+(** [replay_against i spec ~init_log l] checks that strategy [spec] (for
+    player [i]) can produce exactly the player-[i] events of [l], with the
+    other events injected as environment moves; returns the spec's final
+    value, or the reason and partial overlay log on mismatch. *)
+
+val check_strategies :
+  ?max_moves:int ->
+  ?ret_rel:(Value.t -> Value.t -> bool) ->
+  Sim_rel.t ->
+  tid:Event.tid ->
+  impl:(unit -> Strategy.t) ->
+  spec:(unit -> Strategy.t) ->
+  envs:Env_context.t list ->
+  (report, failure) result
+(** Check [impl ≤_R spec] over the environment suite.  Strategies are
+    supplied as thunks because driving consumes them (and environment
+    scripts are single-use).  [ret_rel] relates final values (default:
+    equality). *)
+
+val check_progs :
+  ?max_moves:int ->
+  ?ret_rel:(Value.t -> Value.t -> bool) ->
+  Sim_rel.t ->
+  tid:Event.tid ->
+  impl_layer:Layer.t ->
+  impl:Prog.t ->
+  spec_layer:Layer.t ->
+  spec:Prog.t ->
+  envs:Env_context.t list ->
+  (report, failure) result
+(** [check_progs] is {!check_strategies} on [⟨impl⟩_{L_u[i]}] and
+    [⟨spec⟩_{L_o[i]}] — the judgment the paper writes
+    [L_u[i] ⊢_R impl : spec]. *)

@@ -1,0 +1,49 @@
+type t = { step : Log.t -> step_result }
+
+and step_result =
+  | Move of Event.t list * outcome
+  | Blocked
+  | Refuse of string
+
+and outcome =
+  | Done of Value.t
+  | Next of t
+
+let stopped v = { step = (fun _ -> Move ([], Done v)) }
+
+let of_moves ?(ret = Value.unit) moves =
+  let rec go = function
+    | [] -> stopped ret
+    | m :: rest -> { step = (fun l -> Move (m l, Next (go rest))) }
+  in
+  go moves
+
+let emit_once f i =
+  { step = (fun l -> Move (f i l, Done Value.unit)) }
+
+let rec map_events f s =
+  {
+    step =
+      (fun l ->
+        match s.step l with
+        | Move (evs, out) ->
+          let out' =
+            match out with
+            | Done v -> Done v
+            | Next s' -> Next (map_events f s')
+          in
+          Move (List.concat_map f evs, out')
+        | Blocked -> Blocked
+        | Refuse msg -> Refuse msg);
+  }
+
+let pp_step_result fmt = function
+  | Move (evs, out) ->
+    Format.fprintf fmt "Move([%a], %s)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+         Event.pp)
+      evs
+      (match out with Done v -> "Done " ^ Value.to_string v | Next _ -> "Next")
+  | Blocked -> Format.pp_print_string fmt "Blocked"
+  | Refuse msg -> Format.fprintf fmt "Refuse(%s)" msg

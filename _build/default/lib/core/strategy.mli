@@ -1,0 +1,43 @@
+(** Strategies.
+
+    Each participant of the concurrency game contributes its play by
+    appending events to the global log; its strategy is a deterministic
+    partial function from the current log to its next move (Sec. 2).  We
+    represent strategies as resumptions: stepping on the current log either
+    produces a move (events to append, plus the rest of the strategy),
+    blocks (the move is not enabled yet — e.g. an atomic [acq] on a held
+    lock), or refuses (the strategy is stuck: no valid transition exists).
+
+    The automata drawn in the paper (e.g. [φ'_acq[i]], [φ_acq[i]]) are
+    values of this type; the semantics [⟨P⟩_{L[i]}] of running a program
+    over a local layer interface is also a strategy
+    ({!Machine.strategy_of_prog}). *)
+
+type t = { step : Log.t -> step_result }
+
+and step_result =
+  | Move of Event.t list * outcome
+      (** append these events (possibly none) and continue *)
+  | Blocked  (** enabled later: ask the environment for more events *)
+  | Refuse of string  (** stuck — no valid move *)
+
+and outcome =
+  | Done of Value.t  (** the strategy terminated with a result *)
+  | Next of t
+
+val stopped : Value.t -> t
+(** The idle strategy: emits no further events and stays [Done]
+    (the reflexive "?l', !ε" edge of the paper's automata). *)
+
+val of_moves : ?ret:Value.t -> (Log.t -> Event.t list) list -> t
+(** [of_moves ms] plays each move function once, in order, then terminates
+    with [ret] (default unit). *)
+
+val emit_once : (Event.tid -> Log.t -> Event.t list) -> Event.tid -> t
+(** One move computed from the log, then done. *)
+
+val map_events : (Event.t -> Event.t list) -> t -> t
+(** Translate every emitted event (used to relate strategies at two layers
+    via a simulation relation). *)
+
+val pp_step_result : Format.formatter -> step_result -> unit

@@ -1,0 +1,1 @@
+lib/machine/asm_sem.ml: Array Asm Ccal_core Int List Map Option Prog String Value

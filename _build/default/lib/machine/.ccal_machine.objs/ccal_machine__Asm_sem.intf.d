@@ -1,0 +1,1 @@
+lib/machine/asm_sem.mli: Asm Ccal_core

@@ -1,0 +1,1 @@
+lib/machine/atomic.ml: Ccal_core Event Int Layer List Map Option Printf Replay Result String Value

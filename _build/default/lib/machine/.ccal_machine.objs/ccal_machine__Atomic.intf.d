@@ -1,0 +1,1 @@
+lib/machine/atomic.mli: Ccal_core

@@ -1,0 +1,1 @@
+lib/machine/mx86.ml: Atomic Ccal_core Event Game Layer Printf Pushpull Refinement Sched Sim_rel Value

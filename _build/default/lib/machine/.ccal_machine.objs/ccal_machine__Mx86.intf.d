@@ -1,0 +1,1 @@
+lib/machine/mx86.mli: Ccal_core

@@ -1,0 +1,1 @@
+lib/machine/pushpull.ml: Ccal_core Event Int Layer Log Map Printf Replay Result String Value

@@ -1,0 +1,1 @@
+lib/machine/pushpull.mli: Ccal_core

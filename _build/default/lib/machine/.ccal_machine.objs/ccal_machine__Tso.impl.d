@@ -1,0 +1,1 @@
+lib/machine/tso.ml: Atomic Ccal_core Event Format Game Int Layer List Log Map Mx86 Option Printf Pushpull Replay Result Sched Sim_rel Stdlib String Value

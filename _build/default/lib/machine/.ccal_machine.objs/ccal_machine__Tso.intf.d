@@ -1,0 +1,1 @@
+lib/machine/tso.mli: Ccal_core Event Layer Prog Replay Sched Sim_rel

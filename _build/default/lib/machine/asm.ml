@@ -1,0 +1,101 @@
+(* Syntax of the x86-like assembly language of the machine model
+   (Sec. 3.1).  Functions follow a simple calling convention: the [arity]
+   arguments are available in frame slots [0 .. arity-1] on entry;
+   primitive calls pop their arguments from the operand stack (first pushed
+   = first argument) and leave the result in [EAX]. *)
+
+type reg = EAX | EBX | ECX | EDX | ESI | EDI
+
+type operand =
+  | Imm of int
+  | Reg of reg
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type instr =
+  | Mov of reg * operand  (* reg := operand *)
+  | Op of binop * reg * operand  (* reg := reg op operand *)
+  | Load of reg * operand  (* reg := frame[operand] *)
+  | Store of operand * operand  (* frame[addr] := value *)
+  | Push of operand
+  | Pop of reg
+  | Jmp of string
+  | Jnz of operand * string  (* jump if operand <> 0 *)
+  | Jz of operand * string
+  | Label of string
+  | CallPrim of string * int  (* call a layer primitive with n stack args *)
+  | Ret of operand
+  | RetVoid  (* return from a void function *)
+  | Halt of string  (* fault with a diagnostic *)
+
+type fn = {
+  name : string;
+  arity : int;
+  body : instr list;
+}
+
+let pp_reg fmt r =
+  Format.pp_print_string fmt
+    (match r with
+    | EAX -> "eax"
+    | EBX -> "ebx"
+    | ECX -> "ecx"
+    | EDX -> "edx"
+    | ESI -> "esi"
+    | EDI -> "edi")
+
+let pp_operand fmt = function
+  | Imm n -> Format.fprintf fmt "$%d" n
+  | Reg r -> pp_reg fmt r
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "imul"
+  | Div -> "idiv"
+  | Mod -> "mod"
+  | Eq -> "sete"
+  | Ne -> "setne"
+  | Lt -> "setl"
+  | Le -> "setle"
+  | Gt -> "setg"
+  | Ge -> "setge"
+  | And -> "and"
+  | Or -> "or"
+
+let pp_instr fmt = function
+  | Mov (r, o) -> Format.fprintf fmt "  mov %a, %a" pp_reg r pp_operand o
+  | Op (op, r, o) ->
+    Format.fprintf fmt "  %s %a, %a" (binop_name op) pp_reg r pp_operand o
+  | Load (r, o) -> Format.fprintf fmt "  load %a, [%a]" pp_reg r pp_operand o
+  | Store (a, v) -> Format.fprintf fmt "  store [%a], %a" pp_operand a pp_operand v
+  | Push o -> Format.fprintf fmt "  push %a" pp_operand o
+  | Pop r -> Format.fprintf fmt "  pop %a" pp_reg r
+  | Jmp l -> Format.fprintf fmt "  jmp %s" l
+  | Jnz (o, l) -> Format.fprintf fmt "  jnz %a, %s" pp_operand o l
+  | Jz (o, l) -> Format.fprintf fmt "  jz %a, %s" pp_operand o l
+  | Label l -> Format.fprintf fmt "%s:" l
+  | CallPrim (p, n) -> Format.fprintf fmt "  call %s/%d" p n
+  | Ret o -> Format.fprintf fmt "  ret %a" pp_operand o
+  | RetVoid -> Format.pp_print_string fmt "  ret"
+  | Halt msg -> Format.fprintf fmt "  halt \"%s\"" msg
+
+let pp_fn fmt fn =
+  Format.fprintf fmt "@[<v>%s(%d):@ %a@]" fn.name fn.arity
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_instr)
+    fn.body
+
+let size fn = List.length fn.body

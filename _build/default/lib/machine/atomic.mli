@@ -1,0 +1,40 @@
+(** Atomic cells — the x86 atomic instructions of the bottom layer.
+
+    The primitives of the lowest interface [Lx86] are "implemented using
+    x86 atomic instructions" (Sec. 2).  We model the hardware's atomic
+    read-modify-write operations on integer cells; each operation appends
+    one event, and the cell's current value is reconstructed from the log
+    by the replay function {!replay_cell} — shared state is never stored
+    (Sec. 2, "replay functions"). *)
+
+(** Event tags: fetch-and-add (the ticket lock's [FAI]), atomic exchange
+    (used by the MCS lock), compare-and-swap, atomic load/store. *)
+
+val faa_tag : string
+
+val xchg_tag : string
+val cas_tag : string
+val aload_tag : string
+val astore_tag : string
+
+val replay_cell : int -> int Ccal_core.Replay.t
+(** Current value of atomic cell [b] (cells start at 0). *)
+
+val faa : string * Ccal_core.Layer.prim
+(** [faa(b, d)]: atomically add [d] to cell [b]; returns the old value. *)
+
+val xchg : string * Ccal_core.Layer.prim
+(** [xchg(b, v)]: atomically set cell [b] to [v]; returns the old value. *)
+
+val cas : string * Ccal_core.Layer.prim
+(** [cas(b, expected, new)]: if cell [b] equals [expected], set it to
+    [new]; returns the old value either way (callers compare against
+    [expected] to detect success). *)
+
+val aload : string * Ccal_core.Layer.prim
+(** [aload(b)]: atomic read. *)
+
+val astore : string * Ccal_core.Layer.prim
+(** [astore(b, v)]: atomic write; returns unit. *)
+
+val prims : (string * Ccal_core.Layer.prim) list

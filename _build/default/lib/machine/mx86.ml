@@ -1,0 +1,39 @@
+open Ccal_core
+
+let cpuid_prim =
+  ("cpuid", Layer.Private (fun c _args abs -> Ok (abs, Value.int c)))
+
+let layer () =
+  Layer.make "Lx86" (Atomic.prims @ Pushpull.prims @ [ cpuid_prim ])
+
+let behaviors ?max_steps ~threads ~scheds () =
+  Game.behaviors ?max_steps ~log_switches:true (layer ()) threads scheds
+
+let erase_switches =
+  Sim_rel.of_events "erase-switches" (fun e ->
+      if Event.is_switch e then [] else [ e ])
+
+let check_multicore_linking ?max_steps ~threads ~scheds () =
+  let l = layer () in
+  let rec go n = function
+    | [] -> Ok n
+    | sched :: rest -> (
+      let outcome =
+        Game.run (Game.config ?max_steps ~log_switches:true l threads sched)
+      in
+      match outcome.Game.status with
+      | Game.Stuck (i, msg) ->
+        Error (Printf.sprintf "Mx86 run stuck at CPU %d: %s" i msg)
+      | Game.Deadlock _ | Game.Out_of_fuel ->
+        Error
+          (Printf.sprintf "Mx86 run did not complete under %s" sched.Sched.name)
+      | Game.All_done -> (
+        let erased = Sim_rel.apply erase_switches outcome.Game.log in
+        match Refinement.replay_multi ?max_steps l threads erased with
+        | Ok _ -> go (n + 1) rest
+        | Error (reason, _) ->
+          Error
+            (Printf.sprintf "multicore linking failed under %s: %s"
+               sched.Sched.name reason)))
+  in
+  go 0 scheds

@@ -1,0 +1,240 @@
+open Ccal_core
+
+let buf_store_tag = "buf_store"
+let commit_tag = "commit"
+let mfence_tag = "mfence"
+
+module Imap = Map.Make (Int)
+
+let int2 = function
+  | [ Value.Vint a; Value.Vint b ] -> Some (a, b)
+  | _ -> None
+
+(* Shared memory: commits plus the (always-drained) RMW operations. *)
+let replay_memory_map : int Imap.t Replay.t =
+  Replay.fold ~init:Imap.empty ~step:(fun m (e : Event.t) ->
+      let get b = Option.value ~default:0 (Imap.find_opt b m) in
+      match e.tag, e.args with
+      | tag, [ Value.Vint b; Value.Vint v ] when String.equal tag commit_tag ->
+        Ok (Imap.add b v m)
+      | tag, [ Value.Vint b; Value.Vint d ] when String.equal tag Atomic.faa_tag ->
+        Ok (Imap.add b (get b + d) m)
+      | tag, [ Value.Vint b; Value.Vint v ] when String.equal tag Atomic.xchg_tag ->
+        Ok (Imap.add b v m)
+      | tag, [ Value.Vint b; Value.Vint expected; Value.Vint v ]
+        when String.equal tag Atomic.cas_tag ->
+        if get b = expected then Ok (Imap.add b v m) else Ok m
+      | tag, [ Value.Vint b; Value.Vint v ] when String.equal tag Atomic.astore_tag ->
+        Ok (Imap.add b v m)
+      | _ -> Ok m)
+
+let replay_memory b : int Replay.t =
+ fun l ->
+  Result.map
+    (fun m -> Option.value ~default:0 (Imap.find_opt b m))
+    (replay_memory_map l)
+
+(* A CPU's store buffer: its buffered stores minus its commits (FIFO). *)
+let replay_buffer t : (int * int) list Replay.t =
+  Replay.fold ~init:[] ~step:(fun buf (e : Event.t) ->
+      if e.src <> t then Ok buf
+      else if String.equal e.tag buf_store_tag then
+        match int2 e.args with
+        | Some bv -> Ok (buf @ [ bv ])
+        | None -> Error "buf_store: bad arguments"
+      else if String.equal e.tag commit_tag then
+        match buf, int2 e.args with
+        | head :: rest, Some bv when head = bv -> Ok rest
+        | _ -> Error "commit does not match the oldest buffered store"
+      else Ok buf)
+
+let drain_events t log =
+  match replay_buffer t log with
+  | Error _ -> Error "inconsistent store buffer"
+  | Ok buf ->
+    Ok
+      (List.map
+         (fun (b, v) ->
+           Event.make ~args:[ Value.int b; Value.int v ] t commit_tag)
+         buf)
+
+(* aload: forward from the own buffer (youngest write wins), else memory. *)
+let load_value t b log =
+  match replay_buffer t log with
+  | Error msg -> Error msg
+  | Ok buf -> (
+    match List.rev (List.filter (fun (b', _) -> b' = b) buf) with
+    | (_, v) :: _ -> Ok v
+    | [] -> replay_memory b log)
+
+let astore_prim =
+  ( Atomic.astore_tag,
+    Layer.Shared
+      (fun t args _log ->
+        match int2 args with
+        | Some _ ->
+          Layer.Step
+            {
+              events = [ Event.make ~args t buf_store_tag ];
+              ret = Value.unit;
+              crit = Layer.Keep;
+            }
+        | None -> Layer.Stuck "astore: expected cell and value") )
+
+let aload_prim =
+  ( Atomic.aload_tag,
+    Layer.Shared
+      (fun t args log ->
+        match args with
+        | [ Value.Vint b ] -> (
+          match load_value t b log with
+          | Error msg -> Layer.Stuck msg
+          | Ok v ->
+            let ret = Value.int v in
+            Layer.Step
+              { events = [ Event.make ~args ~ret t Atomic.aload_tag ]; ret; crit = Layer.Keep })
+        | _ -> Layer.Stuck "aload: expected a cell") )
+
+(* RMW operations and fences drain the caller's buffer first (x86-TSO). *)
+let draining tag arity ret_of update_args =
+  ( tag,
+    Layer.Shared
+      (fun t args log ->
+        if List.length args <> arity then
+          Layer.Stuck (Printf.sprintf "%s: expected %d arguments" tag arity)
+        else
+          match drain_events t log with
+          | Error msg -> Layer.Stuck msg
+          | Ok commits -> (
+            let log' = Log.append_all commits log in
+            match args with
+            | Value.Vint b :: _ -> (
+              match replay_memory b log' with
+              | Error msg -> Layer.Stuck msg
+              | Ok old ->
+                let ret = ret_of old in
+                let ev = Event.make ~args:(update_args args) ~ret t tag in
+                Layer.Step { events = commits @ [ ev ]; ret; crit = Layer.Keep })
+            | _ -> Layer.Stuck (tag ^ ": expected a cell"))) )
+
+let faa_prim = draining Atomic.faa_tag 2 Value.int (fun a -> a)
+let xchg_prim = draining Atomic.xchg_tag 2 Value.int (fun a -> a)
+let cas_prim = draining Atomic.cas_tag 3 Value.int (fun a -> a)
+
+let mfence_prim =
+  ( mfence_tag,
+    Layer.Shared
+      (fun t _args log ->
+        match drain_events t log with
+        | Error msg -> Layer.Stuck msg
+        | Ok commits ->
+          Layer.Step
+            {
+              events = commits @ [ Event.make t mfence_tag ];
+              ret = Value.unit;
+              crit = Layer.Keep;
+            }) )
+
+(* pull/push are synchronisation primitives: they fence. *)
+let fenced_pushpull (name, prim) =
+  match prim with
+  | Layer.Private _ -> name, prim
+  | Layer.Shared sem ->
+    ( name,
+      Layer.Shared
+        (fun t args log ->
+          match drain_events t log with
+          | Error msg -> Layer.Stuck msg
+          | Ok commits -> (
+            let log' = Log.append_all commits log in
+            match sem t args log' with
+            | Layer.Step s -> Layer.Step { s with events = commits @ s.events }
+            | (Layer.Block | Layer.Stuck _) as r -> r)) )
+
+let layer () =
+  Layer.make "Ltso"
+    ([ aload_prim; astore_prim; faa_prim; xchg_prim; cas_prim; mfence_prim ]
+    @ List.map fenced_pushpull Pushpull.prims
+    @ [ Mx86.cpuid_prim ])
+
+let erase_buffering =
+  Sim_rel.of_events "erase-buffering" (fun e ->
+      if String.equal e.tag commit_tag then
+        [ { e with Event.tag = Atomic.astore_tag } ]
+      else if String.equal e.tag buf_store_tag || String.equal e.tag mfence_tag
+      then []
+      else [ e ])
+
+let cells_mentioned log =
+  List.sort_uniq Stdlib.compare
+    (List.filter_map
+       (fun (e : Event.t) ->
+         match e.args with
+         | Value.Vint b :: _
+           when List.mem e.tag
+                  [ Atomic.faa_tag; Atomic.xchg_tag; Atomic.cas_tag;
+                    Atomic.astore_tag; Atomic.aload_tag; buf_store_tag; commit_tag ]
+           ->
+           Some b
+         | _ -> None)
+       (Log.chronological log))
+
+(* Final memory of a TSO log includes any still-buffered stores drained in
+   program order, matching what an SC run would have written. *)
+let final_memory_tso threads log =
+  let drained =
+    List.fold_left
+      (fun l (t, _) ->
+        match drain_events t l with
+        | Ok commits -> Log.append_all commits l
+        | Error _ -> l)
+      log threads
+  in
+  drained
+
+let sc_equivalent_on ?(max_steps = 100_000) ~threads ~scheds () =
+  let rec go n = function
+    | [] -> Ok n
+    | sched :: rest -> (
+      let tso =
+        Game.run (Game.config ~max_steps (layer ()) threads sched)
+      in
+      let sc =
+        Game.run (Game.config ~max_steps (Mx86.layer ()) threads sched)
+      in
+      match tso.Game.status, sc.Game.status with
+      | Game.All_done, Game.All_done ->
+        let results_equal =
+          List.length tso.Game.results = List.length sc.Game.results
+          && List.for_all
+               (fun (t, v) ->
+                 match List.assoc_opt t sc.Game.results with
+                 | Some v' -> Value.equal v v'
+                 | None -> false)
+               tso.Game.results
+        in
+        if not results_equal then
+          Error
+            (Printf.sprintf "results differ under %s" sched.Sched.name)
+        else
+          let tso_final = final_memory_tso threads tso.Game.log in
+          let cells =
+            List.sort_uniq Stdlib.compare
+              (cells_mentioned tso.Game.log @ cells_mentioned sc.Game.log)
+          in
+          let mem_equal =
+            List.for_all
+              (fun b ->
+                match replay_memory b tso_final, Atomic.replay_cell b sc.Game.log with
+                | Ok v, Ok v' -> v = v'
+                | _ -> false)
+              cells
+          in
+          if mem_equal then go (n + 1) rest
+          else Error (Printf.sprintf "final memory differs under %s" sched.Sched.name)
+      | s1, s2 ->
+        Error
+          (Format.asprintf "statuses differ under %s: TSO %a, SC %a"
+             sched.Sched.name Game.pp_status s1 Game.pp_status s2))
+  in
+  go 0 scheds

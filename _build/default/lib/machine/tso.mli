@@ -1,0 +1,67 @@
+(** A total-store-order (x86-TSO) variant of the atomic-cell layer —
+    the paper's future work.
+
+    Sec. 6 (Limitations): "Our concurrent machine models assume strong
+    sequential consistency for atomic primitives.  Previous work
+    demonstrated that race-free programs on a TSO model do indeed behave
+    as if executing on a sequentially consistent machine ... we believe
+    extending our work from SC to TSO is promising."
+
+    This module implements that extension for the cell layer: plain
+    stores go into a per-CPU store buffer (a [buf_store] event); loads
+    forward from the own buffer before reading memory; read-modify-write
+    primitives ([faa]/[xchg]/[cas]) and the explicit [mfence] drain the
+    caller's buffer first (each drained write is a [commit] event) — the
+    essential rules of x86-TSO.  Everything is replayed from the log, so
+    the buffers are never stored either.
+
+    Checks built on top (see the test-suite):
+    {ul
+    {- the store-buffering litmus test distinguishes the machines: the
+       outcome [r1 = r2 = 0] is reachable on TSO but not on SC;}
+    {- with an [mfence] between the store and the load, TSO re-converges
+       with SC;}
+    {- push/pull-disciplined (race-free) programs have the same behaviour
+       sets on both machines ({!sc_equivalent_on}), the Sewell et al.
+       result the paper leans on.}} *)
+
+open Ccal_core
+
+val buf_store_tag : string
+(** A store that entered the caller's store buffer. *)
+
+val commit_tag : string
+(** A buffered store reaching shared memory (emitted when the buffer is
+    drained). *)
+
+val mfence_tag : string
+
+val replay_memory : int -> int Replay.t
+(** Value of cell [b] in shared memory: [commit] events plus the
+    SC operations ([faa]/[xchg]/[cas]/[astore] of {!Atomic}). *)
+
+val replay_buffer : Event.tid -> (int * int) list Replay.t
+(** The pending (cell, value) writes of a CPU's store buffer, oldest
+    first. *)
+
+val layer : unit -> Layer.t
+(** The TSO hardware layer: [aload]/[astore]/[faa]/[xchg]/[cas] with
+    store-buffer semantics, [mfence], plus the push/pull primitives and
+    [cpuid] unchanged (pull/push are synchronisation primitives and drain
+    the buffer like fences). *)
+
+val sc_equivalent_on :
+  ?max_steps:int ->
+  threads:(Event.tid * Prog.t) list ->
+  scheds:Sched.t list ->
+  unit ->
+  (int, string) result
+(** Run the same program on the TSO layer and on the SC layer ({!Mx86})
+    under each scheduler, erase the buffering events ([buf_store] pairs
+    with its [commit]; fences vanish), and require identical logs and
+    results — the executable form of "race-free programs on TSO behave as
+    if executing on a sequentially consistent machine". *)
+
+val erase_buffering : Sim_rel.t
+(** [commit ↦ astore], [buf_store]/[mfence] ↦ ε: the relation under which
+    a TSO log reads as an SC log. *)

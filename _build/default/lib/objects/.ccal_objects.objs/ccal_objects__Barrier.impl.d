@@ -1,0 +1,1 @@
+lib/objects/barrier.ml: Ccal_clight Ccal_core Event Layer Lock_intf Log String Thread_sched Value

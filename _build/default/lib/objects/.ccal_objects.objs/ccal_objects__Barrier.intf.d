@@ -1,0 +1,1 @@
+lib/objects/barrier.mli: Ccal_clight Ccal_core Layer Log Prog Thread_sched

@@ -1,0 +1,1 @@
+lib/objects/condvar.ml: Ccal_clight Ccal_compcertx Thread_sched

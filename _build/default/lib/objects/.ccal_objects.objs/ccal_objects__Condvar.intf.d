@@ -1,0 +1,1 @@
+lib/objects/condvar.mli: Ccal_clight Ccal_core

@@ -1,0 +1,1 @@
+lib/objects/ipc.ml: Calculus Ccal_clight Ccal_core Condvar Env_context Event Layer List Lock_intf Log Machine Printf Prog Queue_shared Replay Sim_rel Stdlib String Thread_sched Value

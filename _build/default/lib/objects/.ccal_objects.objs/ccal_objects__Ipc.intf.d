@@ -1,0 +1,1 @@
+lib/objects/ipc.mli: Calculus Ccal_clight Ccal_core Event Layer Prog Replay Sim_rel Thread_sched Value

@@ -1,0 +1,1 @@
+lib/objects/lock_intf.ml: Ccal_core Event Int Layer List Log Map Printf Replay Rg String Value

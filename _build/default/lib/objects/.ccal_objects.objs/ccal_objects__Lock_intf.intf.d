@@ -1,0 +1,1 @@
+lib/objects/lock_intf.mli: Ccal_core

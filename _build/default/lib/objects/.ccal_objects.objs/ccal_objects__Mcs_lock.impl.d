@@ -1,0 +1,1 @@
+lib/objects/mcs_lock.ml: Calculus Ccal_clight Ccal_compcertx Ccal_core Ccal_machine Env_context Layer List Lock_intf Machine Printf Prog Rg Sim_rel Value

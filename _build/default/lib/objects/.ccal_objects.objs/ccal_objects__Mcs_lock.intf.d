@@ -1,0 +1,1 @@
+lib/objects/mcs_lock.mli: Calculus Ccal_clight Ccal_core Event Layer Prog Sim_rel

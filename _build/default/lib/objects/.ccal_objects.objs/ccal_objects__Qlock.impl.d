@@ -1,0 +1,1 @@
+lib/objects/qlock.ml: Calculus Ccal_clight Ccal_compcertx Ccal_core Env_context Event Layer List Lock_intf Log Machine Printf Prog Replay Rg Sim_rel Stdlib String Thread_sched Value

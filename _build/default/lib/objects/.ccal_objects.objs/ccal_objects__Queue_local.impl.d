@@ -1,0 +1,1 @@
+lib/objects/queue_local.ml: Abs Calculus Ccal_clight Ccal_compcertx Ccal_core Env_context Layer List Sim_rel Value

@@ -1,0 +1,1 @@
+lib/objects/queue_local.mli: Calculus Ccal_clight Ccal_core Event Layer Prog

@@ -1,0 +1,1 @@
+lib/objects/queue_shared.ml: Calculus Ccal_clight Ccal_compcertx Ccal_core Env_context Event Layer List Lock_intf Log Machine Printf Prog Replay Result Sim_rel String Ticket_lock Value

@@ -1,0 +1,1 @@
+lib/objects/queue_shared.mli: Calculus Ccal_clight Ccal_core Event Layer Prog Replay Sim_rel Value

@@ -1,0 +1,1 @@
+lib/objects/rg.ml: Ccal_core Event List Log Option Printf Rely_guarantee String Value

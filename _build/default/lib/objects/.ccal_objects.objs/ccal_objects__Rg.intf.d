@@ -1,0 +1,1 @@
+lib/objects/rg.mli: Ccal_core

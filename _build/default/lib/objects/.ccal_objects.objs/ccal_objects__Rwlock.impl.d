@@ -1,0 +1,1 @@
+lib/objects/rwlock.ml: Calculus Ccal_clight Ccal_compcertx Ccal_core Env_context Event Layer List Lock_intf Log Machine Option Printf Prog Replay Rg Sim_rel Stdlib String Value

@@ -1,0 +1,1 @@
+lib/objects/rwlock.mli: Calculus Ccal_clight Ccal_core Event Layer Log Prog Replay Sim_rel

@@ -1,0 +1,1 @@
+lib/objects/thread_sched.ml: Ccal_core Event Game Layer List Lock_intf Log Option Printf Refinement Replay Sched Stdlib String Value

@@ -1,0 +1,1 @@
+lib/objects/thread_sched.mli: Ccal_core Event Layer Log Prog Replay Sched

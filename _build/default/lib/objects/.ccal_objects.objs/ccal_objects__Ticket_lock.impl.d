@@ -1,0 +1,1 @@
+lib/objects/ticket_lock.ml: Calculus Ccal_clight Ccal_compcertx Ccal_core Ccal_machine Env_context Event Layer List Lock_intf Log Machine Printf Prog Replay Result Rg Sim_rel Strategy String Value

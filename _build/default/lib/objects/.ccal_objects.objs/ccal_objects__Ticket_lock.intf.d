@@ -1,0 +1,1 @@
+lib/objects/ticket_lock.mli: Calculus Ccal_clight Ccal_core Event Layer Prog Replay Sim_rel Strategy Value

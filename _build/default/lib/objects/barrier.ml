@@ -1,0 +1,78 @@
+open Ccal_core
+module C = Ccal_clight.Csyntax
+module T = Thread_sched
+
+let arrive_tag = "bar_arrive"
+let pass_tag = "bar_pass"
+
+let marker tag =
+  Layer.event_prim tag (fun _ args _ ->
+      match args with
+      | [ Value.Vint _ ] -> Ok Value.unit
+      | _ -> Error (tag ^ ": expected a barrier id"))
+
+let underlay ~placement () =
+  T.mt_layer placement
+    (Lock_intf.layer ~extra:[ marker arrive_tag; marker pass_tag ] "Lbar_under")
+
+(* sleeping channel of barrier b *)
+let chan b = C.Binop (C.Add, b, C.Const 3000)
+
+(*  void bar_wait(int b, int n) {
+      int v = acq(b);
+      bar_arrive(b);
+      if (v + 1 == n) {
+        int w = wakeup(chan b);
+        while (w != 0) { w = wakeup(chan b); }
+        rel(b, 0);                       // reset: next generation
+      } else {
+        sleep(chan b, b, v + 1);         // publish count, go to sleep
+        wait(chan b);
+      }
+      bar_pass(b);
+    } *)
+let bar_wait_fn =
+  {
+    C.name = "bar_wait";
+    params = [ "b"; "n" ];
+    locals = [ "v"; "w" ];
+    body =
+      C.seq
+        [
+          C.calla "v" Lock_intf.acq_tag [ C.v "b" ];
+          C.call_ arrive_tag [ C.v "b" ];
+          C.if_
+            C.(v "v" + i 1 = v "n")
+            (C.seq
+               [
+                 C.calla "w" T.wakeup_tag [ chan (C.v "b") ];
+                 C.while_
+                   C.(v "w" <> i 0)
+                   (C.calla "w" T.wakeup_tag [ chan (C.v "b") ]);
+                 C.call_ Lock_intf.rel_tag [ C.v "b"; C.i 0 ];
+               ])
+            (C.seq
+               [
+                 C.call_ T.sleep_tag [ chan (C.v "b"); C.v "b"; C.(v "v" + i 1) ];
+                 C.call_ T.wait_tag [ chan (C.v "b") ];
+               ]);
+          C.call_ pass_tag [ C.v "b" ];
+          C.return_unit;
+        ];
+  }
+
+let c_module () = Ccal_clight.Csem.module_of_fns [ bar_wait_fn ]
+
+let episodes_wellformed ~n b log =
+  (* at every prefix, passes never outrun completed generations *)
+  let rec go arrives passes = function
+    | [] -> true
+    | (e : Event.t) :: rest ->
+      if e.args <> [ Value.int b ] then go arrives passes rest
+      else if String.equal e.tag arrive_tag then go (arrives + 1) passes rest
+      else if String.equal e.tag pass_tag then
+        let passes = passes + 1 in
+        passes <= n * (arrives / n) && go arrives passes rest
+      else go arrives passes rest
+  in
+  go 0 0 (Log.chronological log)

@@ -1,0 +1,59 @@
+(** Synchronous inter-process communication: a bounded channel.
+
+    The CertiKOS kernel built with CCAL provides "a synchronous
+    inter-process communication protocol using the queuing lock" (Sec. 6).
+    Our channel is a bounded buffer protected by a spinlock, with two
+    condition-variable channels ([not-full] / [not-empty]) for blocking
+    senders and receivers — the full scheduler/condvar stack in action.
+
+    The atomic overlay [Lipc] has one event per operation: [send(ch, v)]
+    blocks while the buffer is full, [recv(ch)] blocks while it is empty
+    and returns the oldest message.  The simulation relation merges each
+    successful spinlock section into its atomic event — the same
+    list-difference trick as the shared queue — and erases the sleeping
+    retries entirely. *)
+
+open Ccal_core
+
+val send_tag : string
+val recv_tag : string
+
+val capacity : int
+(** Channel capacity (2: small enough that tests exercise the full/empty
+    blocking paths). *)
+
+val underlay : placement:Thread_sched.placement -> unit -> Layer.t
+(** [mt_layer] over the spinlock interface extended with the silent list
+    helpers. *)
+
+val overlay : ?bound:int -> unit -> Layer.t
+(** [Lipc]: atomic [send]/[recv] plus the no-op [yield]/[texit]. *)
+
+val replay_chan : int -> Value.t list Replay.t
+(** Buffer contents of channel [ch] from overlay events. *)
+
+val send_fn : Ccal_clight.Csyntax.fn
+val recv_fn : Ccal_clight.Csyntax.fn
+
+val c_module : unit -> Prog.Module.t
+(** The channel implementation linked over the condvar helpers. *)
+
+val r_ipc : Sim_rel.t
+
+val prim_tests : ?chans:int list -> unit -> Calculus.prim_tests
+
+val env_suite :
+  placement:Thread_sched.placement ->
+  ?chans:int list ->
+  ?rivals:Event.tid list ->
+  ?rounds:int list ->
+  unit ->
+  Calculus.env_suite
+
+val certify :
+  ?max_moves:int ->
+  ?placement:Thread_sched.placement ->
+  ?focus:Event.tid list ->
+  unit ->
+  (Calculus.cert, Calculus.error) result
+(** [Lmt(Lipc_under)[A] ⊢_{R_ipc} M_ipc : Lipc[A]]. *)

@@ -1,0 +1,45 @@
+(** The MCS queue lock (Mellor-Crummey & Scott), verified against the same
+    atomic interface as the ticket lock.
+
+    The paper verifies both the ticket and the MCS lock against the same
+    high-level atomic specification, so "the lock implementations can be
+    freely interchanged without affecting any proof in the higher-level
+    modules using locks" (Sec. 6); Kim et al. [24] describe the MCS proof
+    in detail.  Here the implementation uses the hardware layer's atomic
+    cells: per lock [b], cell [b·1000] holds the queue tail, and cells
+    [b·1000 + 100 + j] / [b·1000 + 200 + j] hold CPU [j]'s [locked] flag
+    and [next] pointer.  CPU ids must be in [1 .. 99]; 0 is the nil
+    pointer.  The protected data travels through the same push/pull
+    location [b] as for the ticket lock. *)
+
+open Ccal_core
+
+val l0 : unit -> Layer.t
+(** The bottom interface: the hardware layer [Lx86] with its atomic cells
+    and push/pull primitives (no lock-specific primitives are needed —
+    MCS works on raw cells). *)
+
+val overlay : ?bound:int -> unit -> Layer.t
+(** The same [Llock] atomic interface as {!Ticket_lock.overlay}. *)
+
+val acq_fn : Ccal_clight.Csyntax.fn
+val rel_fn : Ccal_clight.Csyntax.fn
+
+val c_module : unit -> Prog.Module.t
+val asm_module : unit -> Prog.Module.t
+
+val r_mcs : Sim_rel.t
+(** Erase the cell traffic, rename [pull ↦ acq] / [push ↦ rel]. *)
+
+val prim_tests : ?locks:int list -> ?values:int list -> unit -> Calculus.prim_tests
+
+val env_suite :
+  ?locks:int list -> ?rivals:Event.tid list -> ?rounds:int list -> unit -> Calculus.env_suite
+
+val certify :
+  ?max_moves:int ->
+  ?focus:Event.tid list ->
+  ?use_asm:bool ->
+  unit ->
+  (Calculus.cert, Calculus.error) result
+(** [L0[A] ⊢_{R_mcs} M_mcs : Llock[A]]. *)

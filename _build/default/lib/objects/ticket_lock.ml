@@ -1,0 +1,234 @@
+open Ccal_core
+module C = Ccal_clight.Csyntax
+module Cx = Ccal_compcertx.Compile
+
+let fai_tag = "FAI_t"
+let get_n_tag = "get_n"
+let inc_n_tag = "inc_n"
+
+type ticket_state = {
+  next : int;
+  serving : int;
+}
+
+let wrap32 n = n land 0xFFFFFFFF
+
+let lock_of_args = function
+  | (Value.Vint b : Value.t) :: _ -> Some b
+  | _ -> None
+
+let replay_ticket b : ticket_state Replay.t =
+  Replay.fold ~init:{ next = 0; serving = 0 } ~step:(fun st (e : Event.t) ->
+      match lock_of_args e.args with
+      | Some b' when b' = b ->
+        if String.equal e.tag fai_tag then
+          Ok { st with next = wrap32 (st.next + 1) }
+        else if String.equal e.tag inc_n_tag then
+          Ok { st with serving = wrap32 (st.serving + 1) }
+        else Ok st
+      | Some _ | None -> Ok st)
+
+let ticket_prim tag ret_of =
+  Layer.event_prim tag (fun _c args log ->
+      match lock_of_args args with
+      | Some b -> Result.map ret_of (replay_ticket b log)
+      | None -> Error (tag ^ ": expected a lock argument"))
+
+let fai_prim = ticket_prim fai_tag (fun st -> Value.int st.next)
+let get_n_prim = ticket_prim get_n_tag (fun st -> Value.int st.serving)
+let inc_n_prim = ticket_prim inc_n_tag (fun _ -> Value.unit)
+
+(* At L0 the discipline on participants is over the raw events: pulled
+   locations are pushed back within a bounded number of steps. *)
+let l0_condition =
+  Rg.lock_condition ~bound:96 ~acq_tag:Ccal_machine.Pushpull.pull_tag
+    ~rel_tag:Ccal_machine.Pushpull.push_tag ()
+
+let l0 () =
+  let base = Ccal_machine.Mx86.layer () in
+  Layer.make ~rely:l0_condition ~guar:l0_condition "L0_ticket"
+    (base.Layer.prims @ [ fai_prim; get_n_prim; inc_n_prim ])
+
+let overlay ?bound () =
+  Lock_intf.layer ?bound "Llock"
+
+(* Fig. 10:
+     int acq(int b) {
+       int myt = FAI_t(b);
+       int n = get_n(b);
+       while (n != myt) { n = get_n(b); }
+       return pull(b);
+     } *)
+let acq_fn =
+  {
+    C.name = "acq";
+    params = [ "b" ];
+    locals = [ "myt"; "n"; "v" ];
+    body =
+      C.seq
+        [
+          C.calla "myt" fai_tag [ C.v "b" ];
+          C.calla "n" get_n_tag [ C.v "b" ];
+          C.while_ C.(v "n" <> v "myt") (C.calla "n" get_n_tag [ C.v "b" ]);
+          C.calla "v" Ccal_machine.Pushpull.pull_tag [ C.v "b" ];
+          C.return (C.v "v");
+        ];
+  }
+
+(* Fig. 10:  void rel(int b, int v) { push(b, v); inc_n(b); } *)
+let rel_fn =
+  {
+    C.name = "rel";
+    params = [ "b"; "v" ];
+    locals = [];
+    body =
+      C.seq
+        [
+          C.call_ Ccal_machine.Pushpull.push_tag [ C.v "b"; C.v "v" ];
+          C.call_ inc_n_tag [ C.v "b" ];
+          C.return_unit;
+        ];
+  }
+
+let fns = [ acq_fn; rel_fn ]
+
+let c_module () = Ccal_clight.Csem.module_of_fns fns
+let asm_module () = Cx.compile_module fns
+
+let r_ticket =
+  Sim_rel.of_table "R_ticket"
+    [
+      fai_tag, `Drop;
+      get_n_tag, `Drop;
+      inc_n_tag, `Drop;
+      Ccal_machine.Pushpull.pull_tag, `To Lock_intf.acq_tag;
+      Ccal_machine.Pushpull.push_tag, `To Lock_intf.rel_tag;
+    ]
+
+(* The automaton φ'_acq[i] of Sec. 2. *)
+let phi_acq_low i b =
+  let barg = [ Value.int b ] in
+  let pull_move =
+    {
+      Strategy.step =
+        (fun l ->
+          let ev = Event.make ~args:barg i Ccal_machine.Pushpull.pull_tag in
+          match Ccal_machine.Pushpull.replay_loc b (Log.append ev l) with
+          | Error msg -> Strategy.Refuse msg
+          | Ok (v, _) ->
+            Strategy.Move ([ { ev with ret = v } ], Strategy.Done v));
+    }
+  in
+  let rec spin myt =
+    {
+      Strategy.step =
+        (fun l ->
+          match replay_ticket b l with
+          | Error msg -> Strategy.Refuse msg
+          | Ok { serving; _ } ->
+            let ev =
+              Event.make ~args:barg ~ret:(Value.int serving) i get_n_tag
+            in
+            if serving = myt then Strategy.Move ([ ev ], Strategy.Next pull_move)
+            else Strategy.Move ([ ev ], Strategy.Next (spin myt)));
+    }
+  in
+  {
+    Strategy.step =
+      (fun l ->
+        match replay_ticket b l with
+        | Error msg -> Strategy.Refuse msg
+        | Ok { next; _ } ->
+          let ev = Event.make ~args:barg ~ret:(Value.int next) i fai_tag in
+          Strategy.Move ([ ev ], Strategy.Next (spin next)));
+  }
+
+let phi_rel_low i b v =
+  Strategy.of_moves
+    [
+      (fun _ -> [ Event.make ~args:[ Value.int b; v ] i Ccal_machine.Pushpull.push_tag ]);
+      (fun _ -> [ Event.make ~args:[ Value.int b ] i inc_n_tag ]);
+    ]
+
+let prim_tests ?(locks = [ 0 ]) ?(values = [ 7 ]) () : Calculus.prim_tests =
+  let acq_cases =
+    List.concat_map
+      (fun b ->
+        Calculus.case [ Value.int b ]
+        :: List.map
+             (fun v ->
+               (* re-acquisition after a release observing the published
+                  value *)
+               Calculus.case
+                 ~pre:
+                   [
+                     Lock_intf.acq_tag, [ Value.int b ];
+                     Lock_intf.rel_tag, [ Value.int b; Value.int v ];
+                   ]
+                 [ Value.int b ])
+             values)
+      locks
+  in
+  let rel_cases =
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun v ->
+            Calculus.case
+              ~pre:[ Lock_intf.acq_tag, [ Value.int b ] ]
+              [ Value.int b; Value.int v ])
+          values)
+      locks
+  in
+  [ Lock_intf.acq_tag, acq_cases; Lock_intf.rel_tag, rel_cases ]
+
+(* Environment participants run real lock rounds of this implementation, so
+   their events carry replay-consistent return values. *)
+let rival_prog b rounds =
+  let rec go k =
+    if k = 0 then Prog.ret_unit
+    else
+      Prog.bind (Prog.call Lock_intf.acq_tag [ Value.int b ]) (fun v ->
+          Prog.seq
+            (Prog.call Lock_intf.rel_tag [ Value.int b; v ])
+            (go (k - 1)))
+  in
+  go rounds
+
+let env_suite ?(locks = [ 0 ]) ?(rivals = [ 9; 8 ]) ?(rounds = [ 1; 2 ]) () :
+    Calculus.env_suite =
+ fun i ->
+  let b = match locks with b :: _ -> b | [] -> 0 in
+  let layer = l0 () in
+  let impl = c_module () in
+  let rivals = List.filter (fun j -> j <> i) rivals in
+  let rival j =
+    j, Machine.strategy_of_prog layer j (Prog.Module.link impl (rival_prog b 1))
+  in
+  Env_context.empty
+  :: List.concat_map
+       (fun per_query ->
+         match rivals with
+         | [] -> []
+         | [ j ] ->
+           [
+             Env_context.of_strategies
+               (Printf.sprintf "one-rival(r%d)" per_query)
+               [ rival j ] ~rounds:per_query;
+           ]
+         | j :: k :: _ ->
+           [
+             Env_context.of_strategies
+               (Printf.sprintf "one-rival(r%d)" per_query)
+               [ rival j ] ~rounds:per_query;
+             Env_context.of_strategies
+               (Printf.sprintf "two-rivals(r%d)" per_query)
+               [ rival j; rival k ] ~rounds:per_query;
+           ])
+       rounds
+
+let certify ?max_moves ?(focus = [ 1; 2 ]) ?(use_asm = false) () =
+  let impl = if use_asm then asm_module () else c_module () in
+  Calculus.fun_rule ?max_moves ~underlay:(l0 ()) ~overlay:(overlay ())
+    ~impl ~rel:r_ticket ~focus ~prim_tests:(prim_tests ())
+    ~envs:(env_suite ()) ()

@@ -1,0 +1,1 @@
+lib/verify/explore.ml: Ccal_core Game List Log Sched

@@ -1,0 +1,1 @@
+lib/verify/explore.mli: Ccal_core Event Game Layer Log Prog Sched

@@ -1,0 +1,1 @@
+lib/verify/linearizability.ml: Calculus Ccal_core List Log Refinement

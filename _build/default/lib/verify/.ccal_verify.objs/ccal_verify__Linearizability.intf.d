@@ -1,0 +1,1 @@
+lib/verify/linearizability.mli: Calculus Ccal_core Event Layer Prog Refinement Sched Sim_rel

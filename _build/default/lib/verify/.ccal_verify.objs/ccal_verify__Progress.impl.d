@@ -1,0 +1,1 @@
+lib/verify/progress.ml: Array Ccal_core Event Game List Log Printf Sched Stdlib String Value

@@ -1,0 +1,1 @@
+lib/verify/progress.mli: Ccal_core Event Layer Log Prog Sched

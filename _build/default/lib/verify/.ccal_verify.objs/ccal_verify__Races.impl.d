@@ -1,0 +1,1 @@
+lib/verify/races.ml: Ccal_core Ccal_machine Game List Log Printf Sched String

@@ -1,0 +1,1 @@
+lib/verify/races.mli: Ccal_core Event Layer Log Prog Sched

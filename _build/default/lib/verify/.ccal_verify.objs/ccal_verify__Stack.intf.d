@@ -1,0 +1,1 @@
+lib/verify/stack.mli: Calculus Ccal_core Format

@@ -1,0 +1,30 @@
+open Ccal_core
+
+let exhaustive_scheds ~tids ~depth =
+  let rec traces d =
+    if d = 0 then [ [] ]
+    else
+      let shorter = traces (d - 1) in
+      List.concat_map (fun t -> List.map (fun tr -> t :: tr) shorter) tids
+  in
+  List.map (fun tr -> Sched.of_trace tr) (traces depth)
+
+let random_scheds ~count = List.init count (fun k -> Sched.random ~seed:(k + 1))
+
+let full_suite ~tids ?(depth = 4) ?(random = 16) () =
+  (Sched.round_robin :: exhaustive_scheds ~tids ~depth) @ random_scheds ~count:random
+
+let run_all ?max_steps layer threads scheds =
+  Game.behaviors ?max_steps layer threads scheds
+
+let all_logs outcomes = List.map (fun o -> o.Game.log) outcomes
+
+let count_distinct_logs outcomes =
+  let logs = all_logs outcomes in
+  let rec dedup acc = function
+    | [] -> acc
+    | l :: rest ->
+      if List.exists (Log.equal l) acc then dedup acc rest
+      else dedup (l :: acc) rest
+  in
+  List.length (dedup [] logs)

@@ -1,0 +1,33 @@
+(** Interleaving exploration.
+
+    The behaviour of a layer machine is the set of logs under {e all}
+    schedulers (Sec. 2); the checkers approximate the quantifier by
+    exhaustively enumerating scheduling prefixes up to a depth bound and
+    topping up with seeded random fair schedules.  This is the bounded
+    substitute for the paper's ∀-quantified Coq proofs (DESIGN.md,
+    Substitutions). *)
+
+open Ccal_core
+
+val exhaustive_scheds : tids:Event.tid list -> depth:int -> Sched.t list
+(** All [|tids|^depth] scheduling prefixes (round-robin afterwards).
+    Use small depths: the count is exponential. *)
+
+val random_scheds : count:int -> Sched.t list
+(** [count] seeded random schedulers (deterministic suite). *)
+
+val full_suite : tids:Event.tid list -> ?depth:int -> ?random:int -> unit -> Sched.t list
+(** Exhaustive prefixes (default depth 4) plus random schedules (default
+    16) plus round-robin. *)
+
+val run_all :
+  ?max_steps:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Sched.t list ->
+  Game.outcome list
+(** Run the machine under every scheduler. *)
+
+val all_logs : Game.outcome list -> Log.t list
+val count_distinct_logs : Game.outcome list -> int
+(** Number of distinct interleavings actually observed. *)

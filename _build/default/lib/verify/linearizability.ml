@@ -1,0 +1,35 @@
+open Ccal_core
+
+type report = {
+  runs : int;
+  distinct_logs : int;
+  events : int;
+}
+
+let check ?max_steps ~underlay ~impl ~overlay ~rel ~client ~tids ~scheds () =
+  match
+    Refinement.check ?max_steps ~underlay ~impl ~overlay ~rel ~client ~tids
+      ~scheds ()
+  with
+  | Error _ as e -> e
+  | Ok r ->
+    let logs = r.Refinement.logs in
+    let rec dedup acc = function
+      | [] -> acc
+      | l :: rest ->
+        if List.exists (Log.equal l) acc then dedup acc rest
+        else dedup (l :: acc) rest
+    in
+    Ok
+      {
+        runs = r.Refinement.scheds_checked;
+        distinct_logs = List.length (dedup [] logs);
+        events = List.fold_left (fun n l -> n + Log.length l) 0 logs;
+      }
+
+let check_cert ?max_steps (cert : Calculus.cert) ~client ~scheds =
+  check ?max_steps ~underlay:cert.Calculus.judgment.Calculus.underlay
+    ~impl:cert.Calculus.judgment.Calculus.impl
+    ~overlay:cert.Calculus.judgment.Calculus.overlay
+    ~rel:cert.Calculus.judgment.Calculus.rel ~client
+    ~tids:cert.Calculus.judgment.Calculus.focus ~scheds ()

@@ -1,0 +1,37 @@
+(** Linearizability as contextual refinement.
+
+    Filipovic et al. showed linearizability is equivalent to contextual
+    refinement, and Liang et al. extended the equivalence to progress
+    properties (Sec. 7, "Abstraction for Concurrent Objects") — which is
+    why CCAL proves contextual refinement and gets linearizability for
+    free.  This checker follows the same route executably: a concurrent
+    object is linearizable on a workload when every underlay log, produced
+    under a scheduler suite, translates to a log the atomic overlay machine
+    reproduces with the same per-thread results. *)
+
+open Ccal_core
+
+type report = {
+  runs : int;
+  distinct_logs : int;
+  events : int;  (** total underlay events observed *)
+}
+
+val check :
+  ?max_steps:int ->
+  underlay:Layer.t ->
+  impl:Prog.Module.t ->
+  overlay:Layer.t ->
+  rel:Sim_rel.t ->
+  client:(Event.tid -> Prog.t) ->
+  tids:Event.tid list ->
+  scheds:Sched.t list ->
+  unit ->
+  (report, Refinement.failure) result
+
+val check_cert :
+  ?max_steps:int ->
+  Calculus.cert ->
+  client:(Event.tid -> Prog.t) ->
+  scheds:Sched.t list ->
+  (report, Refinement.failure) result

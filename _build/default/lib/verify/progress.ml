@@ -1,0 +1,112 @@
+open Ccal_core
+
+type bound_report = {
+  runs : int;
+  max_steps_used : int;
+  bound : int;
+}
+
+let completes_within ~bound layer threads scheds =
+  let rec go runs worst = function
+    | [] -> Ok { runs; max_steps_used = worst; bound }
+    | sched :: rest -> (
+      let outcome = Game.run (Game.config ~max_steps:bound layer threads sched) in
+      match outcome.Game.status with
+      | Game.All_done ->
+        go (runs + 1) (max worst outcome.Game.steps) rest
+      | Game.Deadlock ids ->
+        Error
+          (Printf.sprintf "deadlock among threads %s under %s"
+             (String.concat "," (List.map string_of_int ids))
+             sched.Sched.name)
+      | Game.Stuck (i, msg) ->
+        Error (Printf.sprintf "thread %d stuck under %s: %s" i sched.Sched.name msg)
+      | Game.Out_of_fuel ->
+        Error
+          (Printf.sprintf "run under %s exceeded the progress bound of %d moves"
+             sched.Sched.name bound))
+  in
+  go 0 0 scheds
+
+let lock_of (e : Event.t) =
+  match e.args with
+  | Value.Vint b :: _ -> Some b
+  | _ -> None
+
+(* Per lock, the source sequence of [tag] events. *)
+let order_of tag l log =
+  List.filter_map
+    (fun (e : Event.t) ->
+      if String.equal e.tag tag && lock_of e = Some l then Some e.src else None)
+    (Log.chronological log)
+
+let locks_mentioned tag log =
+  List.sort_uniq Stdlib.compare
+    (List.filter_map
+       (fun (e : Event.t) ->
+         if String.equal e.tag tag then lock_of e else None)
+       (Log.chronological log))
+
+let fifo_order ~ticket_tag ~enter_tag log =
+  List.for_all
+    (fun l ->
+      let tickets = order_of ticket_tag l log in
+      let enters = order_of enter_tag l log in
+      (* every completed entry came in ticket order: [enters] is a prefix
+         of [tickets] *)
+      let rec prefix a b =
+        match a, b with
+        | [], _ -> true
+        | x :: a', y :: b' -> x = y && prefix a' b'
+        | _ :: _, [] -> false
+      in
+      prefix enters tickets)
+    (locks_mentioned ticket_tag log)
+
+let waiting_spans ~ticket_tag ~enter_tag log =
+  let events = Array.of_list (Log.chronological log) in
+  let n = Array.length events in
+  let spans = ref [] in
+  for i = 0 to n - 1 do
+    let e = events.(i) in
+    if String.equal e.Event.tag ticket_tag then (
+      let lock = lock_of e in
+      let j = ref (i + 1) in
+      let found = ref false in
+      while (not !found) && !j < n do
+        let e' = events.(!j) in
+        if
+          String.equal e'.Event.tag enter_tag
+          && e'.Event.src = e.Event.src && lock_of e' = lock
+        then (
+          spans := (e.Event.src, !j - i) :: !spans;
+          found := true);
+        incr j
+      done)
+  done;
+  List.rev !spans
+
+let starvation_bound ~cs_events ~spin_events ~ncpus =
+  cs_events * spin_events * ncpus
+
+let check_starvation_free ~ticket_tag ~enter_tag ~cs_events ~spin_events ~ncpus
+    logs =
+  let bound = starvation_bound ~cs_events ~spin_events ~ncpus in
+  let rec go worst = function
+    | [] -> Ok worst
+    | log :: rest ->
+      let spans = waiting_spans ~ticket_tag ~enter_tag log in
+      let bad = List.find_opt (fun (_, s) -> s > bound) spans in
+      (match bad with
+      | Some (t, s) ->
+        Error
+          (Printf.sprintf
+             "thread %d waited %d events, exceeding the n*m*#CPU bound of %d"
+             t s bound)
+      | None ->
+        let worst =
+          List.fold_left (fun w (_, s) -> max w s) worst spans
+        in
+        go worst rest)
+  in
+  go 0 logs

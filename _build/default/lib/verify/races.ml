@@ -1,0 +1,41 @@
+open Ccal_core
+
+type verdict =
+  | Race_free of { runs : int }
+  | Race of { sched_name : string; detail : string; log : Log.t }
+  | Other_failure of string
+
+let is_race_message msg =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  contains msg "race"
+
+let check ?max_steps layer threads scheds =
+  let rec go runs = function
+    | [] -> Race_free { runs }
+    | sched :: rest -> (
+      let outcome = Game.run (Game.config ?max_steps layer threads sched) in
+      match outcome.Game.status with
+      | Game.Stuck (_, msg) when is_race_message msg ->
+        Race { sched_name = sched.Sched.name; detail = msg; log = outcome.Game.log }
+      | Game.Stuck (i, msg) ->
+        Other_failure (Printf.sprintf "thread %d stuck (not a race): %s" i msg)
+      | Game.Deadlock ids ->
+        Other_failure
+          (Printf.sprintf "deadlock among threads %s"
+             (String.concat "," (List.map string_of_int ids)))
+      | Game.Out_of_fuel -> Other_failure "out of fuel"
+      | Game.All_done ->
+        if Ccal_machine.Pushpull.race_free outcome.Game.log then go (runs + 1) rest
+        else
+          Race
+            {
+              sched_name = sched.Sched.name;
+              detail = "completed log fails push/pull replay";
+              log = outcome.Game.log;
+            })
+  in
+  go 0 scheds

@@ -1,0 +1,26 @@
+(** Data-race detection through the push/pull memory model.
+
+    "If a program tries to pull a not-free location, or tries to access or
+    push to a location not owned by the current CPU, a data race may occur
+    and the machine gets stuck.  One goal of concurrent program
+    verification is to show that a program is data-race free; in our
+    setting, we accomplish this by showing that the program does not get
+    stuck" (Sec. 3.1). *)
+
+open Ccal_core
+
+type verdict =
+  | Race_free of { runs : int }
+  | Race of { sched_name : string; detail : string; log : Log.t }
+  | Other_failure of string
+
+val check :
+  ?max_steps:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Sched.t list ->
+  verdict
+(** Run the machine under each scheduler; a [Stuck] status whose
+    diagnostic is a push/pull ownership violation is reported as a race;
+    completed runs are additionally re-validated with
+    {!Ccal_machine.Pushpull.race_free}. *)

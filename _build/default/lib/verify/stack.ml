@@ -1,0 +1,219 @@
+open Ccal_core
+open Ccal_objects
+
+type edge = {
+  edge_name : string;
+  kind : [ `Cert of Calculus.rule_name | `Linking | `Soundness ];
+  checks : int;
+  millis : float;
+}
+
+type report = {
+  edges : edge list;
+  total_checks : int;
+  total_millis : float;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun e ->
+      let kind =
+        match e.kind with
+        | `Cert rule ->
+          (match rule with
+          | Calculus.Empty -> "Empty"
+          | Calculus.Fun -> "Fun"
+          | Calculus.Vcomp -> "Vcomp"
+          | Calculus.Hcomp -> "Hcomp"
+          | Calculus.Wk -> "Wk"
+          | Calculus.Pcomp -> "Pcomp")
+        | `Linking -> "Link"
+        | `Soundness -> "Sound"
+      in
+      Format.fprintf fmt "  [%-5s] %-55s %4d checks  %6.1f ms@." kind
+        e.edge_name e.checks e.millis)
+    r.edges;
+  Format.fprintf fmt "  total: %d checks in %.1f ms@]" r.total_checks r.total_millis
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  r, ms
+
+let vi = Value.int
+
+let verify_all ?(lock = `Ticket) ?(seeds = 4) () =
+  let edges = ref [] in
+  let push edge = edges := edge :: !edges in
+  let scheds () = Sched.default_suite ~seeds in
+  let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
+
+  (* 1. multicore linking over the hardware machine *)
+  let faa_round i =
+    Prog.seq_all
+      [ Prog.call "faa" [ vi 0; vi 1 ]; Prog.call "faa" [ vi 0; vi 1 ];
+        Prog.ret (vi i) ]
+  in
+  let link_result, ms =
+    timed (fun () ->
+        Ccal_machine.Mx86.check_multicore_linking
+          ~threads:[ 1, faa_round 1; 2, faa_round 2 ]
+          ~scheds:(scheds ()) ())
+  in
+  let* n = link_result in
+  push { edge_name = "Mx86 refines Lx86[D] (Thm 3.1)"; kind = `Linking; checks = n; millis = ms };
+
+  (* 2. spinlock certificate *)
+  let lock_name, certify_lock =
+    match lock with
+    | `Ticket -> "ticket", fun () -> Ticket_lock.certify ~focus:[ 1; 2 ] ()
+    | `Mcs -> "mcs", fun () -> Mcs_lock.certify ~focus:[ 1; 2 ] ()
+  in
+  let lock_cert, ms = timed certify_lock in
+  let* lock_cert =
+    Result.map_error (Format.asprintf "%a" Calculus.pp_error) lock_cert
+  in
+  push
+    { edge_name = Printf.sprintf "L0 |- M_%s : Llock (Fun)" lock_name;
+      kind = `Cert lock_cert.Calculus.rule;
+      checks = Calculus.count_checks lock_cert; millis = ms };
+
+  (* 3. parallel composition of per-thread lock certificates *)
+  let pcomp_result, ms =
+    timed (fun () ->
+        let mk focus =
+          match lock with
+          | `Ticket -> Ticket_lock.certify ~focus ()
+          | `Mcs -> Mcs_lock.certify ~focus ()
+        in
+        let* c1 = Result.map_error (Format.asprintf "%a" Calculus.pp_error) (mk [ 1 ]) in
+        let* c2 = Result.map_error (Format.asprintf "%a" Calculus.pp_error) (mk [ 2 ]) in
+        (* the compat corpus: logs from contention games *)
+        let layer = match lock with `Ticket -> Ticket_lock.l0 () | `Mcs -> Mcs_lock.l0 () in
+        let m = match lock with `Ticket -> Ticket_lock.c_module () | `Mcs -> Mcs_lock.c_module () in
+        let client i =
+          Prog.Module.link m
+            (Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+                 Prog.call "rel" [ vi 0; vi i ]))
+        in
+        let logs =
+          List.map
+            (fun o -> o.Game.log)
+            (Game.behaviors layer [ 1, client 1; 2, client 2 ] (scheds ()))
+        in
+        Result.map_error (Format.asprintf "%a" Calculus.pp_error)
+          (Calculus.pcomp c1 c2 ~compat_logs:logs))
+  in
+  let* pcert = pcomp_result in
+  push
+    { edge_name = "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)";
+      kind = `Cert pcert.Calculus.rule;
+      checks = Calculus.count_checks pcert; millis = ms };
+
+  (* 4. shared queue over the lock: vertical composition *)
+  let stack_cert, ms = timed (fun () -> Queue_shared.full_stack_certify ()) in
+  let* stack_cert =
+    Result.map_error (Format.asprintf "%a" Calculus.pp_error) stack_cert
+  in
+  push
+    { edge_name = "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)";
+      kind = `Cert stack_cert.Calculus.rule;
+      checks = Calculus.count_checks stack_cert; millis = ms };
+
+  (* 5. queue soundness game *)
+  let sound, ms =
+    timed (fun () ->
+        let client i =
+          Prog.seq_all
+            [ Prog.call "enQ_s" [ vi 0; vi (10 + i) ];
+              Prog.call "deQ_s" [ vi 0 ] ]
+        in
+        Refinement.check_cert stack_cert ~client ~scheds:(scheds ()))
+  in
+  let* sound_report =
+    Result.map_error (Format.asprintf "%a" Refinement.pp_failure) sound
+  in
+  push
+    { edge_name = "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)";
+      kind = `Soundness;
+      checks = sound_report.Refinement.scheds_checked; millis = ms };
+
+  (* 6. multithreaded linking over the scheduler *)
+  let placement = [ 1, 0; 2, 0; 3, 1 ] in
+  let mtl, ms =
+    timed (fun () ->
+        let layer =
+          Thread_sched.mt_layer placement (Lock_intf.layer "Llock")
+        in
+        let prog i =
+          Prog.seq_all
+            [ Prog.call "acq" [ vi 0 ]; Prog.call "rel" [ vi 0; vi i ];
+              Prog.call Thread_sched.yield_tag []; Prog.call Thread_sched.exit_tag [] ]
+        in
+        Thread_sched.check_multithreaded_linking ~placement ~layer
+          ~threads:[ 1, prog 1; 2, prog 2; 3, prog 3 ]
+          ~scheds:(scheds ()) ())
+  in
+  let* n = mtl in
+  push
+    { edge_name = "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)"; kind = `Linking;
+      checks = n; millis = ms };
+
+  (* 7. queuing lock *)
+  let ql, ms = timed (fun () -> Qlock.certify ()) in
+  let* ql = Result.map_error (Format.asprintf "%a" Calculus.pp_error) ql in
+  push
+    { edge_name = "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)";
+      kind = `Cert ql.Calculus.rule; checks = Calculus.count_checks ql; millis = ms };
+
+  (* 8. IPC channel over condition variables *)
+  let ipc, ms = timed (fun () -> Ipc.certify ()) in
+  let* ipc_cert = Result.map_error (Format.asprintf "%a" Calculus.pp_error) ipc in
+  push
+    { edge_name = "Lmt(spin+cv) |- M_ipc : Lipc (Fun)";
+      kind = `Cert ipc_cert.Calculus.rule;
+      checks = Calculus.count_checks ipc_cert; millis = ms };
+
+  (* 9. IPC producer/consumer soundness including the blocking paths *)
+  let ipc_sound, ms =
+    timed (fun () ->
+        let* cert =
+          Result.map_error (Format.asprintf "%a" Calculus.pp_error)
+            (Ipc.certify ~placement:[ 1, 1; 2, 2; 9, 9 ] ~focus:[ 1; 2 ] ())
+        in
+        let client i =
+          if i = 1 then
+            Prog.seq_all
+              [ Prog.call "send" [ vi 5; vi 10 ]; Prog.call "send" [ vi 5; vi 11 ];
+                Prog.call "send" [ vi 5; vi 12 ];
+                Prog.call Thread_sched.exit_tag [] ]
+          else
+            Prog.seq_all
+              [ Prog.call "recv" [ vi 5 ]; Prog.call "recv" [ vi 5 ];
+                Prog.call "recv" [ vi 5 ]; Prog.call Thread_sched.exit_tag [] ]
+        in
+        Result.map_error (Format.asprintf "%a" Refinement.pp_failure)
+          (Refinement.check_cert cert ~client ~scheds:(scheds ())))
+  in
+  let* r = ipc_sound in
+  push
+    { edge_name = "[[producer|consumer]] refines Lipc (blocking paths)";
+      kind = `Soundness; checks = r.Refinement.scheds_checked; millis = ms };
+
+  (* 10. reader-writer lock: a synchronization library added on top of the
+     existing lock layer without touching it *)
+  let rw, ms = timed (fun () -> Rwlock.certify ()) in
+  let* rw = Result.map_error (Format.asprintf "%a" Calculus.pp_error) rw in
+  push
+    { edge_name = "Llock |- M_rwlock : Lrwlock (Fun, extension)";
+      kind = `Cert rw.Calculus.rule; checks = Calculus.count_checks rw; millis = ms };
+
+  let edges = List.rev !edges in
+  Ok
+    {
+      edges;
+      total_checks = List.fold_left (fun n e -> n + e.checks) 0 edges;
+      total_millis = List.fold_left (fun t e -> t +. e.millis) 0. edges;
+    }

@@ -1,0 +1,1 @@
+test/test_clight_compile.ml: Alcotest Ccal_clight Ccal_compcertx Ccal_core Ccal_machine Env_context List Machine Option Printf QCheck String Util Value

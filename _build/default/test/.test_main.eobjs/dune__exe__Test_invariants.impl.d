@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Ccal_compcertx Ccal_core Ccal_objects Event Game Layer Lock_intf Log Prog QCheck Refinement Rely_guarantee Sched Sim_rel String Thread_sched Ticket_lock Util Value

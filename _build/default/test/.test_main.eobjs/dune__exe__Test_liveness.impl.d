@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Barrier Ccal_core Ccal_objects Ccal_verify Event Game List Lock_intf Log Prog QCheck Sched String Ticket_lock Util

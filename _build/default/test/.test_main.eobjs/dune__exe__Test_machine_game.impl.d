@@ -1,0 +1,1 @@
+test/test_machine_game.ml: Alcotest Ccal_core Env_context Event Format Game Layer List Log Machine Option Prog QCheck Rely_guarantee Sched Strategy String Util Value

@@ -1,0 +1,1 @@
+test/test_machine_lib.ml: Alcotest Asm Asm_sem Atomic Ccal_core Ccal_machine Event Game Log Machine Mx86 Prog Pushpull QCheck Replay Sched Sim_rel String Util Value

@@ -1,0 +1,1 @@
+test/test_multithread.ml: Alcotest Calculus Ccal_core Ccal_objects Condvar Event Game Ipc List Lock_intf Log Prog QCheck Qlock Refinement Replay Sched Sim_rel String Thread_sched Util Value

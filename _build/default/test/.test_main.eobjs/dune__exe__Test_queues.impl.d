@@ -1,0 +1,1 @@
+test/test_queues.ml: Alcotest Calculus Ccal_core Ccal_objects Event Game List Log Prog QCheck Queue_local Queue_shared Refinement Sched Sim_rel String Util Value

@@ -1,0 +1,1 @@
+test/test_simulation_calculus.ml: Alcotest Calculus Ccal_core Env_context Event Layer List Log Machine Option Prog Refinement Rely_guarantee Sched Sim_rel Simulation String Util Value

@@ -1,0 +1,1 @@
+test/test_value_log.ml: Alcotest Ccal_core Event List Log QCheck Replay String Util Value

@@ -1,0 +1,1 @@
+test/util.ml: Abs Alcotest Ccal_core Env_context Event Layer Log Machine QCheck QCheck_alcotest String Value

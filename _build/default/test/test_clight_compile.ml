@@ -1,0 +1,408 @@
+(* Tests for ClightX semantics, the CompCertX compiler, translation
+   validation and the algebraic memory model (S12–S14). *)
+open Ccal_core
+module C = Ccal_clight.Csyntax
+module Csem = Ccal_clight.Csem
+module Cx = Ccal_compcertx.Compile
+module V = Ccal_compcertx.Validate
+module M = Ccal_compcertx.Mem_algebra
+open Util
+
+let hw () = Ccal_machine.Mx86.layer ()
+
+(* ---- ClightX semantics ---- *)
+
+let fn name params locals body = { C.name; params; locals; body }
+
+let test_c_return_expr () =
+  let f = fn "f" [ "x" ] [] (C.return C.(v "x" + i 1)) in
+  check_int "x+1" 8 (Value.to_int (expect_done (hw ()) (Csem.prog_of_fn f [ vi 7 ])))
+
+let test_c_locals_default_zero () =
+  let f = fn "f" [] [ "y" ] (C.return (C.v "y")) in
+  check_int "zero" 0 (Value.to_int (expect_done (hw ()) (Csem.prog_of_fn f [])))
+
+let test_c_if () =
+  let f =
+    fn "f" [ "x" ] []
+      (C.if_ C.(v "x" > i 0) (C.return (C.i 1)) (C.return (C.i (-1))))
+  in
+  check_int "pos" 1 (Value.to_int (expect_done (hw ()) (Csem.prog_of_fn f [ vi 3 ])));
+  check_int "neg" (-1) (Value.to_int (expect_done (hw ()) (Csem.prog_of_fn f [ vi 0 ])))
+
+let test_c_while () =
+  (* factorial *)
+  let f =
+    fn "fact" [ "n" ] [ "acc" ]
+      (C.seq
+         [
+           C.set "acc" (C.i 1);
+           C.while_ C.(v "n" > i 0)
+             (C.seq [ C.set "acc" C.(v "acc" * v "n"); C.set "n" C.(v "n" - i 1) ]);
+           C.return (C.v "acc");
+         ])
+  in
+  check_int "5!" 120 (Value.to_int (expect_done (hw ()) (Csem.prog_of_fn f [ vi 5 ])))
+
+let test_c_prim_call () =
+  let f =
+    fn "f" [] [ "a" ]
+      (C.seq
+         [
+           C.call_ "astore" [ C.i 3; C.i 9 ];
+           C.calla "a" "aload" [ C.i 3 ];
+           C.return (C.v "a");
+         ])
+  in
+  check_int "through cell" 9 (Value.to_int (expect_done (hw ()) (Csem.prog_of_fn f [])))
+
+let test_c_unbound_var_faults () =
+  let f = fn "f" [] [] (C.return (C.v "nope")) in
+  ignore (expect_stuck (hw ()) (Csem.prog_of_fn f []))
+
+let test_c_div_zero_faults () =
+  let f = fn "f" [] [] (C.return (C.Binop (C.Div, C.i 1, C.i 0))) in
+  ignore (expect_stuck (hw ()) (Csem.prog_of_fn f []))
+
+let test_c_fuel () =
+  let f = fn "f" [] [] (C.while_ (C.i 1) C.Sskip) in
+  ignore (expect_stuck (hw ()) (Csem.prog_of_fn ~fuel:500 f []))
+
+let test_c_wrong_arity_faults () =
+  let f = fn "f" [ "x" ] [] (C.return (C.v "x")) in
+  ignore (expect_stuck (hw ()) (Csem.prog_of_fn f []))
+
+let test_c_param_local_clash_rejected () =
+  let f = fn "f" [ "x" ] [ "x" ] (C.return (C.v "x")) in
+  check_bool "raises" true
+    (try ignore (Csem.prog_of_fn f [ vi 1 ]); false
+     with Csem.Semantics_error _ -> true)
+
+let test_c_void_returns_unit () =
+  let f = fn "f" [] [] C.return_unit in
+  check_bool "unit" true
+    (Value.equal Value.unit (expect_done (hw ()) (Csem.prog_of_fn f [])))
+
+let test_c_unops () =
+  let f = fn "f" [ "x" ] [] (C.return (C.Unop (C.Neg, C.v "x"))) in
+  check_int "neg" (-5) (Value.to_int (expect_done (hw ()) (Csem.prog_of_fn f [ vi 5 ])));
+  let g = fn "g" [ "x" ] [] (C.return (C.Unop (C.Not, C.v "x"))) in
+  check_int "not 0" 1 (Value.to_int (expect_done (hw ()) (Csem.prog_of_fn g [ vi 0 ])))
+
+(* ---- compiler ---- *)
+
+let sample_fns =
+  [
+    fn "id" [ "x" ] [] (C.return (C.v "x"));
+    fn "arith" [ "x"; "y" ] [ "t" ]
+      (C.seq
+         [
+           C.set "t" C.(((v "x" + v "y") * i 3) - i 1);
+           C.return C.(v "t" + (v "x" * v "y"));
+         ]);
+    fn "cond" [ "x" ] []
+      (C.if_ C.(v "x" >= i 10) (C.return C.(v "x" - i 10)) (C.return (C.v "x")));
+    fn "loop" [ "n" ] [ "s"; "k" ]
+      (C.seq
+         [
+           C.set "s" (C.i 0);
+           C.set "k" (C.i 1);
+           C.while_ C.(v "k" <= v "n")
+             (C.seq [ C.set "s" C.(v "s" + v "k"); C.set "k" C.(v "k" + i 1) ]);
+           C.return (C.v "s");
+         ]);
+    fn "cells" [ "c" ] [ "a" ]
+      (C.seq
+         [
+           C.call_ "astore" [ C.v "c"; C.i 5 ];
+           C.calla "a" "faa" [ C.v "c"; C.i 2 ];
+           C.calla "a" "aload" [ C.v "c" ];
+           C.return (C.v "a");
+         ]);
+    fn "void_fn" [ "c" ] [] (C.seq [ C.call_ "astore" [ C.v "c"; C.i 1 ]; C.return_unit ]);
+  ]
+
+let test_compile_matches_source () =
+  List.iter
+    (fun f ->
+      let asm = Cx.compile_fn f in
+      List.iter
+        (fun arg ->
+          let c = expect_done (hw ()) (Csem.prog_of_fn f (List.map vi arg)) in
+          let a =
+            expect_done (hw ()) (Ccal_machine.Asm_sem.prog_of_fn asm (List.map vi arg))
+          in
+          Alcotest.check value_testable
+            (Printf.sprintf "%s(%s)" f.C.name
+               (String.concat "," (List.map string_of_int arg)))
+            c a)
+        (match List.length f.C.params with
+        | 0 -> [ [] ]
+        | 1 -> [ [ 0 ]; [ 5 ]; [ 13 ] ]
+        | _ -> [ [ 0; 0 ]; [ 2; 3 ]; [ 7; 11 ] ]))
+    sample_fns
+
+let test_validate_module () =
+  match
+    V.validate_module ~layer:(hw ()) ~tids:[ 1; 2 ]
+      ~arg_cases:
+        [
+          "id", [ [ vi 4 ] ];
+          "arith", [ [ vi 1; vi 2 ]; [ vi 0; vi 0 ] ];
+          "cond", [ [ vi 3 ]; [ vi 30 ] ];
+          "loop", [ [ vi 6 ] ];
+          "cells", [ [ vi 50 ]; [ vi 51 ] ];
+          "void_fn", [ [ vi 52 ] ];
+        ]
+      ~envs:(fun _ -> [ Env_context.empty ])
+      sample_fns
+  with
+  | Ok r ->
+    check_int "fns" 6 r.V.fns_validated;
+    check_bool "cases" true (r.V.cases_run > 0)
+  | Error f -> Alcotest.failf "validation failed: %a" V.pp_failure f
+
+let test_validate_with_env_events () =
+  (* environment events interleave identically on both sides *)
+  let f =
+    fn "reader" [ "c" ] [ "a" ]
+      (C.seq [ C.calla "a" "aload" [ C.v "c" ]; C.return (C.v "a") ])
+  in
+  let envs _ =
+    [ Env_context.of_script "w" [ [ ev ~args:[ vi 60; vi 9 ] 2 "astore" ] ] ]
+  in
+  match
+    V.validate_fn ~layer:(hw ()) ~tids:[ 1 ] ~arg_cases:[ [ vi 60 ] ] ~envs f
+  with
+  | Ok n -> check_int "cases" 1 n
+  | Error fl -> Alcotest.failf "failed: %a" V.pp_failure fl
+
+let test_validate_catches_miscompilation () =
+  (* a hand-broken "compiler": compare the source against the compilation
+     of a different function *)
+  let good = fn "g" [ "x" ] [] (C.return C.(v "x" + i 1)) in
+  let evil_asm = Cx.compile_fn (fn "g" [ "x" ] [] (C.return C.(v "x" + i 2))) in
+  let c = expect_done (hw ()) (Csem.prog_of_fn good [ vi 1 ]) in
+  let a = expect_done (hw ()) (Ccal_machine.Asm_sem.prog_of_fn evil_asm [ vi 1 ]) in
+  check_bool "differ" false (Value.equal c a)
+
+let test_compile_slot_assignment () =
+  let f = fn "f" [ "a"; "b" ] [ "c" ] (C.return (C.i 0)) in
+  check_bool "slots" true
+    (Cx.slot_of_var f "a" = Some 0 && Cx.slot_of_var f "b" = Some 1
+    && Cx.slot_of_var f "c" = Some 2 && Cx.slot_of_var f "z" = None)
+
+let test_compile_duplicate_var_rejected () =
+  let f = fn "f" [ "a"; "a" ] [] (C.return (C.i 0)) in
+  check_bool "raises" true
+    (try ignore (Cx.compile_fn f); false with Cx.Unsupported _ -> true)
+
+(* random expression compilation agrees with source *)
+let expr_gen =
+  let open QCheck.Gen in
+  let rec gen n =
+    if n = 0 then
+      oneof [ map (fun k -> C.Const k) (int_range (-20) 20);
+              oneofl [ C.Var "x"; C.Var "y" ] ]
+    else
+      frequency
+        [
+          1, map (fun k -> C.Const k) (int_range (-20) 20);
+          1, oneofl [ C.Var "x"; C.Var "y" ];
+          3,
+          ( let* op =
+              oneofl [ C.Add; C.Sub; C.Mul; C.Eq; C.Ne; C.Lt; C.Le; C.Gt; C.Ge;
+                       C.And; C.Or ]
+            in
+            let* a = gen (n / 2) in
+            let* b = gen (n / 2) in
+            return (C.Binop (op, a, b)) );
+          1, map (fun e -> C.Unop (C.Neg, e)) (gen (n - 1));
+        ]
+  in
+  gen 5
+
+let prop_compile_expr_correct =
+  qtc ~count:300 "compiled expressions agree with source"
+    (QCheck.make expr_gen) (fun e ->
+      let f = fn "f" [ "x"; "y" ] [] (C.return e) in
+      let asm = Cx.compile_fn f in
+      List.for_all
+        (fun (x, y) ->
+          let args = [ vi x; vi y ] in
+          let c = run_solo (hw ()) (Csem.prog_of_fn f args) in
+          let a = run_solo (hw ()) (Ccal_machine.Asm_sem.prog_of_fn asm args) in
+          match c.Machine.outcome, a.Machine.outcome with
+          | Machine.Done vc, Machine.Done va -> Value.equal vc va
+          | Machine.Stuck_run _, Machine.Stuck_run _ -> true
+          | _ -> false)
+        [ 0, 0; 1, 2; -3, 7 ])
+
+(* ---- algebraic memory model (Fig. 12) ---- *)
+
+let mem_with_block () =
+  let m, b = M.alloc M.empty 0 4 in
+  let m = Option.get (M.st m { M.block = b; off = 1 } (vi 5)) in
+  m, b
+
+let test_mem_nb_alloc () =
+  let m, b = M.alloc M.empty 0 4 in
+  check_int "one block" 1 (M.nb m);
+  check_int "index" 0 b;
+  check_int "liftnb" 4 (M.nb (M.liftnb m 3))
+
+let test_mem_ld_st () =
+  let m, b = mem_with_block () in
+  (match M.ld m { M.block = b; off = 1 } with
+  | Some v -> check_int "stored" 5 (Value.to_int v)
+  | None -> Alcotest.fail "load failed");
+  check_bool "unwritten reads 0" true
+    (match M.ld m { M.block = b; off = 0 } with
+    | Some v -> Value.to_int v = 0
+    | None -> false);
+  check_bool "out of bounds" true (M.ld m { M.block = b; off = 9 } = None);
+  check_bool "empty block no perm" true
+    (M.ld (M.liftnb m 1) { M.block = 1; off = 0 } = None)
+
+let test_mem_compose_disjoint () =
+  let m1, _ = mem_with_block () in
+  let m2 = M.liftnb M.empty 1 in
+  (* m1 has a real block at 0; m2 only an empty placeholder there *)
+  match M.compose m1 m2 with
+  | Some m ->
+    check_bool "related" true (M.related m1 m2 m);
+    check_bool "comm (axiom Comm)" true (M.related m2 m1 m)
+  | None -> Alcotest.fail "compose failed"
+
+let test_mem_compose_conflict () =
+  let m1, _ = mem_with_block () in
+  let m2, _ = mem_with_block () in
+  check_bool "both real at 0" true (M.compose m1 m2 = None)
+
+let test_mem_compose_many () =
+  let m1, _ = M.alloc M.empty 0 2 in
+  let m2 = M.liftnb M.empty 1 in
+  let m2, _ = M.alloc m2 0 2 in
+  (* m1 = [real]; m2 = [empty; real] *)
+  match M.compose_many [ m1; m2 ] with
+  | Some m -> check_int "nb (axiom Nb)" 2 (M.nb m)
+  | None -> Alcotest.fail "n-way compose failed"
+
+(* Fig. 12 axioms as properties over randomly built compatible pairs. *)
+let compatible_pair_gen =
+  let open QCheck.Gen in
+  let* n = int_range 1 6 in
+  let* owners = list_repeat n bool in
+  let build mine =
+    List.fold_left
+      (fun m owned ->
+        if owned = mine then fst (M.alloc m 0 4) else M.liftnb m 1)
+      M.empty owners
+  in
+  return (build true, build false, owners)
+
+let compatible_pair = QCheck.make compatible_pair_gen
+
+let prop_axiom_nb =
+  qtc "axiom Nb: nb(m) = max(nb m1, nb m2)" compatible_pair (fun (m1, m2, _) ->
+      match M.compose m1 m2 with
+      | Some m -> M.nb m = max (M.nb m1) (M.nb m2)
+      | None -> false)
+
+let prop_axiom_comm =
+  qtc "axiom Comm" compatible_pair (fun (m1, m2, _) ->
+      match M.compose m1 m2 with
+      | Some m -> M.related m2 m1 m
+      | None -> false)
+
+let prop_axiom_ld =
+  qtc "axiom Ld: loads preserved" compatible_pair (fun (m1, m2, owners) ->
+      match M.compose m1 m2 with
+      | None -> false
+      | Some m ->
+        List.for_all
+          (fun b ->
+            let l = { M.block = b; off = 1 } in
+            match M.ld m2 l with
+            | Some v -> M.ld m l = Some v
+            | None -> true)
+          (List.mapi (fun i _ -> i) owners))
+
+let prop_axiom_st =
+  qtc "axiom St: stores preserved" compatible_pair (fun (m1, m2, owners) ->
+      match M.compose m1 m2 with
+      | None -> false
+      | Some m ->
+        List.for_all
+          (fun b ->
+            let l = { M.block = b; off = 2 } in
+            match M.st m2 l (vi 77) with
+            | Some m2' -> (
+              match M.st m l (vi 77) with
+              | Some m' -> M.related m1 m2' m'
+              | None -> false)
+            | None -> true)
+          (List.mapi (fun i _ -> i) owners))
+
+let prop_axiom_alloc =
+  qtc "axiom Alloc" compatible_pair (fun (m1, m2, _) ->
+      QCheck.assume (M.nb m1 <= M.nb m2);
+      match M.compose m1 m2 with
+      | None -> false
+      | Some m ->
+        let m2', _ = M.alloc m2 0 4 in
+        let m', _ = M.alloc m 0 4 in
+        M.related m1 m2' m')
+
+let prop_axiom_lift_r =
+  qtc "axiom Lift-R" compatible_pair (fun (m1, m2, _) ->
+      QCheck.assume (M.nb m1 <= M.nb m2);
+      match M.compose m1 m2 with
+      | None -> false
+      | Some m -> M.related m1 (M.liftnb m2 2) (M.liftnb m 2))
+
+let prop_axiom_lift_l =
+  qtc "axiom Lift-L" compatible_pair (fun (m1, m2, _) ->
+      QCheck.assume (M.nb m1 <= M.nb m2);
+      match M.compose m1 m2 with
+      | None -> false
+      | Some m ->
+        let n = 3 in
+        let shortfall = n - (M.nb m - M.nb m1) in
+        let mlift = if shortfall > 0 then M.liftnb m shortfall else m in
+        M.related (M.liftnb m1 n) m2 mlift)
+
+let suite =
+  [
+    tc "c return expr" test_c_return_expr;
+    tc "c locals default zero" test_c_locals_default_zero;
+    tc "c if" test_c_if;
+    tc "c while (factorial)" test_c_while;
+    tc "c prim call" test_c_prim_call;
+    tc "c unbound var faults" test_c_unbound_var_faults;
+    tc "c div zero faults" test_c_div_zero_faults;
+    tc "c fuel" test_c_fuel;
+    tc "c wrong arity faults" test_c_wrong_arity_faults;
+    tc "c param/local clash rejected" test_c_param_local_clash_rejected;
+    tc "c void returns unit" test_c_void_returns_unit;
+    tc "c unops" test_c_unops;
+    tc "compile matches source" test_compile_matches_source;
+    tc "validate module" test_validate_module;
+    tc "validate with env events" test_validate_with_env_events;
+    tc "validation would catch miscompilation" test_validate_catches_miscompilation;
+    tc "compile slot assignment" test_compile_slot_assignment;
+    tc "compile duplicate var rejected" test_compile_duplicate_var_rejected;
+    prop_compile_expr_correct;
+    tc "mem nb/alloc/liftnb" test_mem_nb_alloc;
+    tc "mem ld/st" test_mem_ld_st;
+    tc "mem compose disjoint" test_mem_compose_disjoint;
+    tc "mem compose conflict" test_mem_compose_conflict;
+    tc "mem compose many" test_mem_compose_many;
+    prop_axiom_nb;
+    prop_axiom_comm;
+    prop_axiom_ld;
+    prop_axiom_st;
+    prop_axiom_alloc;
+    prop_axiom_lift_r;
+    prop_axiom_lift_l;
+  ]

@@ -1,0 +1,18 @@
+(* Test runner: one alcotest section per subsystem of DESIGN.md. *)
+let () =
+  Alcotest.run "ccal"
+    [
+      "events-logs-replay (S1)", Test_value_log.suite;
+      "machine-game (S2,S4,S5)", Test_machine_game.suite;
+      "simulation-calculus-refinement (S6-S8)", Test_simulation_calculus.suite;
+      "multicore-machine (S9-S11)", Test_machine_lib.suite;
+      "clightx-compcertx (S12-S14)", Test_clight_compile.suite;
+      "locks (S15,S16)", Test_locks.suite;
+      "queues (S17)", Test_queues.suite;
+      "multithreading (S18-S21)", Test_multithread.suite;
+      "verify-and-injection (S22)", Test_verify_injection.suite;
+      "extensions (TSO, rwlock, Wk/Hcomp)", Test_extensions.suite;
+      "api-surface-and-corner-cases", Test_surface.suite;
+      "liveness-and-deadlock", Test_liveness.suite;
+      "cross-cutting-invariants", Test_invariants.suite;
+    ]

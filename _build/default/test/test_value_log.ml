@@ -1,0 +1,185 @@
+(* Unit + property tests for Value, Event, Log and Replay (S1). *)
+open Ccal_core
+open Util
+
+let test_value_equal () =
+  check_bool "unit=unit" true (Value.equal Value.unit Value.unit);
+  check_bool "int" true (Value.equal (vi 3) (vi 3));
+  check_bool "int neq" false (Value.equal (vi 3) (vi 4));
+  check_bool "pair" true
+    (Value.equal (Value.pair (vi 1) (vi 2)) (Value.pair (vi 1) (vi 2)));
+  check_bool "list" true
+    (Value.equal (Value.list [ vi 1; vi 2 ]) (Value.list [ vi 1; vi 2 ]));
+  check_bool "list length" false
+    (Value.equal (Value.list [ vi 1 ]) (Value.list [ vi 1; vi 2 ]));
+  check_bool "cross kind" false (Value.equal Value.unit (vi 0))
+
+let test_value_projections () =
+  check_int "to_int" 7 (Value.to_int (vi 7));
+  check_bool "to_bool true" true (Value.to_bool (Value.bool true));
+  check_bool "to_bool of int" true (Value.to_bool (vi 1));
+  check_bool "to_bool of zero" false (Value.to_bool (vi 0));
+  (match Value.to_pair (Value.pair (vi 1) (vi 2)) with
+  | a, b ->
+    check_int "fst" 1 (Value.to_int a);
+    check_int "snd" 2 (Value.to_int b));
+  Alcotest.check_raises "to_int of unit"
+    (Value.Type_error "expected int, got ()") (fun () ->
+      ignore (Value.to_int Value.unit))
+
+let test_value_compare_total () =
+  let sign n = compare n 0 in
+  let vs =
+    [ Value.unit; vi (-1); vi 0; Value.bool false; Value.pair (vi 1) (vi 2);
+      Value.list []; Value.list [ vi 1 ] ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_int "antisymmetric" (sign (Value.compare a b))
+            (-sign (Value.compare b a));
+          check_bool "consistent with equal"
+            (Value.equal a b)
+            (Value.compare a b = 0))
+        vs)
+    vs
+
+let test_event_basics () =
+  let e = ev ~args:[ vi 0 ] ~ret:(vi 3) 1 "FAI_t" in
+  check_string "to_string" "1.FAI_t(0)->3" (Event.to_string e);
+  check_bool "equal" true (Event.equal e (ev ~args:[ vi 0 ] ~ret:(vi 3) 1 "FAI_t"));
+  check_bool "ret matters" false
+    (Event.equal e (ev ~args:[ vi 0 ] ~ret:(vi 4) 1 "FAI_t"));
+  check_bool "src matters" false
+    (Event.equal e (ev ~args:[ vi 0 ] ~ret:(vi 3) 2 "FAI_t"));
+  check_bool "switch" true (Event.is_switch (Event.switch 2));
+  check_bool "not switch" false (Event.is_switch e)
+
+let test_log_append_order () =
+  let l = log_of [ ev 1 "a"; ev 2 "b"; ev 1 "c" ] in
+  check_int "length" 3 (Log.length l);
+  Alcotest.(check (list string))
+    "chronological" [ "a"; "b"; "c" ]
+    (List.map (fun (e : Event.t) -> e.tag) (Log.chronological l));
+  Alcotest.(check (list string))
+    "newest first" [ "c"; "b"; "a" ]
+    (List.map (fun (e : Event.t) -> e.tag) (Log.newest_first l));
+  check_bool "latest" true
+    (match Log.latest l with Some e -> String.equal e.Event.tag "c" | None -> false)
+
+let test_log_suffix_since () =
+  let l1 = log_of [ ev 1 "a" ] in
+  let l2 = Log.append_all [ ev 2 "b"; ev 1 "c" ] l1 in
+  Alcotest.(check (list string))
+    "suffix" [ "b"; "c" ]
+    (List.map (fun (e : Event.t) -> e.tag) (Log.suffix_since l1 l2));
+  check_int "empty suffix" 0 (List.length (Log.suffix_since l1 l1));
+  Alcotest.check_raises "longer earlier"
+    (Invalid_argument "Log.suffix_since: earlier log is longer than later log")
+    (fun () -> ignore (Log.suffix_since l2 l1))
+
+let test_log_by_thread_and_count () =
+  let l = log_of [ ev 1 "a"; ev 2 "b"; ev 1 "c"; ev 3 "d"; ev 1 "a" ] in
+  check_int "by_thread 1" 3 (List.length (Log.by_thread 1 l));
+  check_int "by_thread 9" 0 (List.length (Log.by_thread 9 l));
+  check_int "count a" 2 (Log.count (fun e -> String.equal e.Event.tag "a") l)
+
+let test_log_map_events () =
+  let l = log_of [ ev 1 "hold"; ev 2 "get_n"; ev 1 "inc_n" ] in
+  let translated =
+    Log.map_events
+      (fun e ->
+        if String.equal e.Event.tag "hold" then [ { e with Event.tag = "acq" } ]
+        else if String.equal e.Event.tag "get_n" then []
+        else [ e ])
+      l
+  in
+  Alcotest.(check (list string))
+    "translated" [ "acq"; "inc_n" ]
+    (List.map (fun (e : Event.t) -> e.tag) (Log.chronological translated))
+
+let test_replay_fold () =
+  let sum =
+    Replay.fold ~init:0 ~step:(fun acc (e : Event.t) ->
+        match e.ret with Value.Vint n -> Ok (acc + n) | _ -> Error "non-int")
+  in
+  let l = log_of [ ev ~ret:(vi 1) 1 "x"; ev ~ret:(vi 2) 2 "x" ] in
+  check_int "sum" 3 (Replay.run_exn sum l);
+  check_bool "wf" true (Replay.well_formed sum l);
+  let bad = log_of [ ev 1 "x" ] in
+  check_bool "stuck" false (Replay.well_formed sum bad)
+
+let test_replay_combinators () =
+  let a = Replay.pure 1 and b = Replay.map (fun l -> l) (Replay.pure 2) in
+  (match Replay.both a b Log.empty with
+  | Ok (x, y) ->
+    check_int "both fst" 1 x;
+    check_int "both snd" 2 y
+  | Error _ -> Alcotest.fail "both failed");
+  check_int "map" 4 (Replay.run_exn (Replay.map (fun x -> x * 2) (Replay.pure 2)) Log.empty)
+
+(* Properties *)
+
+let event_gen =
+  QCheck.Gen.(
+    let* src = int_range 1 5 in
+    let* tag = oneofl [ "a"; "b"; "c"; "acq"; "rel" ] in
+    let* arg = small_nat in
+    return (Event.make ~args:[ Value.int arg ] src tag))
+  |> QCheck.make
+
+let events_gen = QCheck.list_of_size (QCheck.Gen.int_range 0 30) event_gen
+
+let prop_chronological_reverses =
+  qtc "chronological = rev newest_first" events_gen (fun evs ->
+      let l = log_of evs in
+      Log.chronological l = List.rev (Log.newest_first l))
+
+let prop_append_length =
+  qtc "append_all length" events_gen (fun evs ->
+      Log.length (log_of evs) = List.length evs)
+
+let prop_filter_keeps_order =
+  qtc "filter preserves order" events_gen (fun evs ->
+      let l = log_of evs in
+      let f = Log.filter (fun e -> e.Event.src = 1) l in
+      Log.chronological f
+      = List.filter (fun (e : Event.t) -> e.src = 1) (Log.chronological l))
+
+let prop_map_events_id =
+  qtc "map_events id = id" events_gen (fun evs ->
+      let l = log_of evs in
+      Log.equal l (Log.map_events (fun e -> [ e ]) l))
+
+let prop_suffix_roundtrip =
+  qtc "append then suffix_since" (QCheck.pair events_gen events_gen)
+    (fun (pre, post) ->
+      let l1 = log_of pre in
+      let l2 = Log.append_all post l1 in
+      List.length (Log.suffix_since l1 l2) = List.length post)
+
+let prop_value_equal_refl =
+  qtc "value equality reflexive" QCheck.(list small_int) (fun xs ->
+      let v = Value.list (List.map Value.int xs) in
+      Value.equal v v && Value.compare v v = 0)
+
+let suite =
+  [
+    tc "value equal" test_value_equal;
+    tc "value projections" test_value_projections;
+    tc "value compare total" test_value_compare_total;
+    tc "event basics" test_event_basics;
+    tc "log append order" test_log_append_order;
+    tc "log suffix_since" test_log_suffix_since;
+    tc "log by_thread/count" test_log_by_thread_and_count;
+    tc "log map_events" test_log_map_events;
+    tc "replay fold" test_replay_fold;
+    tc "replay combinators" test_replay_combinators;
+    prop_chronological_reverses;
+    prop_append_length;
+    prop_filter_keeps_order;
+    prop_map_events_id;
+    prop_suffix_roundtrip;
+    prop_value_equal_refl;
+  ]

@@ -1,0 +1,64 @@
+(* Shared helpers for the test-suite. *)
+open Ccal_core
+
+let vi = Value.int
+let ev ?args ?ret src tag = Event.make ?args ?ret src tag
+
+let log_of events = Log.append_all events Log.empty
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+let log_testable = Alcotest.testable Log.pp Log.equal
+let event_testable = Alcotest.testable Event.pp Event.equal
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let qtc ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* Run a single-threaded program over a layer with a silent environment. *)
+let run_solo ?(tid = 1) layer prog =
+  Machine.run_local layer tid ~env:Env_context.empty prog
+
+let expect_done ?(tid = 1) layer prog =
+  match (run_solo ~tid layer prog).Machine.outcome with
+  | Machine.Done v -> v
+  | Machine.Stuck_run msg -> Alcotest.failf "stuck: %s" msg
+  | Machine.No_progress msg -> Alcotest.failf "no progress: %s" msg
+  | Machine.Out_of_fuel -> Alcotest.fail "out of fuel"
+
+let expect_stuck ?(tid = 1) layer prog =
+  match (run_solo ~tid layer prog).Machine.outcome with
+  | Machine.Stuck_run msg -> msg
+  | Machine.Done v -> Alcotest.failf "expected stuck, got %s" (Value.to_string v)
+  | Machine.No_progress msg -> Alcotest.failf "expected stuck, blocked: %s" msg
+  | Machine.Out_of_fuel -> Alcotest.fail "expected stuck, ran out of fuel"
+
+(* A tiny "counter" layer used by many core tests: one shared atomic
+   counter per id replayed from its own events, plus a private accumulator. *)
+let counter_layer () =
+  let count_of id log =
+    Log.count
+      (fun (e : Event.t) ->
+        String.equal e.tag "tick" && e.args = [ Value.int id ])
+      log
+  in
+  Layer.make "Lcounter"
+    [
+      Layer.event_prim "tick" (fun _ args log ->
+          match args with
+          | [ Value.Vint id ] -> Ok (Value.int (count_of id log + 1))
+          | _ -> Error "tick: bad args");
+      Layer.event_prim "read" (fun _ args log ->
+          match args with
+          | [ Value.Vint id ] -> Ok (Value.int (count_of id log))
+          | _ -> Error "read: bad args");
+      Layer.private_prim "stash" (fun _ args abs ->
+          match args with
+          | [ v ] -> Ok (Abs.set "stash" v abs, Value.unit)
+          | _ -> Error "stash: bad args");
+      Layer.private_prim "unstash" (fun _ _ abs -> Ok (abs, Abs.get "stash" abs));
+    ]
