@@ -1,0 +1,25 @@
+.PHONY: all build test check explore bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest --force
+
+# The tier-1 gate: everything CI runs, runnable locally in one shot.
+# Includes the DPOR-vs-exhaustive agreement check on the headline game.
+check: build test
+	dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
+
+explore:
+	dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
+	dune exec bin/ccal_cli.exe -- explore queue --threads 2 --depth 4
+	dune exec bin/ccal_cli.exe -- explore queue-atomic --threads 3 --depth 4 --mode events
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -5,6 +5,8 @@
      ccal verify    certify one object (ticket, mcs, local-queue,
                     shared-queue, qlock, ipc, all)
      ccal pipeline  run the Fig. 5 ticket-lock pipeline with soundness
+     ccal explore   compare the DPOR explorer against exhaustive
+                    enumeration on a benchmark game
      ccal inventory print the layer/object inventory *)
 
 open Cmdliner
@@ -15,16 +17,45 @@ let vi = Value.int
 
 (* ---------------- stack ---------------- *)
 
+let strategy_of_string = function
+  | "default" | "" -> Ok None
+  | s -> (
+    match String.split_on_char ':' s with
+    | [ "dpor" ] -> Ok (Some Ccal_verify.Explore.default_strategy)
+    | [ "dpor"; d ] -> (
+      match int_of_string_opt d with
+      | Some d -> Ok (Some (`Dpor d))
+      | None -> Error (Printf.sprintf "bad depth %S" d))
+    | [ "exhaustive"; d ] -> (
+      match int_of_string_opt d with
+      | Some d -> Ok (Some (`Exhaustive d))
+      | None -> Error (Printf.sprintf "bad depth %S" d))
+    | [ "random"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (Some (`Random n))
+      | None -> Error (Printf.sprintf "bad count %S" n))
+    | _ ->
+      Error
+        (Printf.sprintf
+           "unknown strategy %S (expected default, dpor[:DEPTH], \
+            exhaustive:DEPTH or random:COUNT)"
+           s))
+
 let stack_cmd =
-  let run lock seeds =
+  let run lock seeds strategy =
     let lock = match lock with "mcs" -> `Mcs | _ -> `Ticket in
-    match Ccal_verify.Stack.verify_all ~lock ~seeds () with
-    | Ok report ->
-      Format.printf "%a@." Ccal_verify.Stack.pp_report report;
-      0
+    match strategy_of_string strategy with
     | Error msg ->
-      Format.eprintf "stack verification failed: %s@." msg;
-      1
+      Format.eprintf "%s@." msg;
+      2
+    | Ok strategy -> (
+      match Ccal_verify.Stack.verify_all ~lock ~seeds ?strategy () with
+      | Ok report ->
+        Format.printf "%a@." Ccal_verify.Stack.pp_report report;
+        0
+      | Error msg ->
+        Format.eprintf "stack verification failed: %s@." msg;
+        1)
   in
   let lock =
     Arg.(value & opt string "ticket"
@@ -34,9 +65,16 @@ let stack_cmd =
     Arg.(value & opt int 4
          & info [ "seeds" ] ~docv:"N" ~doc:"Random schedulers per check.")
   in
+  let strategy =
+    Arg.(value & opt string "default"
+         & info [ "strategy" ] ~docv:"STRAT"
+             ~doc:"Exploration strategy for the game-driving edges: \
+                   default (seeded suite), dpor[:DEPTH], exhaustive:DEPTH \
+                   or random:COUNT.")
+  in
   Cmd.v
     (Cmd.info "stack" ~doc:"Certify and link the whole Fig. 1 layer stack")
-    Term.(const run $ lock $ seeds)
+    Term.(const run $ lock $ seeds $ strategy)
 
 (* ---------------- verify ---------------- *)
 
@@ -117,6 +155,115 @@ let pipeline_cmd =
     (Cmd.info "pipeline" ~doc:"Run the Fig. 5 ticket-lock pipeline end to end")
     Term.(const run $ seeds)
 
+(* ---------------- explore ---------------- *)
+
+(* Benchmark games for comparing the DPOR explorer against exhaustive
+   enumeration.  Each returns (layer, threads). *)
+let explore_game name nthreads =
+  let lock_client i =
+    Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+        Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+  in
+  let queue_client i =
+    Prog.bind (Prog.call "enQ_s" [ vi 0; vi (10 * i) ]) (fun _ ->
+        Prog.call "deQ_s" [ vi 0 ])
+  in
+  let spawn client = List.init nthreads (fun k -> k + 1, client (k + 1)) in
+  match name with
+  | "lock" ->
+    Some (Lock_intf.layer "Llock", spawn lock_client)
+  | "ticket" ->
+    let m = Ticket_lock.c_module () in
+    Some (Ticket_lock.l0 (), spawn (fun i -> Prog.Module.link m (lock_client i)))
+  | "mcs" ->
+    let m = Mcs_lock.c_module () in
+    Some (Mcs_lock.l0 (), spawn (fun i -> Prog.Module.link m (lock_client i)))
+  | "queue" ->
+    let m =
+      Ccal_clight.Csem.module_of_fns [ Queue_shared.deq_fn; Queue_shared.enq_fn ]
+    in
+    Some
+      (Queue_shared.underlay (), spawn (fun i -> Prog.Module.link m (queue_client i)))
+  | "queue-atomic" ->
+    Some (Queue_shared.overlay (), spawn queue_client)
+  | _ -> None
+
+let explore_cmd =
+  let run obj nthreads depth mode =
+    let independence =
+      match mode with
+      | "events" -> Some Ccal_verify.Dpor.Commuting_events
+      | "exact" -> Some Ccal_verify.Dpor.Exact
+      | _ -> None
+    in
+    match explore_game obj nthreads, independence with
+    | None, _ ->
+      Format.eprintf
+        "unknown game %S (expected lock, ticket, mcs, queue or queue-atomic)@."
+        obj;
+      2
+    | _, None ->
+      Format.eprintf "unknown mode %S (expected exact or events)@." mode;
+      2
+    | Some (layer, threads), Some independence ->
+      let module V = Ccal_verify in
+      let dpor = V.Dpor.explore ~independence ~depth layer threads in
+      let tids = List.map fst threads in
+      let exhaustive =
+        V.Explore.run_all layer threads (V.Explore.exhaustive_scheds ~tids ~depth)
+      in
+      let canon l =
+        match independence with
+        | V.Dpor.Exact -> l
+        | V.Dpor.Commuting_events -> V.Dpor.canonical_log l
+      in
+      let dpor_logs =
+        Log.dedup
+          (List.map (fun (o : Game.outcome) -> canon o.Game.log) dpor.V.Dpor.outcomes)
+      in
+      let exh_logs = Log.dedup (List.map canon (V.Explore.all_logs exhaustive)) in
+      let subset a b = List.for_all (fun l -> List.exists (Log.equal l) b) a in
+      let agree = subset dpor_logs exh_logs && subset exh_logs dpor_logs in
+      Format.printf "game %s: %d threads, depth %d, %s independence@." obj
+        nthreads depth
+        (match independence with
+        | V.Dpor.Exact -> "exact"
+        | V.Dpor.Commuting_events -> "commuting-events");
+      Format.printf "  dpor:       %a@." V.Dpor.pp_stats dpor.V.Dpor.stats;
+      Format.printf "  exhaustive: %d schedules run; %d distinct logs@."
+        (List.length exhaustive) (List.length exh_logs);
+      Format.printf "  log sets %s@."
+        (if agree then "agree" else "DISAGREE (DPOR is unsound here)");
+      if agree then 0 else 1
+  in
+  let obj =
+    Arg.(value & pos 0 string "lock"
+         & info [] ~docv:"GAME"
+             ~doc:"Benchmark game: lock (atomic Llock interface), ticket or \
+                   mcs (concrete spinlock implementations over L0), queue \
+                   (lock-based shared queue) or queue-atomic (the Lq_high \
+                   overlay).")
+  in
+  let nthreads =
+    Arg.(value & opt int 3
+         & info [ "threads" ] ~docv:"N" ~doc:"Number of competing threads.")
+  in
+  let depth =
+    Arg.(value & opt int 5
+         & info [ "depth" ] ~docv:"D" ~doc:"Scheduler decision depth.")
+  in
+  let mode =
+    Arg.(value & opt string "exact"
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Independence mode: exact (raw log-set equality) or events \
+                   (object-based commutation, compared up to canonical \
+                   reordering).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Compare the DPOR explorer against exhaustive enumeration")
+    Term.(const run $ obj $ nthreads $ depth $ mode)
+
 (* ---------------- inventory ---------------- *)
 
 let inventory_cmd =
@@ -146,4 +293,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "ccal" ~version:"1.0.0" ~doc)
-          [ stack_cmd; verify_cmd; pipeline_cmd; inventory_cmd ]))
+          [ stack_cmd; verify_cmd; pipeline_cmd; explore_cmd; inventory_cmd ]))

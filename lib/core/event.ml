@@ -19,6 +19,8 @@ let equal a b =
   && (try List.for_all2 Value.equal a.args b.args with Invalid_argument _ -> false)
   && Value.equal a.ret b.ret
 
+let hash e = Hashtbl.hash (e.src, e.tag, e.args, e.ret)
+
 let compare a b =
   let c = Stdlib.compare a.src b.src in
   if c <> 0 then c

@@ -35,5 +35,10 @@ val is_switch : t -> bool
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Structural hash, compatible with {!equal} — used by the hashed
+    distinct-log counting of the verification harness. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -14,7 +14,7 @@ let config ?(max_steps = 100_000) ?(log_switches = false) ?(check_guar = false)
 type status =
   | All_done
   | Deadlock of Event.tid list
-  | Stuck of Event.tid * string
+  | Stuck of Event.tid * Layer.stuck_kind * string
   | Out_of_fuel
 
 type outcome = {
@@ -89,13 +89,13 @@ let run cfg =
             | Machine.Blocked_at (st', _) ->
               slot := Running st';
               attempt (chosen :: excluded)
-            | Machine.Stuck msg -> `Stuck (chosen, msg))
+            | Machine.Stuck (kind, msg) -> `Stuck (chosen, kind, msg))
         in
         (match attempt [] with
         | `Deadlock ids ->
           { log; results = results (); status = Deadlock ids; steps; silent_steps = silent; guar_violations = List.rev violations }
-        | `Stuck (i, msg) ->
-          { log; results = results (); status = Stuck (i, msg); steps; silent_steps = silent; guar_violations = List.rev violations }
+        | `Stuck (i, kind, msg) ->
+          { log; results = results (); status = Stuck (i, kind, msg); steps; silent_steps = silent; guar_violations = List.rev violations }
         | `Moved (i, move_log, evs, cost) ->
           let log' = Log.append_all evs move_log in
           let violations =
@@ -125,5 +125,8 @@ let pp_status fmt = function
          ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
          Format.pp_print_int)
       ids
-  | Stuck (i, msg) -> Format.fprintf fmt "stuck(thread %d: %s)" i msg
+  | Stuck (i, Layer.Invalid_transition, msg) ->
+    Format.fprintf fmt "stuck(thread %d: %s)" i msg
+  | Stuck (i, Layer.Data_race, msg) ->
+    Format.fprintf fmt "race(thread %d: %s)" i msg
   | Out_of_fuel -> Format.pp_print_string fmt "out-of-fuel"

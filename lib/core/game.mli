@@ -34,7 +34,9 @@ val config :
 type status =
   | All_done
   | Deadlock of Event.tid list  (** every unfinished thread is blocked *)
-  | Stuck of Event.tid * string  (** a thread has no valid transition *)
+  | Stuck of Event.tid * Layer.stuck_kind * string
+      (** a thread has no valid transition; [Layer.Data_race] marks a
+          detected data race, [Layer.Invalid_transition] everything else *)
   | Out_of_fuel
 
 type outcome = {

@@ -1,4 +1,5 @@
 type crit = Enter | Exit | Keep
+type stuck_kind = Invalid_transition | Data_race
 
 type shared_result =
   | Step of {
@@ -8,6 +9,11 @@ type shared_result =
     }
   | Block
   | Stuck of string
+  | Race of string
+
+let pp_stuck_kind fmt = function
+  | Invalid_transition -> Format.pp_print_string fmt "invalid-transition"
+  | Data_race -> Format.pp_print_string fmt "data-race"
 
 type shared_sem = Event.tid -> Value.t list -> Log.t -> shared_result
 

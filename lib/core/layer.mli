@@ -21,6 +21,16 @@ type crit =
   | Exit  (** this call exits the critical state *)
   | Keep  (** no change *)
 
+type stuck_kind =
+  | Invalid_transition
+      (** the machine got stuck for an ordinary reason: bad arguments, a
+          fuel bound, an ill-formed log, an unknown primitive… *)
+  | Data_race
+      (** the stuck transition specifically witnesses a data race — e.g.
+          the push/pull replay of Fig. 8 returning [None] because two
+          threads hold overlapping ownership.  Checkers classify on this
+          constructor rather than scanning message strings. *)
+
 type shared_result =
   | Step of {
       events : Event.t list;  (** events appended by this call, in order *)
@@ -33,8 +43,15 @@ type shared_result =
           environment events; in a whole-machine game the scheduler must
           pick another thread. *)
   | Stuck of string
-      (** no valid transition — e.g. a data race detected by the push/pull
-          replay function (Fig. 8 returns [None]). *)
+      (** no valid transition for an ordinary reason (bad arguments,
+          ill-formed log, …) — classified as {!Invalid_transition}. *)
+  | Race of string
+      (** no valid transition because this call witnesses a data race —
+          the push/pull replay function of Fig. 8 returning [None].
+          Classified as {!Data_race} so checkers never have to scan
+          message strings. *)
+
+val pp_stuck_kind : Format.formatter -> stuck_kind -> unit
 
 type shared_sem = Event.tid -> Value.t list -> Log.t -> shared_result
 (** Semantics of a shared primitive: given the caller, arguments and

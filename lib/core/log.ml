@@ -45,6 +45,26 @@ let count p l =
 let equal a b =
   a.len = b.len && List.for_all2 Event.equal a.rev_events b.rev_events
 
+let hash l =
+  List.fold_left
+    (fun acc e -> ((acc * 31) + Event.hash e) land max_int)
+    l.len l.rev_events
+
+(* Order-preserving dedup, hashing into buckets so counting distinct logs
+   is linear in the total number of events rather than quadratic in the
+   number of logs. *)
+let dedup logs =
+  let buckets = Hashtbl.create 64 in
+  List.filter
+    (fun l ->
+      let h = hash l in
+      let seen = Option.value (Hashtbl.find_opt buckets h) ~default:[] in
+      if List.exists (equal l) seen then false
+      else (
+        Hashtbl.replace buckets h (l :: seen);
+        true))
+    logs
+
 let pp fmt l =
   Format.fprintf fmt "@[<hov 1>[%a]@]"
     (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ") Event.pp)

@@ -51,5 +51,14 @@ val by_thread : Event.tid -> t -> Event.t list
 val count : (Event.t -> bool) -> t -> int
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Order-sensitive structural hash, compatible with {!equal}. *)
+
+val dedup : t list -> t list
+(** Distinct logs in first-occurrence order; hashed, so linear in the
+    total number of events (the verification harness counts distinct
+    interleavings over thousands of runs). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

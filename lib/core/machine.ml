@@ -10,7 +10,7 @@ type move_result =
   | Moved of Event.t list * thread_state
   | Finished of Value.t * Abs.t
   | Blocked_at of thread_state * string
-  | Stuck of string
+  | Stuck of Layer.stuck_kind * string
 
 let apply_crit dc crit =
   match dc with Layer.Enter -> true | Layer.Exit -> false | Layer.Keep -> crit
@@ -19,23 +19,26 @@ let apply_crit dc crit =
    result together with the number of silent steps taken. *)
 let step_move_counted ?(private_fuel = 100_000) layer tid st log =
   let rec go prog abs crit fuel silent =
-    if fuel <= 0 then Stuck Prog.steps_bound_exceeded, silent
+    if fuel <= 0 then Stuck (Layer.Invalid_transition, Prog.steps_bound_exceeded), silent
     else
       match prog with
       | Prog.Ret v -> Finished (v, abs), silent
       | Prog.Call c -> (
         match Layer.find_prim c.prim layer with
-        | None -> Stuck ("unknown primitive " ^ c.prim ^ " in layer " ^ layer.Layer.name), silent
+        | None ->
+          Stuck (Layer.Invalid_transition,
+                 "unknown primitive " ^ c.prim ^ " in layer " ^ layer.Layer.name), silent
         | Some (Layer.Private sem) -> (
           match sem tid c.args abs with
           | Ok (abs', v) -> go (c.k v) abs' crit (fuel - 1) (silent + 1)
-          | Error msg -> Stuck (c.prim ^ ": " ^ msg), silent)
+          | Error msg -> Stuck (Layer.Invalid_transition, c.prim ^ ": " ^ msg), silent)
         | Some (Layer.Shared sem) -> (
           match sem tid c.args log with
           | Layer.Step { events; ret; crit = dc } ->
             Moved (events, { prog = c.k ret; abs; crit = apply_crit dc crit }), silent
           | Layer.Block -> Blocked_at ({ prog; abs; crit }, c.prim), silent
-          | Layer.Stuck msg -> Stuck (c.prim ^ ": " ^ msg), silent))
+          | Layer.Stuck msg -> Stuck (Layer.Invalid_transition, c.prim ^ ": " ^ msg), silent
+          | Layer.Race msg -> Stuck (Layer.Data_race, c.prim ^ ": " ^ msg), silent))
   in
   go st.prog st.abs st.crit private_fuel 0
 
@@ -51,7 +54,7 @@ let strategy_of_prog layer tid prog =
           | Moved (evs, st') -> Strategy.Move (evs, Strategy.Next (of_state st'))
           | Finished (v, _) -> Strategy.Move ([], Strategy.Done v)
           | Blocked_at _ -> Strategy.Blocked
-          | Stuck msg -> Strategy.Refuse msg);
+          | Stuck (_, msg) -> Strategy.Refuse msg);
     }
   in
   of_state (initial layer tid prog)
@@ -88,7 +91,7 @@ let run_local ?(max_moves = 10_000) ?(block_retries = 64) ?(check_guar = false)
       match result with
       | Finished (v, _) ->
         { outcome = Done v; log; own_events = List.rev own; moves; silent_steps = silent; guar_violation = violation }
-      | Stuck msg ->
+      | Stuck (_, msg) ->
         { outcome = Stuck_run msg; log; own_events = List.rev own; moves; silent_steps = silent; guar_violation = violation }
       | Blocked_at (st, prim) ->
         if retries >= block_retries then

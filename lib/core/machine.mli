@@ -35,7 +35,9 @@ type move_result =
   | Blocked_at of thread_state * string
       (** the named shared primitive is not enabled on this log; the
           returned state resumes exactly at the blocked call *)
-  | Stuck of string
+  | Stuck of Layer.stuck_kind * string
+      (** no valid transition; the kind distinguishes a detected data race
+          ([Layer.Data_race]) from ordinary stuckness *)
 
 val step_move :
   ?private_fuel:int ->

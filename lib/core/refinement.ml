@@ -81,7 +81,7 @@ let replay_multi ?(max_steps = 200_000) ?(allow_blocked_at_end = false) overlay
                       "overlay thread %d blocked on %s where log expects %s"
                       e.src prim (Event.to_string e),
                     log )
-              | Machine.Stuck msg ->
+              | Machine.Stuck (_, msg) ->
                 Error (Printf.sprintf "overlay thread %d stuck: %s" e.src msg, log)
               ))))
   and finish log =
@@ -114,7 +114,7 @@ let replay_multi ?(max_steps = 200_000) ?(allow_blocked_at_end = false) overlay
               else
                 Error
                   (Printf.sprintf "thread %d blocked on %s at end of log" i prim, log)
-            | Machine.Stuck msg ->
+            | Machine.Stuck (_, msg) ->
               Error (Printf.sprintf "thread %d stuck at end of log: %s" i msg, log))
     in
     let rec drain_all = function

@@ -8,7 +8,9 @@ let splitmix x =
   let x = (x * 0x2545F491) + 0x9E3779B9 in
   let x = (x lxor (x lsr 16)) * 0x45D9F3B in
   let x = (x lxor (x lsr 13)) * 0xC2B2AE35 in
-  abs (x lxor (x lsr 16))
+  (* [abs min_int] is still negative: mask the sign bit away so the result
+     is non-negative for every input, including [min_int]. *)
+  abs (x lxor (x lsr 16)) land max_int
 
 let round_robin =
   {
@@ -34,10 +36,10 @@ let random ~seed =
           Some (List.nth runnable (splitmix ((seed * 1_000_003) + step) mod n)));
   }
 
-let of_trace trace =
+let of_trace ?(name = "trace") trace =
   let remaining = ref trace in
   {
-    name = "trace";
+    name;
     pick =
       (fun ~step log ~runnable ->
         let rec next () =

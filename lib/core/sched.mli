@@ -22,10 +22,11 @@ val random : seed:int -> t
 (** Deterministic pseudo-random scheduler (splitmix-style hash of
     [seed, step]); fair with probability 1, and reproducible. *)
 
-val of_trace : Event.tid list -> t
+val of_trace : ?name:string -> Event.tid list -> t
 (** Follow the given choice list; entries that are not currently runnable
     are skipped; after the trace is exhausted, behaves like
-    {!round_robin}. *)
+    {!round_robin}.  The internal cursor is stateful: use each scheduler
+    value for exactly one run.  [name] defaults to ["trace"]. *)
 
 val biased : favored:Event.tid -> ratio:int -> seed:int -> t
 (** Picks [favored] [ratio] times more often than others when runnable —

@@ -22,7 +22,7 @@ let check_multicore_linking ?max_steps ~threads ~scheds () =
         Game.run (Game.config ?max_steps ~log_switches:true l threads sched)
       in
       match outcome.Game.status with
-      | Game.Stuck (i, msg) ->
+      | Game.Stuck (i, _, msg) ->
         Error (Printf.sprintf "Mx86 run stuck at CPU %d: %s" i msg)
       | Game.Deadlock _ | Game.Out_of_fuel ->
         Error

@@ -56,23 +56,26 @@ let replay_all : (int * (Value.t * ownership)) list Replay.t =
 
 let race_free l = Replay.well_formed replay_map l
 
+(* The prims inspect the ownership state of the location {e before}
+   appending their own event: a pre-existing replay error means the log was
+   already ill-formed (ordinary stuckness), while an ownership conflict
+   introduced by this very call is a data race ([Layer.Race]) — the checkers
+   classify on that constructor instead of scanning message strings. *)
 let pull_prim =
   ( pull_tag,
     Layer.Shared
       (fun c args log ->
         match args with
         | [ Value.Vint b ] -> (
-          let ev = Event.make ~args c pull_tag in
-          let log' = Log.append ev log in
-          match replay_loc b log' with
+          match replay_loc b log with
           | Error msg -> Layer.Stuck msg
-          | Ok (v, _) ->
-            Layer.Step
-              {
-                events = [ { ev with ret = v } ];
-                ret = v;
-                crit = Layer.Enter;
-              })
+          | Ok (_, Owned owner) ->
+            Layer.Race
+              (Printf.sprintf "race: CPU %d pulls location %d owned by CPU %d"
+                 c b owner)
+          | Ok (v, Free) ->
+            let ev = Event.make ~args ~ret:v c pull_tag in
+            Layer.Step { events = [ ev ]; ret = v; crit = Layer.Enter })
         | _ -> Layer.Stuck "pull: expected one location argument") )
 
 let push_prim =
@@ -80,12 +83,18 @@ let push_prim =
     Layer.Shared
       (fun c args log ->
         match args with
-        | [ Value.Vint _; _ ] -> (
-          let ev = Event.make ~args c push_tag in
-          let log' = Log.append ev log in
-          match replay_map log' with
+        | [ Value.Vint b; _ ] -> (
+          match replay_loc b log with
           | Error msg -> Layer.Stuck msg
-          | Ok _ -> Layer.Step { events = [ ev ]; ret = Value.unit; crit = Layer.Exit })
+          | Ok (_, Owned owner) when owner = c ->
+            let ev = Event.make ~args c push_tag in
+            Layer.Step { events = [ ev ]; ret = Value.unit; crit = Layer.Exit }
+          | Ok (_, Owned owner) ->
+            Layer.Race
+              (Printf.sprintf "race: CPU %d pushes location %d owned by CPU %d"
+                 c b owner)
+          | Ok (_, Free) ->
+            Layer.Race (Printf.sprintf "race: CPU %d pushes free location %d" c b))
         | _ -> Layer.Stuck "push: expected location and value arguments") )
 
 let prims = [ pull_prim; push_prim ]

@@ -149,7 +149,7 @@ let fenced_pushpull (name, prim) =
             let log' = Log.append_all commits log in
             match sem t args log' with
             | Layer.Step s -> Layer.Step { s with events = commits @ s.events }
-            | (Layer.Block | Layer.Stuck _) as r -> r)) )
+            | (Layer.Block | Layer.Stuck _ | Layer.Race _) as r -> r)) )
 
 let layer () =
   Layer.make "Ltso"

@@ -267,7 +267,7 @@ let check_multithreaded_linking ?max_steps ~placement ~layer ~threads ~scheds ()
     | sched :: rest -> (
       let outcome = Game.run (Game.config ?max_steps layer threads sched) in
       match outcome.Game.status with
-      | Game.Stuck (i, msg) ->
+      | Game.Stuck (i, _, msg) ->
         Error (Printf.sprintf "thread %d stuck: %s" i msg)
       | Game.Deadlock ids ->
         Error

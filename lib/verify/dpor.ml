@@ -1,0 +1,197 @@
+open Ccal_core
+
+type independence = Exact | Commuting_events
+
+type stats = {
+  schedules_considered : int;
+  schedules_run : int;
+  schedules_pruned : int;
+  sleep_set_prunes : int;
+  distinct_logs : int;
+}
+
+type result = {
+  prefixes : Event.tid list list;
+  outcomes : Game.outcome list;
+  stats : stats;
+}
+
+let default_reads = [ "get_n"; "aload"; "read" ]
+
+(* The object an event touches: by convention every shared primitive of the
+   concrete objects takes the object identifier (lock, cell, location,
+   channel…) as its first integer argument.  Events without one (e.g.
+   [switch]) are conservatively dependent on everything. *)
+let obj (e : Event.t) =
+  match e.args with Value.Vint b :: _ -> Some b | _ -> None
+
+let independent_events ?(reads = default_reads) (e1 : Event.t) (e2 : Event.t) =
+  e1.src <> e2.src
+  &&
+  match obj e1, obj e2 with
+  | Some a, Some b when a <> b -> true
+  | Some _, Some _ -> List.mem e1.tag reads && List.mem e2.tag reads
+  | _ -> false
+
+(* Canonical representative of a Mazurkiewicz trace: repeatedly emit the
+   [Event.compare]-least event among those with no earlier dependent event.
+   Two logs are equivalent up to commuting independent events iff their
+   canonical forms are equal. *)
+let canonical_events indep events =
+  let rec minimal_candidates rev_prefix = function
+    | [] -> []
+    | e :: rest ->
+      let minimal = List.for_all (fun p -> indep p e) rev_prefix in
+      let here =
+        if minimal then [ e, List.rev_append rev_prefix rest ] else []
+      in
+      here @ minimal_candidates (e :: rev_prefix) rest
+  in
+  let rec build acc evs =
+    match evs with
+    | [] -> List.rev acc
+    | first :: _ -> (
+      match minimal_candidates [] evs with
+      | [] -> List.rev_append acc [ first ] (* unreachable: the head is minimal *)
+      | c :: cs ->
+        let e, rest =
+          List.fold_left
+            (fun (be, br) (e, r) ->
+              if Event.compare e be < 0 then e, r else be, br)
+            c cs
+        in
+        build (e :: acc) rest)
+  in
+  build [] events
+
+let canonical_log ?reads log =
+  Log.append_all
+    (canonical_events (independent_events ?reads) (Log.chronological log))
+    Log.empty
+
+(* One enabled move of one thread, as classified by the DFS. *)
+type move =
+  | Fin  (** the thread runs to completion without emitting events *)
+  | Step of Event.t list * Machine.thread_state
+  | Halt  (** picking this thread ends the run stuck — a leaf *)
+
+let independent_moves independence reads m1 m2 =
+  match m1, m2 with
+  | Fin, _ | _, Fin -> true
+  | Halt, _ | _, Halt -> false
+  | Step (es1, _), Step (es2, _) -> (
+    match independence with
+    | Exact -> false
+    | Commuting_events ->
+      List.for_all
+        (fun e1 -> List.for_all (independent_events ~reads e1) es2)
+        es1)
+
+let rec pow b n = if n <= 0 then 1 else b * pow b (n - 1)
+
+(* Sleep-set DFS over the enabled moves of the whole-machine game, bounded
+   to [depth] scheduling choices.  Thread states are immutable, so a node
+   is just (slots, log, step); each surviving branch records its choice
+   prefix, later replayed through [Game.run] so leaf outcomes are
+   bit-identical to the exhaustive oracle's. *)
+let prefixes_with_prunes ?private_fuel ?(independence = Exact)
+    ?(reads = default_reads) ~depth layer threads =
+  let recorded = ref [] in
+  let sleep_prunes = ref 0 in
+  let record rev_prefix = recorded := List.rev rev_prefix :: !recorded in
+  let classify slots log =
+    List.filter_map
+      (fun (i, st) ->
+        match Machine.step_move ?private_fuel layer i st log with
+        | Machine.Blocked_at _ -> None
+        | Machine.Finished _ -> Some (i, Fin)
+        | Machine.Moved (evs, st') -> Some (i, Step (evs, st'))
+        | Machine.Stuck _ -> Some (i, Halt))
+      slots
+  in
+  let apply slots log i = function
+    | Step (evs, st') ->
+      ( List.map (fun (j, st) -> if j = i then j, st' else j, st) slots,
+        Log.append_all evs log )
+    | Fin -> List.filter (fun (j, _) -> j <> i) slots, log
+    | Halt -> slots, log
+  in
+  let rec dfs slots log step rev_prefix sleep =
+    if step >= depth || slots = [] then record rev_prefix
+    else
+      let enabled = classify slots log in
+      match enabled with
+      | [] -> record rev_prefix (* deadlock: every thread is blocked *)
+      | _ ->
+        let explored = ref [] in
+        List.iter
+          (fun (i, m) ->
+            if List.exists (fun (j, _) -> j = i) sleep then incr sleep_prunes
+            else (
+              (match m with
+              | Halt -> record (i :: rev_prefix)
+              | Fin | Step _ ->
+                let sleep' =
+                  List.filter
+                    (fun (_, m') -> independent_moves independence reads m' m)
+                    (sleep @ List.rev !explored)
+                in
+                let slots', log' = apply slots log i m in
+                dfs slots' log' (step + 1) (i :: rev_prefix) sleep');
+              explored := (i, m) :: !explored))
+          enabled
+  in
+  let slots0 = List.map (fun (i, p) -> i, Machine.initial layer i p) threads in
+  dfs slots0 Log.empty 0 [] [];
+  List.rev !recorded, !sleep_prunes
+
+let prefixes ?private_fuel ?independence ?reads ~depth layer threads =
+  fst (prefixes_with_prunes ?private_fuel ?independence ?reads ~depth layer threads)
+
+let sched_of_prefix prefix =
+  Sched.of_trace
+    ~name:
+      (Printf.sprintf "dpor:[%s]"
+         (String.concat "," (List.map string_of_int prefix)))
+    prefix
+
+let schedules ?private_fuel ?independence ?reads ~depth layer threads =
+  List.map sched_of_prefix
+    (prefixes ?private_fuel ?independence ?reads ~depth layer threads)
+
+let explore ?max_steps ?private_fuel ?(independence = Exact) ?reads ~depth
+    layer threads =
+  let prefixes, sleep_set_prunes =
+    prefixes_with_prunes ?private_fuel ~independence ?reads ~depth layer threads
+  in
+  let outcomes =
+    List.map
+      (fun p -> Game.run (Game.config ?max_steps layer threads (sched_of_prefix p)))
+      prefixes
+  in
+  let logs = List.map (fun o -> o.Game.log) outcomes in
+  let representative =
+    match independence with
+    | Exact -> logs
+    | Commuting_events -> List.map (canonical_log ?reads) logs
+  in
+  let schedules_considered = pow (List.length threads) depth in
+  let schedules_run = List.length prefixes in
+  {
+    prefixes;
+    outcomes;
+    stats =
+      {
+        schedules_considered;
+        schedules_run;
+        schedules_pruned = max 0 (schedules_considered - schedules_run);
+        sleep_set_prunes;
+        distinct_logs = List.length (Log.dedup representative);
+      };
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<h>schedules: %d run / %d considered (%d pruned, %d sleep-set skips); %d distinct logs@]"
+    s.schedules_run s.schedules_considered s.schedules_pruned
+    s.sleep_set_prunes s.distinct_logs

@@ -1,0 +1,100 @@
+(** Dynamic partial-order reduction for the certificate checkers.
+
+    The checkers discharge the bounded-∀ over schedulers by enumeration;
+    {!Explore.exhaustive_scheds} does so blindly, running all
+    [|tids|^depth] scheduling prefixes even though most are permutations
+    of independent moves producing logs already seen.  This module walks
+    the whole-machine game as a DFS over the {e enabled} moves only,
+    carrying sleep sets so that once a move's subtree is explored, its
+    commuting reorderings are pruned from sibling subtrees.
+
+    Each surviving branch is a scheduling prefix; running it back through
+    {!Ccal_core.Game.run} (via {!Ccal_core.Sched.of_trace}) reproduces the
+    exact outcome the exhaustive oracle would have computed, so DPOR is a
+    drop-in schedule generator: same logs, fewer runs.  The
+    [test/test_dpor.ml] harness checks distinct-log-set equality against
+    the oracle. *)
+
+open Ccal_core
+
+type independence =
+  | Exact
+      (** two moves commute only when at least one is a silent completion
+          (no events, log-insensitive).  Guarantees the DPOR leaf logs are
+          {e set-equal} to the exhaustive oracle's raw logs: reordering two
+          event-emitting moves always changes the log sequence, so only
+          eventless moves may be slept.  This is the default and the mode
+          the checkers use. *)
+  | Commuting_events
+      (** classical object-based independence: two moves commute iff their
+          events touch different objects (first integer argument) or are
+          all non-conflicting reads.  Logs are then deduplicated {e up to}
+          commutation via {!canonical_log}; sound for layers whose replay
+          functions are per-object (the shipped objects), and the mode to
+          reach deeper bounds when only state coverage matters. *)
+
+type stats = {
+  schedules_considered : int;
+      (** what exhaustive enumeration would run: [|threads|^depth] *)
+  schedules_run : int;  (** branches actually replayed *)
+  schedules_pruned : int;  (** [considered - run] *)
+  sleep_set_prunes : int;  (** branches skipped because asleep *)
+  distinct_logs : int;
+      (** distinct leaf logs — under [Commuting_events], distinct
+          canonical forms *)
+}
+
+type result = {
+  prefixes : Event.tid list list;  (** surviving scheduling prefixes *)
+  outcomes : Game.outcome list;  (** one {!Game.run} outcome per prefix *)
+  stats : stats;
+}
+
+val default_reads : string list
+(** Tags treated as non-conflicting reads by the object-based relation:
+    [get_n] (ticket lock), [aload] (atomic cells), [read] (counters). *)
+
+val independent_events : ?reads:string list -> Event.t -> Event.t -> bool
+(** The object-based independence relation on log events. *)
+
+val canonical_log : ?reads:string list -> Log.t -> Log.t
+(** Lexicographically-least representative of the log's Mazurkiewicz
+    trace: two logs are equal up to commuting independent events iff
+    their canonical forms are equal. *)
+
+val explore :
+  ?max_steps:int ->
+  ?private_fuel:int ->
+  ?independence:independence ->
+  ?reads:string list ->
+  depth:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  result
+(** Explore the game to [depth] scheduling choices, pruning with sleep
+    sets, and replay every surviving prefix.  [independence] defaults to
+    {!Exact}. *)
+
+val prefixes :
+  ?private_fuel:int ->
+  ?independence:independence ->
+  ?reads:string list ->
+  depth:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Event.tid list list
+(** The surviving scheduling prefixes only (no replay). *)
+
+val schedules :
+  ?private_fuel:int ->
+  ?independence:independence ->
+  ?reads:string list ->
+  depth:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Sched.t list
+(** The surviving prefixes as fresh trace schedulers — the drop-in
+    replacement for {!Explore.exhaustive_scheds} used by the checkers.
+    Schedulers are stateful; each is good for one run. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -2,7 +2,7 @@ open Ccal_core
 
 let exhaustive_scheds ~tids ~depth =
   let rec traces d =
-    if d = 0 then [ [] ]
+    if d <= 0 then [ [] ]
     else
       let shorter = traces (d - 1) in
       List.concat_map (fun t -> List.map (fun tr -> t :: tr) shorter) tids
@@ -14,17 +14,28 @@ let random_scheds ~count = List.init count (fun k -> Sched.random ~seed:(k + 1))
 let full_suite ~tids ?(depth = 4) ?(random = 16) () =
   (Sched.round_robin :: exhaustive_scheds ~tids ~depth) @ random_scheds ~count:random
 
+type strategy =
+  [ `Exhaustive of int
+  | `Dpor of int
+  | `Random of int
+  ]
+
+let default_strategy = `Dpor 4
+
+let pp_strategy fmt = function
+  | `Exhaustive d -> Format.fprintf fmt "exhaustive(depth=%d)" d
+  | `Dpor d -> Format.fprintf fmt "dpor(depth=%d)" d
+  | `Random n -> Format.fprintf fmt "random(count=%d)" n
+
+let scheds_of_strategy ?private_fuel layer threads = function
+  | `Exhaustive depth ->
+    exhaustive_scheds ~tids:(List.map fst threads) ~depth
+  | `Dpor depth -> Dpor.schedules ?private_fuel ~depth layer threads
+  | `Random count -> random_scheds ~count
+
 let run_all ?max_steps layer threads scheds =
   Game.behaviors ?max_steps layer threads scheds
 
 let all_logs outcomes = List.map (fun o -> o.Game.log) outcomes
 
-let count_distinct_logs outcomes =
-  let logs = all_logs outcomes in
-  let rec dedup acc = function
-    | [] -> acc
-    | l :: rest ->
-      if List.exists (Log.equal l) acc then dedup acc rest
-      else dedup (l :: acc) rest
-  in
-  List.length (dedup [] logs)
+let count_distinct_logs outcomes = List.length (Log.dedup (all_logs outcomes))

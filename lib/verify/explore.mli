@@ -2,10 +2,15 @@
 
     The behaviour of a layer machine is the set of logs under {e all}
     schedulers (Sec. 2); the checkers approximate the quantifier by
-    exhaustively enumerating scheduling prefixes up to a depth bound and
-    topping up with seeded random fair schedules.  This is the bounded
-    substitute for the paper's ∀-quantified Coq proofs (DESIGN.md,
-    Substitutions). *)
+    enumerating scheduling prefixes up to a depth bound and topping up
+    with seeded random fair schedules.  This is the bounded substitute for
+    the paper's ∀-quantified Coq proofs (DESIGN.md, Substitutions).
+
+    {!exhaustive_scheds} is the reference oracle: all [|tids|^depth]
+    prefixes, no pruning.  The default engine behind the checkers is the
+    sleep-set DPOR explorer ({!Dpor}), selected through {!strategy}; the
+    oracle remains available both as the [`Exhaustive] strategy and as the
+    ground truth the equivalence tests compare DPOR against. *)
 
 open Ccal_core
 
@@ -20,6 +25,30 @@ val full_suite : tids:Event.tid list -> ?depth:int -> ?random:int -> unit -> Sch
 (** Exhaustive prefixes (default depth 4) plus random schedules (default
     16) plus round-robin. *)
 
+type strategy =
+  [ `Exhaustive of int  (** all [|tids|^depth] prefixes — the oracle *)
+  | `Dpor of int  (** sleep-set DPOR to the given depth bound — default *)
+  | `Random of int  (** [count] seeded random schedulers *)
+  ]
+(** How a checker enumerates schedulers. *)
+
+val default_strategy : strategy
+(** [`Dpor 4] — what the checkers use when no explicit scheduler list or
+    strategy is supplied. *)
+
+val pp_strategy : Format.formatter -> strategy -> unit
+
+val scheds_of_strategy :
+  ?private_fuel:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  strategy ->
+  Sched.t list
+(** Materialize a strategy into a scheduler suite for the given game.
+    [`Dpor] walks the game itself to find the non-redundant prefixes;
+    the layer and threads must therefore be the ones the returned
+    schedulers will drive. *)
+
 val run_all :
   ?max_steps:int ->
   Layer.t ->
@@ -29,5 +58,7 @@ val run_all :
 (** Run the machine under every scheduler. *)
 
 val all_logs : Game.outcome list -> Log.t list
+
 val count_distinct_logs : Game.outcome list -> int
-(** Number of distinct interleavings actually observed. *)
+(** Number of distinct interleavings actually observed (hashed dedup —
+    linear in total events, not quadratic in runs). *)

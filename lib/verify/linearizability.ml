@@ -6,7 +6,20 @@ type report = {
   events : int;
 }
 
-let check ?max_steps ~underlay ~impl ~overlay ~rel ~client ~tids ~scheds () =
+let check ?max_steps ?strategy ?scheds ~underlay ~impl ~overlay ~rel ~client
+    ~tids () =
+  let scheds =
+    match scheds with
+    | Some s -> s
+    | None ->
+      (* The schedulers drive the underlay game, so derive the suite from
+         the same linked threads [Refinement.check] will run. *)
+      let threads_under =
+        List.map (fun i -> i, Prog.Module.link impl (client i)) tids
+      in
+      Explore.scheds_of_strategy underlay threads_under
+        (Option.value strategy ~default:Explore.default_strategy)
+  in
   match
     Refinement.check ?max_steps ~underlay ~impl ~overlay ~rel ~client ~tids
       ~scheds ()
@@ -14,22 +27,17 @@ let check ?max_steps ~underlay ~impl ~overlay ~rel ~client ~tids ~scheds () =
   | Error _ as e -> e
   | Ok r ->
     let logs = r.Refinement.logs in
-    let rec dedup acc = function
-      | [] -> acc
-      | l :: rest ->
-        if List.exists (Log.equal l) acc then dedup acc rest
-        else dedup (l :: acc) rest
-    in
     Ok
       {
         runs = r.Refinement.scheds_checked;
-        distinct_logs = List.length (dedup [] logs);
+        distinct_logs = List.length (Log.dedup logs);
         events = List.fold_left (fun n l -> n + Log.length l) 0 logs;
       }
 
-let check_cert ?max_steps (cert : Calculus.cert) ~client ~scheds =
-  check ?max_steps ~underlay:cert.Calculus.judgment.Calculus.underlay
+let check_cert ?max_steps ?strategy ?scheds (cert : Calculus.cert) ~client =
+  check ?max_steps ?strategy ?scheds
+    ~underlay:cert.Calculus.judgment.Calculus.underlay
     ~impl:cert.Calculus.judgment.Calculus.impl
     ~overlay:cert.Calculus.judgment.Calculus.overlay
     ~rel:cert.Calculus.judgment.Calculus.rel ~client
-    ~tids:cert.Calculus.judgment.Calculus.focus ~scheds ()
+    ~tids:cert.Calculus.judgment.Calculus.focus ()

@@ -19,19 +19,24 @@ type report = {
 
 val check :
   ?max_steps:int ->
+  ?strategy:Explore.strategy ->
+  ?scheds:Sched.t list ->
   underlay:Layer.t ->
   impl:Prog.Module.t ->
   overlay:Layer.t ->
   rel:Sim_rel.t ->
   client:(Event.tid -> Prog.t) ->
   tids:Event.tid list ->
-  scheds:Sched.t list ->
   unit ->
   (report, Refinement.failure) result
+(** When no explicit [scheds] are given, the suite is derived from
+    [strategy] (default {!Explore.default_strategy}, i.e. DPOR) over the
+    underlay game of the linked client+implementation threads. *)
 
 val check_cert :
   ?max_steps:int ->
+  ?strategy:Explore.strategy ->
+  ?scheds:Sched.t list ->
   Calculus.cert ->
   client:(Event.tid -> Prog.t) ->
-  scheds:Sched.t list ->
   (report, Refinement.failure) result

@@ -6,7 +6,14 @@ type bound_report = {
   bound : int;
 }
 
-let completes_within ~bound layer threads scheds =
+let completes_within ?strategy ?scheds ~bound layer threads =
+  let scheds =
+    match scheds with
+    | Some s -> s
+    | None ->
+      Explore.scheds_of_strategy layer threads
+        (Option.value strategy ~default:Explore.default_strategy)
+  in
   let rec go runs worst = function
     | [] -> Ok { runs; max_steps_used = worst; bound }
     | sched :: rest -> (
@@ -19,7 +26,7 @@ let completes_within ~bound layer threads scheds =
           (Printf.sprintf "deadlock among threads %s under %s"
              (String.concat "," (List.map string_of_int ids))
              sched.Sched.name)
-      | Game.Stuck (i, msg) ->
+      | Game.Stuck (i, _, msg) ->
         Error (Printf.sprintf "thread %d stuck under %s: %s" i sched.Sched.name msg)
       | Game.Out_of_fuel ->
         Error

@@ -15,13 +15,16 @@ type bound_report = {
 }
 
 val completes_within :
+  ?strategy:Explore.strategy ->
+  ?scheds:Sched.t list ->
   bound:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
-  Sched.t list ->
   (bound_report, string) result
 (** Every run under (fair) schedulers finishes — no deadlock, no stuck
-    thread — within [bound] moves. *)
+    thread — within [bound] moves.  The scheduler suite is [scheds] when
+    given, otherwise derived from [strategy]
+    (default {!Explore.default_strategy}, i.e. DPOR). *)
 
 val fifo_order :
   ticket_tag:string ->

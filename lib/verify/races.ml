@@ -5,23 +5,22 @@ type verdict =
   | Race of { sched_name : string; detail : string; log : Log.t }
   | Other_failure of string
 
-let is_race_message msg =
-  let contains s sub =
-    let n = String.length s and m = String.length sub in
-    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-    m = 0 || go 0
+let check ?max_steps ?strategy ?scheds layer threads =
+  let scheds =
+    match scheds with
+    | Some s -> s
+    | None ->
+      Explore.scheds_of_strategy layer threads
+        (Option.value strategy ~default:Explore.default_strategy)
   in
-  contains msg "race"
-
-let check ?max_steps layer threads scheds =
   let rec go runs = function
     | [] -> Race_free { runs }
     | sched :: rest -> (
       let outcome = Game.run (Game.config ?max_steps layer threads sched) in
       match outcome.Game.status with
-      | Game.Stuck (_, msg) when is_race_message msg ->
+      | Game.Stuck (_, Layer.Data_race, msg) ->
         Race { sched_name = sched.Sched.name; detail = msg; log = outcome.Game.log }
-      | Game.Stuck (i, msg) ->
+      | Game.Stuck (i, Layer.Invalid_transition, msg) ->
         Other_failure (Printf.sprintf "thread %d stuck (not a race): %s" i msg)
       | Game.Deadlock ids ->
         Other_failure

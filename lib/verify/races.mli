@@ -16,11 +16,15 @@ type verdict =
 
 val check :
   ?max_steps:int ->
+  ?strategy:Explore.strategy ->
+  ?scheds:Sched.t list ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
-  Sched.t list ->
   verdict
-(** Run the machine under each scheduler; a [Stuck] status whose
-    diagnostic is a push/pull ownership violation is reported as a race;
-    completed runs are additionally re-validated with
-    {!Ccal_machine.Pushpull.race_free}. *)
+(** Run the machine under each scheduler; a [Stuck] status carrying
+    [Layer.Data_race] — the structured mark a racing push/pull replay
+    leaves — is reported as a race, any other stuckness as
+    [Other_failure]; completed runs are additionally re-validated with
+    {!Ccal_machine.Pushpull.race_free}.  When no explicit [scheds] are
+    given the suite comes from [strategy]
+    (default {!Explore.default_strategy}, i.e. DPOR). *)

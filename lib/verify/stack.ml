@@ -44,10 +44,30 @@ let timed f =
 
 let vi = Value.int
 
-let verify_all ?(lock = `Ticket) ?(seeds = 4) () =
+let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
   let edges = ref [] in
   let push edge = edges := edge :: !edges in
   let scheds () = Sched.default_suite ~seeds in
+  (* With an explicit strategy, every game-driving edge derives its
+     scheduler suite from the edge's own game (DPOR must walk the game it
+     will replay); without one, the seeded default suite is used. *)
+  let scheds_for layer threads =
+    match strategy with
+    | None -> scheds ()
+    | Some s -> Explore.scheds_of_strategy layer threads s
+  in
+  let cert_scheds_for (cert : Calculus.cert) client =
+    match strategy with
+    | None -> scheds ()
+    | Some s ->
+      let j = cert.Calculus.judgment in
+      let threads =
+        List.map
+          (fun i -> i, Prog.Module.link j.Calculus.impl (client i))
+          j.Calculus.focus
+      in
+      Explore.scheds_of_strategy j.Calculus.underlay threads s
+  in
   let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
 
   (* 1. multicore linking over the hardware machine *)
@@ -58,9 +78,9 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) () =
   in
   let link_result, ms =
     timed (fun () ->
-        Ccal_machine.Mx86.check_multicore_linking
-          ~threads:[ 1, faa_round 1; 2, faa_round 2 ]
-          ~scheds:(scheds ()) ())
+        let threads = [ 1, faa_round 1; 2, faa_round 2 ] in
+        Ccal_machine.Mx86.check_multicore_linking ~threads
+          ~scheds:(scheds_for (Ccal_machine.Mx86.layer ()) threads) ())
   in
   let* n = link_result in
   push { edge_name = "Mx86 refines Lx86[D] (Thm 3.1)"; kind = `Linking; checks = n; millis = ms };
@@ -98,10 +118,11 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) () =
             (Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
                  Prog.call "rel" [ vi 0; vi i ]))
         in
+        let threads = [ 1, client 1; 2, client 2 ] in
         let logs =
           List.map
             (fun o -> o.Game.log)
-            (Game.behaviors layer [ 1, client 1; 2, client 2 ] (scheds ()))
+            (Game.behaviors layer threads (scheds_for layer threads))
         in
         Result.map_error (Format.asprintf "%a" Calculus.pp_error)
           (Calculus.pcomp c1 c2 ~compat_logs:logs))
@@ -130,7 +151,8 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) () =
             [ Prog.call "enQ_s" [ vi 0; vi (10 + i) ];
               Prog.call "deQ_s" [ vi 0 ] ]
         in
-        Refinement.check_cert stack_cert ~client ~scheds:(scheds ()))
+        Refinement.check_cert stack_cert ~client
+          ~scheds:(cert_scheds_for stack_cert client))
   in
   let* sound_report =
     Result.map_error (Format.asprintf "%a" Refinement.pp_failure) sound
@@ -152,9 +174,9 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) () =
             [ Prog.call "acq" [ vi 0 ]; Prog.call "rel" [ vi 0; vi i ];
               Prog.call Thread_sched.yield_tag []; Prog.call Thread_sched.exit_tag [] ]
         in
-        Thread_sched.check_multithreaded_linking ~placement ~layer
-          ~threads:[ 1, prog 1; 2, prog 2; 3, prog 3 ]
-          ~scheds:(scheds ()) ())
+        let threads = [ 1, prog 1; 2, prog 2; 3, prog 3 ] in
+        Thread_sched.check_multithreaded_linking ~placement ~layer ~threads
+          ~scheds:(scheds_for layer threads) ())
   in
   let* n = mtl in
   push
@@ -195,7 +217,8 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) () =
                 Prog.call "recv" [ vi 5 ]; Prog.call Thread_sched.exit_tag [] ]
         in
         Result.map_error (Format.asprintf "%a" Refinement.pp_failure)
-          (Refinement.check_cert cert ~client ~scheds:(scheds ())))
+          (Refinement.check_cert cert ~client
+             ~scheds:(cert_scheds_for cert client)))
   in
   let* r = ipc_sound in
   push

@@ -25,8 +25,18 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
-val verify_all : ?lock:[ `Ticket | `Mcs ] -> ?seeds:int -> unit -> (report, string) result
-(** Certify and link the whole stack:
+val verify_all :
+  ?lock:[ `Ticket | `Mcs ] ->
+  ?seeds:int ->
+  ?strategy:Explore.strategy ->
+  unit ->
+  (report, string) result
+(** Certify and link the whole stack.  When [strategy] is given, every
+    game-driving edge (the linking theorems, the Pcomp compatibility
+    corpus and the soundness games) derives its scheduler suite from that
+    strategy over the edge's own game — [`Dpor] walks each game and
+    replays only non-redundant prefixes; otherwise the seeded default
+    suite ([seeds], default 4) is used.  The edges:
     {ol
     {- multicore linking (Thm 3.1) over the hardware machine;}
     {- the spinlock certificate ([`Ticket] by default; [`Mcs] drops in the

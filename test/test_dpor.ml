@@ -1,0 +1,239 @@
+(* The sleep-set DPOR explorer against the exhaustive oracle.
+
+   The tentpole property: for every benchmark game, the set of logs reached
+   by replaying the DPOR prefixes equals the set reached by exhaustive
+   enumeration at the same depth — DPOR only skips schedules whose logs are
+   already covered.  Under [Exact] independence the raw log sets must match;
+   under [Commuting_events] they match up to canonical reordering of
+   commuting events (Mazurkiewicz traces).
+
+   Plus: scheduler coverage properties ([Sched.of_trace], [Sched.biased],
+   [Sched.splitmix]) and the regression for race classification — a stuck
+   message merely *containing* "race" must not be reported as a data race
+   now that the verdict rides on [Layer.stuck_kind]. *)
+open Ccal_core
+open Ccal_objects
+open Util
+module V = Ccal_verify
+
+(* ---- the equivalence harness ---- *)
+
+let log_sets_equal a b =
+  let subset a b = List.for_all (fun l -> List.exists (Log.equal l) b) a in
+  subset a b && subset b a
+
+(* Run DPOR and the exhaustive oracle at equal depth; fail unless the
+   (canonicalized) distinct-log sets coincide.  Returns the DPOR stats so
+   callers can also assert pruning. *)
+let check_equiv ?(independence = V.Dpor.Exact) layer threads depth =
+  let r = V.Dpor.explore ~independence ~depth layer threads in
+  let tids = List.map fst threads in
+  let outs =
+    V.Explore.run_all layer threads (V.Explore.exhaustive_scheds ~tids ~depth)
+  in
+  let canon l =
+    match independence with
+    | V.Dpor.Exact -> l
+    | V.Dpor.Commuting_events -> V.Dpor.canonical_log l
+  in
+  let dpor_logs =
+    Log.dedup
+      (List.map (fun (o : Game.outcome) -> canon o.Game.log) r.V.Dpor.outcomes)
+  in
+  let exh_logs = Log.dedup (List.map canon (V.Explore.all_logs outs)) in
+  check_int "distinct log count" (List.length exh_logs) (List.length dpor_logs);
+  check_bool "log sets equal" true (log_sets_equal dpor_logs exh_logs);
+  r.V.Dpor.stats
+
+let lock_client i =
+  Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+      Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+
+let queue_client i =
+  Prog.bind (Prog.call "enQ_s" [ vi 0; vi (10 * i) ]) (fun _ ->
+      Prog.call "deQ_s" [ vi 0 ])
+
+let ticket_threads n =
+  let m = Ticket_lock.c_module () in
+  List.init n (fun k -> k + 1, Prog.Module.link m (lock_client (k + 1)))
+
+let mcs_threads n =
+  let m = Mcs_lock.c_module () in
+  List.init n (fun k -> k + 1, Prog.Module.link m (lock_client (k + 1)))
+
+let queue_threads n =
+  let m =
+    Ccal_clight.Csem.module_of_fns [ Queue_shared.deq_fn; Queue_shared.enq_fn ]
+  in
+  List.init n (fun k -> k + 1, Prog.Module.link m (queue_client (k + 1)))
+
+let test_ticket_2t () =
+  ignore (check_equiv (Ticket_lock.l0 ()) (ticket_threads 2) 4)
+
+let test_ticket_3t () =
+  ignore (check_equiv (Ticket_lock.l0 ()) (ticket_threads 3) 3)
+
+let test_ticket_2t_commuting () =
+  ignore
+    (check_equiv ~independence:V.Dpor.Commuting_events (Ticket_lock.l0 ())
+       (ticket_threads 2) 4)
+
+let test_mcs_2t () = ignore (check_equiv (Mcs_lock.l0 ()) (mcs_threads 2) 4)
+let test_mcs_3t () = ignore (check_equiv (Mcs_lock.l0 ()) (mcs_threads 3) 3)
+
+let test_queue_2t () =
+  ignore (check_equiv (Queue_shared.underlay ()) (queue_threads 2) 4)
+
+let test_queue_3t () =
+  ignore (check_equiv (Queue_shared.underlay ()) (queue_threads 3) 3)
+
+let test_queue_overlay_3t () =
+  let threads = List.init 3 (fun k -> k + 1, queue_client (k + 1)) in
+  ignore
+    (check_equiv ~independence:V.Dpor.Commuting_events
+       (Queue_shared.overlay ()) threads 4)
+
+let test_llock_pruning_bound () =
+  (* the acceptance game: the atomic lock interface blocks contending
+     threads outright, so branching collapses wherever the lock is held —
+     DPOR must find every distinct log while running at most half (in fact
+     18/243) of the exhaustive schedules *)
+  let threads = List.init 3 (fun k -> k + 1, lock_client (k + 1)) in
+  let stats = check_equiv (Lock_intf.layer "Llock") threads 5 in
+  check_bool "ran at most half the schedules" true
+    (2 * stats.V.Dpor.schedules_run <= stats.V.Dpor.schedules_considered);
+  check_int "considered = 3^5" 243 stats.V.Dpor.schedules_considered;
+  check_bool "pruned + run covers considered" true
+    (stats.V.Dpor.schedules_pruned + stats.V.Dpor.schedules_run
+    = stats.V.Dpor.schedules_considered)
+
+(* ---- scheduler coverage properties ---- *)
+
+let test_splitmix_corner_cases () =
+  List.iter
+    (fun x -> check_bool "splitmix >= 0" true (Sched.splitmix x >= 0))
+    [ 0; 1; -1; max_int; min_int; min_int + 1; 0x9E3779B9 ]
+
+let prop_splitmix_nonneg =
+  qtc "splitmix non-negative on arbitrary ints" QCheck.int (fun x ->
+      Sched.splitmix x >= 0)
+
+let prop_of_trace_follows_then_round_robin =
+  (* with runnable fixed at [1;2;3], of_trace must yield exactly the
+     runnable entries of the trace in order (silently skipping the rest),
+     then degrade to round-robin on the global step count *)
+  qtc "of_trace skips non-runnable, then round-robin"
+    QCheck.(list_of_size Gen.(0 -- 8) (int_range 0 5))
+    (fun trace ->
+      let runnable = [ 1; 2; 3 ] in
+      let sched = Sched.of_trace trace in
+      let expected_prefix = List.filter (fun i -> List.mem i runnable) trace in
+      let total = List.length expected_prefix + 4 in
+      let picks =
+        List.init total (fun step ->
+            sched.Sched.pick ~step Log.empty ~runnable)
+      in
+      let expected =
+        List.map Option.some expected_prefix
+        @ List.init 4 (fun k ->
+              let step = List.length expected_prefix + k in
+              Sched.round_robin.Sched.pick ~step Log.empty ~runnable)
+      in
+      picks = expected)
+
+let prop_biased_picks_runnable =
+  qtc "biased never picks a non-runnable thread"
+    QCheck.(triple (int_range 0 4) (int_range 1 5) small_nat)
+    (fun (favored, ratio, seed) ->
+      List.for_all
+        (fun runnable ->
+          let sched = Sched.biased ~favored ~ratio ~seed in
+          List.for_all
+            (fun step ->
+              match sched.Sched.pick ~step Log.empty ~runnable with
+              | Some i -> List.mem i runnable
+              | None -> false)
+            [ 0; 1; 2; 3; 7; 11 ])
+        [ [ 1 ]; [ 2; 3 ]; [ 1; 2; 3; 4 ]; [ 4 ] ])
+
+(* ---- race classification regression ---- *)
+
+let test_stuck_message_mentioning_race_is_not_a_race () =
+  (* a primitive that gets stuck for an ordinary reason, with "race" in the
+     message: under the old substring scan this was misreported as a data
+     race; with structured [stuck_kind] it must be Other_failure *)
+  let layer =
+    Layer.make "Ltrap"
+      [ Layer.shared_prim "trap" (fun _ _ _ ->
+            Layer.Stuck "trace replay hit a race-detector bracket mismatch")
+      ]
+  in
+  match
+    V.Races.check layer [ 1, Prog.call "trap" [] ] ~scheds:[ Sched.round_robin ]
+  with
+  | V.Races.Other_failure msg ->
+    check_bool "classified by kind, not by message" true
+      (String.length msg > 0)
+  | V.Races.Race _ -> Alcotest.fail "Invalid_transition misreported as race"
+  | V.Races.Race_free _ -> Alcotest.fail "stuck run reported race-free"
+
+let test_structured_race_is_still_a_race () =
+  (* the positive control: a primitive that witnesses a genuine data race
+     reports Layer.Race, and the checker surfaces it whatever the text *)
+  let layer =
+    Layer.make "Lracy"
+      [ Layer.shared_prim "collide" (fun c _ _ ->
+            Layer.Race (Printf.sprintf "CPU %d collided" c))
+      ]
+  in
+  match
+    V.Races.check layer
+      [ 1, Prog.call "collide" [] ]
+      ~scheds:[ Sched.round_robin ]
+  with
+  | V.Races.Race { detail; _ } ->
+    check_bool "detail kept" true (String.length detail > 0)
+  | V.Races.Other_failure msg -> Alcotest.failf "race demoted: %s" msg
+  | V.Races.Race_free _ -> Alcotest.fail "racy run reported race-free"
+
+let test_pushpull_race_detected_end_to_end () =
+  (* the real thing: two CPUs pulling the same location through the
+     push/pull machine — the Fig. 8 replay refuses the second pull and the
+     verdict carries the owner in the detail *)
+  let layer = Layer.make "Lpp" Ccal_machine.Pushpull.prims in
+  let grab i = Prog.seq (Prog.call "pull" [ vi 7 ]) (Prog.ret (vi i)) in
+  match
+    V.Races.check layer
+      [ 1, grab 1; 2, grab 2 ]
+      ~scheds:[ Sched.of_trace [ 1; 2 ] ]
+  with
+  | V.Races.Race { detail; _ } ->
+    check_bool "mentions ownership" true
+      (String.length detail > 0
+      && String.exists (fun c -> c = '7') detail)
+  | V.Races.Other_failure msg -> Alcotest.failf "race demoted: %s" msg
+  | V.Races.Race_free _ -> Alcotest.fail "racing pulls reported race-free"
+
+let suite =
+  [
+    tc "equiv: ticket L0, 2 threads, depth 4" test_ticket_2t;
+    tc "equiv: ticket L0, 3 threads, depth 3" test_ticket_3t;
+    tc "equiv: ticket L0, commuting events" test_ticket_2t_commuting;
+    tc "equiv: MCS L0, 2 threads, depth 4" test_mcs_2t;
+    tc "equiv: MCS L0, 3 threads, depth 3" test_mcs_3t;
+    tc "equiv: shared queue, 2 threads, depth 4" test_queue_2t;
+    tc "equiv: shared queue, 3 threads, depth 3" test_queue_3t;
+    tc "equiv: atomic queue overlay, commuting events" test_queue_overlay_3t;
+    tc "Llock game: full coverage at <= half the schedules"
+      test_llock_pruning_bound;
+    tc "splitmix corner cases" test_splitmix_corner_cases;
+    prop_splitmix_nonneg;
+    prop_of_trace_follows_then_round_robin;
+    prop_biased_picks_runnable;
+    tc "stuck message containing 'race' is not a race"
+      test_stuck_message_mentioning_race_is_not_a_race;
+    tc "structured Layer.Race is reported as a race"
+      test_structured_race_is_still_a_race;
+    tc "push/pull collision detected end to end"
+      test_pushpull_race_detected_end_to_end;
+  ]

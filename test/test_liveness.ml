@@ -138,7 +138,7 @@ let test_dining_deadlock_on_ticket_impl () =
     Ccal_verify.Progress.completes_within ~bound:2_000 layer
       [ 1, philosopher layer m ~left:0 ~right:1 1;
         2, philosopher layer m ~left:1 ~right:0 2 ]
-      [ Sched.of_trace [ 1; 2 ] ]
+      ~scheds:[ Sched.of_trace [ 1; 2 ] ]
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "cross-order locking terminated?"

@@ -81,7 +81,7 @@ let test_private_fuel () =
   let rec spin () = Prog.bind (Prog.call "unstash" []) (fun _ -> spin ()) in
   let st = Machine.initial layer 1 (spin ()) in
   match Machine.step_move ~private_fuel:100 layer 1 st Log.empty with
-  | Machine.Stuck msg -> check_string "fuel msg" Prog.steps_bound_exceeded msg
+  | Machine.Stuck (_, msg) -> check_string "fuel msg" Prog.steps_bound_exceeded msg
   | _ -> Alcotest.fail "expected stuck on divergent private loop"
 
 let test_env_events_reach_prims () =
@@ -221,7 +221,7 @@ let test_game_stuck () =
     Game.run (Game.config layer [ 1, Prog.call "nope" [] ] Sched.round_robin)
   in
   match o.Game.status with
-  | Game.Stuck (1, _) -> ()
+  | Game.Stuck (1, Layer.Invalid_transition, _) -> ()
   | _ -> Alcotest.fail "expected stuck"
 
 let test_game_switch_events () =

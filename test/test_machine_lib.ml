@@ -52,7 +52,7 @@ let test_cross_thread_push_race () =
          (Sched.of_trace [ 1; 2 ]))
   in
   match o.Game.status with
-  | Game.Stuck (2, _) -> ()
+  | Game.Stuck (2, Layer.Data_race, _) -> ()
   | s -> Alcotest.failf "expected race, got %a" Game.pp_status s
 
 let test_replay_loc_ownership () =

@@ -14,5 +14,6 @@ let () =
       "extensions (TSO, rwlock, Wk/Hcomp)", Test_extensions.suite;
       "api-surface-and-corner-cases", Test_surface.suite;
       "liveness-and-deadlock", Test_liveness.suite;
+      "dpor-exploration (S23)", Test_dpor.suite;
       "cross-cutting-invariants", Test_invariants.suite;
     ]

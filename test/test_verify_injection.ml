@@ -55,7 +55,7 @@ let test_progress_bound_ticket () =
   let threads = List.map (fun i -> i, Prog.Module.link m (client i)) [ 1; 2; 3 ] in
   match
     Progress.completes_within ~bound:2_000 layer threads
-      (Sched.default_suite ~seeds:10)
+      ~scheds:(Sched.default_suite ~seeds:10)
   with
   | Ok r -> check_bool "bound respected" true (r.Progress.max_steps_used < 2_000)
   | Error msg -> Alcotest.fail msg
@@ -68,7 +68,8 @@ let test_progress_detects_starvation () =
         if Value.to_int v = 1 then Prog.ret_unit else spin ())
   in
   match
-    Progress.completes_within ~bound:200 layer [ 1, spin () ] [ Sched.round_robin ]
+    Progress.completes_within ~bound:200 layer [ 1, spin () ]
+      ~scheds:[ Sched.round_robin ]
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "starvation not detected"
@@ -103,7 +104,7 @@ let test_races_clean_program () =
   match
     Races.check layer
       [ 1, Prog.Module.link m (client 1); 2, Prog.Module.link m (client 2) ]
-      (Sched.default_suite ~seeds:6)
+      ~scheds:(Sched.default_suite ~seeds:6)
   with
   | Races.Race_free { runs } -> check_int "runs" 7 runs
   | Races.Race { detail; _ } -> Alcotest.failf "false positive: %s" detail
@@ -114,7 +115,7 @@ let test_races_detects_unlocked_access () =
   let layer = Ccal_machine.Mx86.layer () in
   let prog = Prog.seq (Prog.call "pull" [ vi 0 ]) (Prog.call "push" [ vi 0; vi 1 ]) in
   match
-    Races.check layer [ 1, prog; 2, prog ] [ Sched.of_trace [ 1; 2 ] ]
+    Races.check layer [ 1, prog; 2, prog ] ~scheds:[ Sched.of_trace [ 1; 2 ] ]
   with
   | Races.Race _ -> ()
   | _ -> Alcotest.fail "race not detected"
@@ -303,7 +304,7 @@ let test_inject_unfair_scheduler_starves () =
   match
     Progress.completes_within ~bound:3_000 layer
       [ 1, Prog.Module.link m (forever 1); 2, Prog.Module.link m (one_round 2) ]
-      [ unfair ]
+      ~scheds:[ unfair ]
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "starvation under unfair scheduler not detected"
