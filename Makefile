@@ -1,4 +1,4 @@
-.PHONY: all build test check explore bench clean
+.PHONY: all build test check check-parallel explore bench clean
 
 all: build
 
@@ -12,6 +12,14 @@ test:
 # Includes the DPOR-vs-exhaustive agreement check on the headline game.
 check: build test
 	dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
+
+# The parallel-checking gate (DESIGN.md S24): the same verdicts must come
+# out of the sequential oracle and the 4-domain pool.  CI runs `check`
+# under both via the CCAL_JOBS matrix; this is the local one-shot.
+check-parallel:
+	CCAL_JOBS=1 dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
+	CCAL_JOBS=4 dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
+	dune exec bin/ccal_cli.exe -- stack --strategy dpor:4 --jobs 4
 
 explore:
 	dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5

@@ -395,6 +395,154 @@ let print_dpor_ablation () =
      blocked and commuting interleavings@."
 
 (* ------------------------------------------------------------------ *)
+(* parallel — multicore certificate checking (domain-pool scaling)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweep the race checker over a fixed exhaustive schedule suite at
+   1/2/4/8 domains.  Parallelism must change wall-clock only: the verdict
+   at every jobs count is compared structurally against the sequential
+   one.  Schedule suites are stateful ([Sched.of_trace] consumes a trace
+   ref), so each run regenerates its own suite.  Pass [--jobs N] to sweep
+   {1, N} instead of the default {1, 2, 4, 8}. *)
+
+let jobs_sweep =
+  let rec find = function
+    | "--jobs" :: v :: _ -> int_of_string_opt v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  match find (Array.to_list Sys.argv) with
+  | Some n when n >= 1 -> List.sort_uniq compare [ 1; n ]
+  | _ -> [ 1; 2; 4; 8 ]
+
+type parallel_run = {
+  jobs : int;
+  ms : float;
+  scheds_per_sec : float;
+  speedup : float;
+}
+
+type parallel_game = {
+  game : string;
+  depth : int;
+  schedules : int;
+  runs : (parallel_run * Ccal_verify.Races.verdict) list;
+  verdicts_agree : bool;
+}
+
+let verdict_name = function
+  | Ccal_verify.Races.Race_free { runs } -> Printf.sprintf "race-free(%d)" runs
+  | Ccal_verify.Races.Race { sched_name; _ } -> "race@" ^ sched_name
+  | Ccal_verify.Races.Other_failure msg -> "other: " ^ msg
+
+let parallel_scaling_games () =
+  let lock_client i =
+    Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+        Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+  in
+  let queue_client i =
+    Prog.bind (Prog.call "enQ_s" [ vi 0; vi (10 * i) ]) (fun _ ->
+        Prog.call "deQ_s" [ vi 0 ])
+  in
+  let mcs_m = Mcs_lock.c_module () in
+  let qm =
+    Ccal_clight.Csem.module_of_fns [ Queue_shared.deq_fn; Queue_shared.enq_fn ]
+  in
+  [
+    "mcs-lock-3t", Mcs_lock.l0 (),
+    List.init 3 (fun k -> k + 1, Prog.Module.link mcs_m (lock_client (k + 1))), 6;
+    "shared-queue-3t", Queue_shared.underlay (),
+    List.init 3 (fun k -> k + 1, Prog.Module.link qm (queue_client (k + 1))), 5;
+  ]
+
+let run_parallel_scaling () =
+  Format.printf
+    "@.== parallel: domain-pool scaling of the race checker (schedules/sec) ==@.@.";
+  Format.printf "  host: %d recommended domains; sweep: {%s}@.@."
+    (Domain.recommended_domain_count ())
+    (String.concat ", " (List.map string_of_int jobs_sweep));
+  Format.printf "  %-18s %-6s %-10s %-6s %-10s %-12s %-9s@." "game" "depth"
+    "schedules" "jobs" "ms" "scheds/sec" "speedup";
+  List.map
+    (fun (name, layer, threads, depth) ->
+      let tids = List.map fst threads in
+      let count =
+        List.length (Ccal_verify.Explore.exhaustive_scheds ~tids ~depth)
+      in
+      let runs =
+        List.map
+          (fun jobs ->
+            (* fresh suite per run: trace schedulers are single-use *)
+            let scheds =
+              Ccal_verify.Explore.exhaustive_scheds ~tids ~depth
+            in
+            let verdict, ms =
+              Ccal_verify.Verify_clock.timed (fun () ->
+                  Ccal_verify.Races.check ~max_steps:200_000 ~scheds ~jobs
+                    layer threads)
+            in
+            let scheds_per_sec = float_of_int count /. (ms /. 1000.) in
+            ({ jobs; ms; scheds_per_sec; speedup = 1.0 }, verdict))
+          jobs_sweep
+      in
+      let base_ms =
+        match runs with ({ ms; _ }, _) :: _ -> ms | [] -> nan
+      in
+      let runs =
+        List.map
+          (fun (r, v) -> { r with speedup = base_ms /. r.ms }, v)
+          runs
+      in
+      let verdicts_agree =
+        match runs with
+        | [] -> true
+        | (_, v0) :: rest -> List.for_all (fun (_, v) -> v = v0) rest
+      in
+      List.iter
+        (fun (r, v) ->
+          Format.printf "  %-18s %-6d %-10d %-6d %-10.1f %-12.0f %-9.2f %s@."
+            name depth count r.jobs r.ms r.scheds_per_sec r.speedup
+            (verdict_name v))
+        runs;
+      Format.printf "  %-18s verdicts %s across jobs@." name
+        (if verdicts_agree then "agree" else "DISAGREE");
+      { game = name; depth; schedules = count; runs; verdicts_agree })
+    (parallel_scaling_games ())
+
+(* Hand-rolled JSON: the container has no JSON library and we may not add
+   one; the schema is flat enough for printf. *)
+let write_parallel_json path games =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"parallel-certificate-checking\",\n";
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"games\": [\n";
+  List.iteri
+    (fun gi g ->
+      out "    {\n";
+      out "      \"game\": %S,\n" g.game;
+      out "      \"depth\": %d,\n" g.depth;
+      out "      \"schedules\": %d,\n" g.schedules;
+      out "      \"verdicts_agree\": %b,\n" g.verdicts_agree;
+      out "      \"runs\": [\n";
+      List.iteri
+        (fun ri (r, v) ->
+          out
+            "        {\"jobs\": %d, \"ms\": %.3f, \"schedules_per_sec\": %.1f, \
+             \"speedup\": %.3f, \"verdict\": %S}%s\n"
+            r.jobs r.ms r.scheds_per_sec r.speedup (verdict_name v)
+            (if ri = List.length g.runs - 1 then "" else ","))
+        g.runs;
+      out "      ]\n";
+      out "    }%s\n" (if gi = List.length games - 1 then "" else ","))
+    games;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Format.printf "@.  wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro/macro benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -482,6 +630,8 @@ let () =
   print_replay_ablation ();
   print_exploration_ablation ();
   print_dpor_ablation ();
+  let scaling = run_parallel_scaling () in
+  write_parallel_json "BENCH_parallel.json" scaling;
   let bench_rows = run_benchmarks (make_tests perf) in
   (* headline ratio, from wall-clock *)
   (match

@@ -15,6 +15,21 @@ open Ccal_objects
 
 let vi = Value.int
 
+(* ---------------- shared options ---------------- *)
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Domains used for schedule checking.  Defaults to \
+                 $(b,CCAL_JOBS) when set, else the recommended domain \
+                 count; 1 forces the sequential path.  The verdict is \
+                 identical for every value — parallelism changes \
+                 wall-clock only.")
+
+let resolve_jobs = function
+  | Some n -> max 1 n
+  | None -> Ccal_verify.Parallel.default_jobs ()
+
 (* ---------------- stack ---------------- *)
 
 let strategy_of_string = function
@@ -42,14 +57,17 @@ let strategy_of_string = function
            s))
 
 let stack_cmd =
-  let run lock seeds strategy =
+  let run lock seeds strategy jobs =
     let lock = match lock with "mcs" -> `Mcs | _ -> `Ticket in
     match strategy_of_string strategy with
     | Error msg ->
       Format.eprintf "%s@." msg;
       2
     | Ok strategy -> (
-      match Ccal_verify.Stack.verify_all ~lock ~seeds ?strategy () with
+      match
+        Ccal_verify.Stack.verify_all ~lock ~seeds ?strategy
+          ~jobs:(resolve_jobs jobs) ()
+      with
       | Ok report ->
         Format.printf "%a@." Ccal_verify.Stack.pp_report report;
         0
@@ -74,7 +92,7 @@ let stack_cmd =
   in
   Cmd.v
     (Cmd.info "stack" ~doc:"Certify and link the whole Fig. 1 layer stack")
-    Term.(const run $ lock $ seeds $ strategy)
+    Term.(const run $ lock $ seeds $ strategy $ jobs_arg)
 
 (* ---------------- verify ---------------- *)
 
@@ -126,7 +144,7 @@ let verify_cmd =
 (* ---------------- pipeline ---------------- *)
 
 let pipeline_cmd =
-  let run seeds =
+  let run seeds jobs =
     match Ticket_lock.certify ~focus:[ 1; 2 ] () with
     | Error e ->
       Format.eprintf "%a@." Calculus.pp_error e;
@@ -138,7 +156,8 @@ let pipeline_cmd =
             Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
       in
       match
-        Refinement.check_cert cert ~client ~scheds:(Sched.default_suite ~seeds)
+        Ccal_verify.Linearizability.refine_cert ~jobs:(resolve_jobs jobs) cert
+          ~client ~scheds:(Sched.default_suite ~seeds)
       with
       | Ok r ->
         Format.printf "soundness: %d schedules refined -- OK@."
@@ -153,7 +172,7 @@ let pipeline_cmd =
   in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the Fig. 5 ticket-lock pipeline end to end")
-    Term.(const run $ seeds)
+    Term.(const run $ seeds $ jobs_arg)
 
 (* ---------------- explore ---------------- *)
 
@@ -189,7 +208,7 @@ let explore_game name nthreads =
   | _ -> None
 
 let explore_cmd =
-  let run obj nthreads depth mode =
+  let run obj nthreads depth mode jobs =
     let independence =
       match mode with
       | "events" -> Some Ccal_verify.Dpor.Commuting_events
@@ -207,10 +226,12 @@ let explore_cmd =
       2
     | Some (layer, threads), Some independence ->
       let module V = Ccal_verify in
-      let dpor = V.Dpor.explore ~independence ~depth layer threads in
+      let jobs = resolve_jobs jobs in
+      let dpor = V.Dpor.explore ~independence ~jobs ~depth layer threads in
       let tids = List.map fst threads in
       let exhaustive =
-        V.Explore.run_all layer threads (V.Explore.exhaustive_scheds ~tids ~depth)
+        V.Explore.run_all ~jobs layer threads
+          (V.Explore.exhaustive_scheds ~tids ~depth)
       in
       let canon l =
         match independence with
@@ -262,7 +283,7 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Compare the DPOR explorer against exhaustive enumeration")
-    Term.(const run $ obj $ nthreads $ depth $ mode)
+    Term.(const run $ obj $ nthreads $ depth $ mode $ jobs_arg)
 
 (* ---------------- inventory ---------------- *)
 

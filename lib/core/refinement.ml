@@ -133,6 +133,69 @@ let replay_multi ?(max_steps = 200_000) ?(allow_blocked_at_end = false) overlay
   in
   consume Log.empty events 0
 
+(* The per-schedule body of {!check}: one underlay run, translated and
+   replayed against the overlay.  Exposed (through {!check_sched}) so the
+   parallel checkers can hand it, schedule by schedule, to a domain pool;
+   it is pure up to its own game state. *)
+let check_one ~max_steps ~expect_all_done ~underlay ~overlay ~rel ~threads_under
+    ~threads_over sched =
+  let outcome = Game.run (Game.config ~max_steps underlay threads_under sched) in
+  match outcome.Game.status with
+  | (Game.Deadlock _ | Game.Stuck _ | Game.Out_of_fuel) when expect_all_done ->
+    Error
+      {
+        sched_name = sched.Sched.name;
+        reason =
+          Format.asprintf "underlay run did not complete: %a"
+            Game.pp_status outcome.Game.status;
+        under_log = outcome.Game.log;
+        over_log = Log.empty;
+      }
+  | _ -> (
+    let l = outcome.Game.log in
+    let lt = Sim_rel.apply rel l in
+    match
+      replay_multi ~max_steps ~allow_blocked_at_end:(not expect_all_done)
+        overlay threads_over lt
+    with
+    | Error (reason, over_log) ->
+      Error { sched_name = sched.Sched.name; reason; under_log = l; over_log }
+    | Ok over_results ->
+      (* Termination-sensitivity: results must agree thread-by-thread. *)
+      let mismatches =
+        List.filter
+          (fun (i, v) ->
+            match List.assoc_opt i over_results with
+            | Some v' -> not (Value.equal v v')
+            | None -> true)
+          outcome.Game.results
+      in
+      (match mismatches with
+      | (i, v) :: _ ->
+        Error
+          {
+            sched_name = sched.Sched.name;
+            reason =
+              Printf.sprintf
+                "thread %d returned %s at the underlay but %s at the overlay"
+                i (Value.to_string v)
+                (match List.assoc_opt i over_results with
+                | Some v' -> Value.to_string v'
+                | None -> "nothing");
+            under_log = l;
+            over_log = lt;
+          }
+      | [] -> Ok (l, lt)))
+
+let check_sched ?(max_steps = 200_000) ?(expect_all_done = true) ~underlay
+    ~impl ~overlay ~rel ~client ~tids sched =
+  let threads_under =
+    List.map (fun i -> i, Prog.Module.link impl (client i)) tids
+  in
+  let threads_over = List.map (fun i -> i, client i) tids in
+  check_one ~max_steps ~expect_all_done ~underlay ~overlay ~rel ~threads_under
+    ~threads_over sched
+
 let check ?(max_steps = 200_000) ?(expect_all_done = true) ~underlay ~impl
     ~overlay ~rel ~client ~tids ~scheds () =
   let threads_under =
@@ -142,56 +205,12 @@ let check ?(max_steps = 200_000) ?(expect_all_done = true) ~underlay ~impl
   let rec go scheds_checked logs translated = function
     | [] -> Ok { scheds_checked; logs = List.rev logs; translated = List.rev translated }
     | sched :: rest -> (
-      let outcome =
-        Game.run (Game.config ~max_steps underlay threads_under sched)
-      in
-      match outcome.Game.status with
-      | (Game.Deadlock _ | Game.Stuck _ | Game.Out_of_fuel)
-        when expect_all_done ->
-        Error
-          {
-            sched_name = sched.Sched.name;
-            reason =
-              Format.asprintf "underlay run did not complete: %a"
-                Game.pp_status outcome.Game.status;
-            under_log = outcome.Game.log;
-            over_log = Log.empty;
-          }
-      | _ -> (
-        let l = outcome.Game.log in
-        let lt = Sim_rel.apply rel l in
-        match
-          replay_multi ~max_steps ~allow_blocked_at_end:(not expect_all_done)
-            overlay threads_over lt
-        with
-        | Error (reason, over_log) ->
-          Error { sched_name = sched.Sched.name; reason; under_log = l; over_log }
-        | Ok over_results ->
-          (* Termination-sensitivity: results must agree thread-by-thread. *)
-          let mismatches =
-            List.filter
-              (fun (i, v) ->
-                match List.assoc_opt i over_results with
-                | Some v' -> not (Value.equal v v')
-                | None -> true)
-              outcome.Game.results
-          in
-          (match mismatches with
-          | (i, v) :: _ ->
-            Error
-              {
-                sched_name = sched.Sched.name;
-                reason =
-                  Printf.sprintf
-                    "thread %d returned %s at the underlay but %s at the overlay"
-                    i (Value.to_string v)
-                    (match List.assoc_opt i over_results with
-                    | Some v' -> Value.to_string v'
-                    | None -> "nothing");
-                under_log = l;
-                over_log = lt;
-              }
-          | [] -> go (scheds_checked + 1) (l :: logs) (lt :: translated) rest)))
+      match
+        check_one ~max_steps ~expect_all_done ~underlay ~overlay ~rel
+          ~threads_under ~threads_over sched
+      with
+      | Error f -> Error f
+      | Ok (l, lt) -> go (scheds_checked + 1) (l :: logs) (lt :: translated) rest)
   in
   go 0 [] [] scheds
 

@@ -45,6 +45,24 @@ val replay_multi :
     Exposed for the multicore/multithread linking checks (Thm 3.1,
     Thm 5.1). *)
 
+val check_sched :
+  ?max_steps:int ->
+  ?expect_all_done:bool ->
+  underlay:Layer.t ->
+  impl:Prog.Module.t ->
+  overlay:Layer.t ->
+  rel:Sim_rel.t ->
+  client:(Event.tid -> Prog.t) ->
+  tids:Event.tid list ->
+  Sched.t ->
+  (Log.t * Log.t, failure) result
+(** The per-schedule body of {!check}: run the underlay game under one
+    scheduler, translate, replay against the overlay, compare per-thread
+    results.  Returns the (underlay, translated) log pair.  Pure up to its
+    own game state, so the parallel checkers
+    ({!Ccal_verify.Linearizability}) can evaluate schedules on any
+    domain. *)
+
 val check :
   ?max_steps:int ->
   ?expect_all_done:bool ->

@@ -13,27 +13,32 @@ let erase_switches =
   Sim_rel.of_events "erase-switches" (fun e ->
       if Event.is_switch e then [] else [ e ])
 
-let check_multicore_linking ?max_steps ~threads ~scheds () =
+let check_multicore_linking_sched ?max_steps ~threads sched =
   let l = layer () in
+  let outcome =
+    Game.run (Game.config ?max_steps ~log_switches:true l threads sched)
+  in
+  match outcome.Game.status with
+  | Game.Stuck (i, _, msg) ->
+    Error (Printf.sprintf "Mx86 run stuck at CPU %d: %s" i msg)
+  | Game.Deadlock _ | Game.Out_of_fuel ->
+    Error
+      (Printf.sprintf "Mx86 run did not complete under %s" sched.Sched.name)
+  | Game.All_done -> (
+    let erased = Sim_rel.apply erase_switches outcome.Game.log in
+    match Refinement.replay_multi ?max_steps l threads erased with
+    | Ok _ -> Ok ()
+    | Error (reason, _) ->
+      Error
+        (Printf.sprintf "multicore linking failed under %s: %s"
+           sched.Sched.name reason))
+
+let check_multicore_linking ?max_steps ~threads ~scheds () =
   let rec go n = function
     | [] -> Ok n
     | sched :: rest -> (
-      let outcome =
-        Game.run (Game.config ?max_steps ~log_switches:true l threads sched)
-      in
-      match outcome.Game.status with
-      | Game.Stuck (i, _, msg) ->
-        Error (Printf.sprintf "Mx86 run stuck at CPU %d: %s" i msg)
-      | Game.Deadlock _ | Game.Out_of_fuel ->
-        Error
-          (Printf.sprintf "Mx86 run did not complete under %s" sched.Sched.name)
-      | Game.All_done -> (
-        let erased = Sim_rel.apply erase_switches outcome.Game.log in
-        match Refinement.replay_multi ?max_steps l threads erased with
-        | Ok _ -> go (n + 1) rest
-        | Error (reason, _) ->
-          Error
-            (Printf.sprintf "multicore linking failed under %s: %s"
-               sched.Sched.name reason)))
+      match check_multicore_linking_sched ?max_steps ~threads sched with
+      | Ok () -> go (n + 1) rest
+      | Error _ as e -> e)
   in
   go 0 scheds

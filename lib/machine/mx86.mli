@@ -33,6 +33,15 @@ val behaviors :
 val erase_switches : Ccal_core.Sim_rel.t
 (** The simulation relation of Theorem 3.1: erase scheduling events. *)
 
+val check_multicore_linking_sched :
+  ?max_steps:int ->
+  threads:(Ccal_core.Event.tid * Ccal_core.Prog.t) list ->
+  Ccal_core.Sched.t ->
+  (unit, string) result
+(** The per-schedule body of {!check_multicore_linking}.  Pure up to its
+    own game state, so the parallel checkers ({!Ccal_verify.Stack}) can
+    evaluate schedules on any domain. *)
+
 val check_multicore_linking :
   ?max_steps:int ->
   threads:(Ccal_core.Event.tid * Ccal_core.Prog.t) list ->

@@ -261,29 +261,35 @@ let turn_consistent placement log =
   in
   go Log.empty events
 
+let check_multithreaded_linking_sched ?max_steps ~placement ~layer ~threads
+    sched =
+  let outcome = Game.run (Game.config ?max_steps layer threads sched) in
+  match outcome.Game.status with
+  | Game.Stuck (i, _, msg) -> Error (Printf.sprintf "thread %d stuck: %s" i msg)
+  | Game.Deadlock ids ->
+    Error
+      (Printf.sprintf "deadlock among threads %s under %s"
+         (String.concat "," (List.map string_of_int ids))
+         sched.Sched.name)
+  | Game.Out_of_fuel -> Error "out of fuel"
+  | Game.All_done -> (
+    if not (turn_consistent placement outcome.Game.log) then
+      Error (Printf.sprintf "log not turn-consistent under %s" sched.Sched.name)
+    else
+      match Refinement.replay_multi ?max_steps layer threads outcome.Game.log with
+      | Ok _ -> Ok ()
+      | Error (reason, _) ->
+        Error (Printf.sprintf "log does not replay deterministically: %s" reason))
+
 let check_multithreaded_linking ?max_steps ~placement ~layer ~threads ~scheds () =
   let rec go n = function
     | [] -> Ok n
     | sched :: rest -> (
-      let outcome = Game.run (Game.config ?max_steps layer threads sched) in
-      match outcome.Game.status with
-      | Game.Stuck (i, _, msg) ->
-        Error (Printf.sprintf "thread %d stuck: %s" i msg)
-      | Game.Deadlock ids ->
-        Error
-          (Printf.sprintf "deadlock among threads %s under %s"
-             (String.concat "," (List.map string_of_int ids))
-             sched.Sched.name)
-      | Game.Out_of_fuel -> Error "out of fuel"
-      | Game.All_done -> (
-        if not (turn_consistent placement outcome.Game.log) then
-          Error
-            (Printf.sprintf "log not turn-consistent under %s" sched.Sched.name)
-        else
-          match Refinement.replay_multi ?max_steps layer threads outcome.Game.log with
-          | Ok _ -> go (n + 1) rest
-          | Error (reason, _) ->
-            Error
-              (Printf.sprintf "log does not replay deterministically: %s" reason)))
+      match
+        check_multithreaded_linking_sched ?max_steps ~placement ~layer ~threads
+          sched
+      with
+      | Ok () -> go (n + 1) rest
+      | Error _ as e -> e)
   in
   go 0 scheds

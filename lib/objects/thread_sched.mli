@@ -73,6 +73,17 @@ val turn_consistent : placement -> Log.t -> bool
     linking theorem (Thm 5.1): the machine that replays scheduling from
     the log captures every concrete scheduling behaviour. *)
 
+val check_multithreaded_linking_sched :
+  ?max_steps:int ->
+  placement:placement ->
+  layer:Layer.t ->
+  threads:(Event.tid * Prog.t) list ->
+  Sched.t ->
+  (unit, string) result
+(** The per-schedule body of {!check_multithreaded_linking}.  Pure up to
+    its own game state, so the parallel checkers ({!Ccal_verify.Stack})
+    can evaluate schedules on any domain. *)
+
 val check_multithreaded_linking :
   ?max_steps:int ->
   placement:placement ->

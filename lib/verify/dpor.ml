@@ -89,16 +89,35 @@ let independent_moves independence reads m1 m2 =
 
 let rec pow b n = if n <= 0 then 1 else b * pow b (n - 1)
 
+(* A DFS node.  Thread states are immutable, so this is a complete,
+   self-contained description of a subtree root: a child's sleep set
+   depends only on its parent's sleep set and its earlier siblings' moves,
+   both known before descending, which is what makes subtrees independent
+   and the frontier-parallel walk below possible. *)
+type node = {
+  slots : (Event.tid * Machine.thread_state) list;
+  log : Log.t;
+  step : int;
+  rev_prefix : Event.tid list;
+  sleep : (Event.tid * move) list;
+}
+
+(* The frontier of a partially-expanded DFS, in pre-order: leaves already
+   pinned interleave with unexpanded subtree roots. *)
+type fringe_item = Leaf of Event.tid list | Subtree of node
+
 (* Sleep-set DFS over the enabled moves of the whole-machine game, bounded
-   to [depth] scheduling choices.  Thread states are immutable, so a node
-   is just (slots, log, step); each surviving branch records its choice
-   prefix, later replayed through [Game.run] so leaf outcomes are
-   bit-identical to the exhaustive oracle's. *)
+   to [depth] scheduling choices.  Each surviving branch records its
+   choice prefix, later replayed through [Game.run] so leaf outcomes are
+   bit-identical to the exhaustive oracle's.
+
+   With [jobs > 1] the root is expanded level-synchronously until the
+   frontier holds enough subtrees to feed the pool; subtrees then run
+   sequential DFS on separate domains and their results are concatenated
+   in fringe order.  Pre-order is preserved at every stage, so the prefix
+   list (and the prune count, a sum) is identical for every jobs count. *)
 let prefixes_with_prunes ?private_fuel ?(independence = Exact)
-    ?(reads = default_reads) ~depth layer threads =
-  let recorded = ref [] in
-  let sleep_prunes = ref 0 in
-  let record rev_prefix = recorded := List.rev rev_prefix :: !recorded in
+    ?(reads = default_reads) ?jobs ~depth layer threads =
   let classify slots log =
     List.filter_map
       (fun (i, st) ->
@@ -116,37 +135,112 @@ let prefixes_with_prunes ?private_fuel ?(independence = Exact)
     | Fin -> List.filter (fun (j, _) -> j <> i) slots, log
     | Halt -> slots, log
   in
-  let rec dfs slots log step rev_prefix sleep =
-    if step >= depth || slots = [] then record rev_prefix
+  (* One level of expansion: the node's children (and immediate leaves) in
+     sibling order, plus the sleep-set prunes taken at this node. *)
+  let expand n =
+    if n.step >= depth || n.slots = [] then [ Leaf (List.rev n.rev_prefix) ], 0
     else
-      let enabled = classify slots log in
-      match enabled with
-      | [] -> record rev_prefix (* deadlock: every thread is blocked *)
-      | _ ->
+      match classify n.slots n.log with
+      | [] -> [ Leaf (List.rev n.rev_prefix) ], 0 (* deadlock: all blocked *)
+      | enabled ->
+        let prunes = ref 0 in
         let explored = ref [] in
+        let items = ref [] in
         List.iter
           (fun (i, m) ->
-            if List.exists (fun (j, _) -> j = i) sleep then incr sleep_prunes
+            if List.exists (fun (j, _) -> j = i) n.sleep then incr prunes
             else (
               (match m with
-              | Halt -> record (i :: rev_prefix)
+              | Halt -> items := Leaf (List.rev (i :: n.rev_prefix)) :: !items
               | Fin | Step _ ->
                 let sleep' =
                   List.filter
                     (fun (_, m') -> independent_moves independence reads m' m)
-                    (sleep @ List.rev !explored)
+                    (n.sleep @ List.rev !explored)
                 in
-                let slots', log' = apply slots log i m in
-                dfs slots' log' (step + 1) (i :: rev_prefix) sleep');
+                let slots', log' = apply n.slots n.log i m in
+                items :=
+                  Subtree
+                    {
+                      slots = slots';
+                      log = log';
+                      step = n.step + 1;
+                      rev_prefix = i :: n.rev_prefix;
+                      sleep = sleep';
+                    }
+                  :: !items);
               explored := (i, m) :: !explored))
-          enabled
+          enabled;
+        List.rev !items, !prunes
   in
-  let slots0 = List.map (fun (i, p) -> i, Machine.initial layer i p) threads in
-  dfs slots0 Log.empty 0 [] [];
-  List.rev !recorded, !sleep_prunes
+  (* Sequential DFS of a whole subtree, expressed through [expand] so both
+     engines walk literally the same transition code. *)
+  let dfs_from root =
+    let recorded = ref [] in
+    let prunes = ref 0 in
+    let rec go n =
+      let items, p = expand n in
+      prunes := !prunes + p;
+      List.iter
+        (function
+          | Leaf prefix -> recorded := prefix :: !recorded
+          | Subtree n' -> go n')
+        items
+    in
+    go root;
+    List.rev !recorded, !prunes
+  in
+  let root =
+    {
+      slots = List.map (fun (i, p) -> i, Machine.initial layer i p) threads;
+      log = Log.empty;
+      step = 0;
+      rev_prefix = [];
+      sleep = [];
+    }
+  in
+  let jobs = match jobs with Some j -> max 1 j | None -> 1 in
+  if jobs <= 1 then dfs_from root
+  else begin
+    (* Grow the frontier breadth-first until it can feed the pool.  Each
+       round replaces every subtree root by its expansion, in place, so
+       fringe order stays pre-order. *)
+    let target = jobs * 4 in
+    let count_subtrees fringe =
+      List.length
+        (List.filter (function Subtree _ -> true | Leaf _ -> false) fringe)
+    in
+    let rec grow fringe prunes rounds =
+      let subtrees = count_subtrees fringe in
+      if subtrees = 0 || subtrees >= target || rounds <= 0 then fringe, prunes
+      else
+        let prunes = ref prunes in
+        let fringe' =
+          List.concat_map
+            (function
+              | Leaf _ as l -> [ l ]
+              | Subtree n ->
+                let items, p = expand n in
+                prunes := !prunes + p;
+                items)
+            fringe
+        in
+        grow fringe' !prunes (rounds - 1)
+    in
+    let fringe, grow_prunes = grow [ Subtree root ] 0 (depth + 1) in
+    let parts =
+      Parallel.map ~jobs
+        (function Leaf p -> [ p ], 0 | Subtree n -> dfs_from n)
+        fringe
+    in
+    ( List.concat_map fst parts,
+      List.fold_left (fun acc (_, p) -> acc + p) grow_prunes parts )
+  end
 
-let prefixes ?private_fuel ?independence ?reads ~depth layer threads =
-  fst (prefixes_with_prunes ?private_fuel ?independence ?reads ~depth layer threads)
+let prefixes ?private_fuel ?independence ?reads ?jobs ~depth layer threads =
+  fst
+    (prefixes_with_prunes ?private_fuel ?independence ?reads ?jobs ~depth layer
+       threads)
 
 let sched_of_prefix prefix =
   Sched.of_trace
@@ -155,17 +249,18 @@ let sched_of_prefix prefix =
          (String.concat "," (List.map string_of_int prefix)))
     prefix
 
-let schedules ?private_fuel ?independence ?reads ~depth layer threads =
+let schedules ?private_fuel ?independence ?reads ?jobs ~depth layer threads =
   List.map sched_of_prefix
-    (prefixes ?private_fuel ?independence ?reads ~depth layer threads)
+    (prefixes ?private_fuel ?independence ?reads ?jobs ~depth layer threads)
 
-let explore ?max_steps ?private_fuel ?(independence = Exact) ?reads ~depth
-    layer threads =
+let explore ?max_steps ?private_fuel ?(independence = Exact) ?reads ?jobs
+    ~depth layer threads =
   let prefixes, sleep_set_prunes =
-    prefixes_with_prunes ?private_fuel ~independence ?reads ~depth layer threads
+    prefixes_with_prunes ?private_fuel ~independence ?reads ?jobs ~depth layer
+      threads
   in
   let outcomes =
-    List.map
+    Parallel.map ?jobs
       (fun p -> Game.run (Game.config ?max_steps layer threads (sched_of_prefix p)))
       prefixes
   in

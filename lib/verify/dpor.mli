@@ -67,18 +67,24 @@ val explore :
   ?private_fuel:int ->
   ?independence:independence ->
   ?reads:string list ->
+  ?jobs:int ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   result
 (** Explore the game to [depth] scheduling choices, pruning with sleep
     sets, and replay every surviving prefix.  [independence] defaults to
-    {!Exact}. *)
+    {!Exact}.  [jobs] parallelises both phases over a {!Parallel} domain
+    pool: the DFS splits its frontier into independent subtrees (a child's
+    sleep set depends only on its parent and earlier siblings, all known
+    before descent), and the replays are a deterministic parallel map —
+    prefixes, outcomes, and stats are identical for every jobs count. *)
 
 val prefixes :
   ?private_fuel:int ->
   ?independence:independence ->
   ?reads:string list ->
+  ?jobs:int ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
@@ -89,6 +95,7 @@ val schedules :
   ?private_fuel:int ->
   ?independence:independence ->
   ?reads:string list ->
+  ?jobs:int ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->

@@ -27,14 +27,16 @@ let pp_strategy fmt = function
   | `Dpor d -> Format.fprintf fmt "dpor(depth=%d)" d
   | `Random n -> Format.fprintf fmt "random(count=%d)" n
 
-let scheds_of_strategy ?private_fuel layer threads = function
+let scheds_of_strategy ?private_fuel ?jobs layer threads = function
   | `Exhaustive depth ->
     exhaustive_scheds ~tids:(List.map fst threads) ~depth
-  | `Dpor depth -> Dpor.schedules ?private_fuel ~depth layer threads
+  | `Dpor depth -> Dpor.schedules ?private_fuel ?jobs ~depth layer threads
   | `Random count -> random_scheds ~count
 
-let run_all ?max_steps layer threads scheds =
-  Game.behaviors ?max_steps layer threads scheds
+let run_all ?max_steps ?jobs layer threads scheds =
+  Parallel.map ?jobs
+    (fun sched -> Game.run (Game.config ?max_steps layer threads sched))
+    scheds
 
 let all_logs outcomes = List.map (fun o -> o.Game.log) outcomes
 

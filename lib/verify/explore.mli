@@ -40,6 +40,7 @@ val pp_strategy : Format.formatter -> strategy -> unit
 
 val scheds_of_strategy :
   ?private_fuel:int ->
+  ?jobs:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   strategy ->
@@ -47,15 +48,18 @@ val scheds_of_strategy :
 (** Materialize a strategy into a scheduler suite for the given game.
     [`Dpor] walks the game itself to find the non-redundant prefixes;
     the layer and threads must therefore be the ones the returned
-    schedulers will drive. *)
+    schedulers will drive.  [jobs] parallelises the DPOR walk
+    ({!Dpor.schedules}); the suite is identical for every jobs count. *)
 
 val run_all :
   ?max_steps:int ->
+  ?jobs:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   Sched.t list ->
   Game.outcome list
-(** Run the machine under every scheduler. *)
+(** Run the machine under every scheduler.  [jobs] spreads the runs over
+    a {!Parallel} domain pool; the outcome list keeps schedule order. *)
 
 val all_logs : Game.outcome list -> Log.t list
 

@@ -6,8 +6,44 @@ type report = {
   events : int;
 }
 
-let check ?max_steps ?strategy ?scheds ~underlay ~impl ~overlay ~rel ~client
-    ~tids () =
+(* Parallel counterpart of {!Refinement.check}: evaluate the per-schedule
+   body over the {!Parallel} pool, then fold the ordered results exactly as
+   the sequential loop does — the reported failure (if any) is the
+   lowest-indexed failing schedule, so the result is identical for every
+   jobs count. *)
+let refine ?max_steps ?expect_all_done ?jobs ~underlay ~impl ~overlay ~rel
+    ~client ~tids ~scheds () =
+  let results =
+    Parallel.scan ?jobs ~cut:Result.is_error
+      (Refinement.check_sched ?max_steps ?expect_all_done ~underlay ~impl
+         ~overlay ~rel ~client ~tids)
+      scheds
+  in
+  let rec go scheds_checked logs translated = function
+    | [] ->
+      Ok
+        {
+          Refinement.scheds_checked;
+          logs = List.rev logs;
+          translated = List.rev translated;
+        }
+    | Ok (l, lt) :: rest ->
+      go (scheds_checked + 1) (l :: logs) (lt :: translated) rest
+    | Error (f : Refinement.failure) :: _ -> Error f
+  in
+  go 0 [] [] results
+
+let refine_cert ?max_steps ?expect_all_done ?jobs (cert : Calculus.cert)
+    ~client ~scheds =
+  refine ?max_steps ?expect_all_done ?jobs
+    ~underlay:cert.Calculus.judgment.Calculus.underlay
+    ~impl:cert.Calculus.judgment.Calculus.impl
+    ~overlay:cert.Calculus.judgment.Calculus.overlay
+    ~rel:cert.Calculus.judgment.Calculus.rel ~client
+    ~tids:cert.Calculus.judgment.Calculus.focus ~scheds ()
+
+let check ?max_steps ?strategy ?scheds ?jobs ~underlay ~impl ~overlay ~rel
+    ~client ~tids () =
   let scheds =
     match scheds with
     | Some s -> s
@@ -17,11 +53,11 @@ let check ?max_steps ?strategy ?scheds ~underlay ~impl ~overlay ~rel ~client
       let threads_under =
         List.map (fun i -> i, Prog.Module.link impl (client i)) tids
       in
-      Explore.scheds_of_strategy underlay threads_under
+      Explore.scheds_of_strategy ?jobs underlay threads_under
         (Option.value strategy ~default:Explore.default_strategy)
   in
   match
-    Refinement.check ?max_steps ~underlay ~impl ~overlay ~rel ~client ~tids
+    refine ?max_steps ?jobs ~underlay ~impl ~overlay ~rel ~client ~tids
       ~scheds ()
   with
   | Error _ as e -> e
@@ -34,8 +70,9 @@ let check ?max_steps ?strategy ?scheds ~underlay ~impl ~overlay ~rel ~client
         events = List.fold_left (fun n l -> n + Log.length l) 0 logs;
       }
 
-let check_cert ?max_steps ?strategy ?scheds (cert : Calculus.cert) ~client =
-  check ?max_steps ?strategy ?scheds
+let check_cert ?max_steps ?strategy ?scheds ?jobs (cert : Calculus.cert)
+    ~client =
+  check ?max_steps ?strategy ?scheds ?jobs
     ~underlay:cert.Calculus.judgment.Calculus.underlay
     ~impl:cert.Calculus.judgment.Calculus.impl
     ~overlay:cert.Calculus.judgment.Calculus.overlay

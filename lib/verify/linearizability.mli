@@ -17,10 +17,43 @@ type report = {
   events : int;  (** total underlay events observed *)
 }
 
+val refine :
+  ?max_steps:int ->
+  ?expect_all_done:bool ->
+  ?jobs:int ->
+  underlay:Layer.t ->
+  impl:Prog.Module.t ->
+  overlay:Layer.t ->
+  rel:Sim_rel.t ->
+  client:(Event.tid -> Prog.t) ->
+  tids:Event.tid list ->
+  scheds:Sched.t list ->
+  unit ->
+  (Refinement.report, Refinement.failure) result
+(** Drop-in parallel {!Refinement.check}: the per-schedule body
+    ({!Refinement.check_sched}) is evaluated over a {!Parallel} domain
+    pool and the ordered results folded as the sequential loop would —
+    the report (or lowest-indexed failure) is structurally identical for
+    every [jobs] count, and [~jobs:1] (the default) stays on the
+    sequential path. *)
+
+val refine_cert :
+  ?max_steps:int ->
+  ?expect_all_done:bool ->
+  ?jobs:int ->
+  Calculus.cert ->
+  client:(Event.tid -> Prog.t) ->
+  scheds:Sched.t list ->
+  (Refinement.report, Refinement.failure) result
+(** {!refine} with the components of a certificate — the parallel
+    counterpart of {!Refinement.check_cert}, used by the {!Stack}
+    soundness edges. *)
+
 val check :
   ?max_steps:int ->
   ?strategy:Explore.strategy ->
   ?scheds:Sched.t list ->
+  ?jobs:int ->
   underlay:Layer.t ->
   impl:Prog.Module.t ->
   overlay:Layer.t ->
@@ -31,12 +64,15 @@ val check :
   (report, Refinement.failure) result
 (** When no explicit [scheds] are given, the suite is derived from
     [strategy] (default {!Explore.default_strategy}, i.e. DPOR) over the
-    underlay game of the linked client+implementation threads. *)
+    underlay game of the linked client+implementation threads.  [jobs]
+    parallelises both the DPOR walk and the refinement scan; the verdict
+    is identical for every jobs count. *)
 
 val check_cert :
   ?max_steps:int ->
   ?strategy:Explore.strategy ->
   ?scheds:Sched.t list ->
+  ?jobs:int ->
   Calculus.cert ->
   client:(Event.tid -> Prog.t) ->
   (report, Refinement.failure) result

@@ -1,0 +1,285 @@
+(* A work-stealing domain-pool executor for the verifiers.
+
+   Every checker in this library folds over an independent list of
+   schedules — embarrassingly parallel work that used to run on a single
+   OCaml domain.  This module evaluates such a job list in chunks across a
+   pool of domains (stdlib [Domain]/[Mutex]/[Condition], no new
+   dependencies) and merges the results *deterministically*: {!scan}
+   returns exactly what a sequential early-exit fold would, bit for bit,
+   regardless of completion order — the reported failure is always the one
+   from the lowest-indexed job, and chunks wholly above a pinned cut are
+   cancelled instead of evaluated.
+
+   Design notes:
+
+   - Pools are persistent and cached by size: the first [~jobs:n] request
+     spawns [n - 1] worker domains which then sleep on a condition
+     variable between batches; the submitting domain participates in every
+     batch as the [n]-th worker.  An [at_exit] hook shuts every pool down
+     so the runtime never waits on a sleeping domain.
+   - Work distribution is a shared atomic claim counter: workers steal the
+     next chunk of indices when they run dry, so an expensive schedule in
+     the middle of the list cannot serialize the scan.
+   - Early cancellation is an atomic low-water mark of the least index
+     whose result satisfied [cut] (or raised).  Workers skip indices above
+     the mark; every index at or below the final mark is guaranteed to
+     have been evaluated, which is what makes the merge equal to the
+     sequential scan.
+   - [~jobs:1] (and empty/singleton job lists) bypass the pool entirely:
+     no domains, no atomics — the sequential code path is the oracle the
+     parallel one is tested against.
+
+   Determinism caveat (DESIGN.md S24): parallelism changes wall-clock
+   only, never a certificate judgment.  Anything nondeterministic would be
+   a bug, and test/test_parallel.ml pins the equality. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "CCAL_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* ------------------------------------------------------------------ *)
+(* cumulative pool statistics (all pools, all batches)                 *)
+(* ------------------------------------------------------------------ *)
+
+type stats = { batches : int; jobs_run : int; busy_ns : int }
+
+let stat_batches = Atomic.make 0
+let stat_jobs = Atomic.make 0
+let stat_busy_ns = Atomic.make 0
+
+let stats () =
+  {
+    batches = Atomic.get stat_batches;
+    jobs_run = Atomic.get stat_jobs;
+    busy_ns = Atomic.get stat_busy_ns;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* the pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type batch = {
+  run : int -> unit;  (** evaluate job [i] and store its cell; never raises *)
+  next : int Atomic.t;  (** next unclaimed index *)
+  chunk : int;
+  limit : int;
+  cut : int Atomic.t;  (** least index that ended the scan; [max_int] if none *)
+}
+
+type pool = {
+  size : int;  (** total workers, including the submitting domain *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : batch option;
+  mutable epoch : int;  (** bumped once per submitted batch *)
+  mutable active : int;  (** spawned workers currently inside the batch *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let atomic_min a i =
+  let rec go () =
+    let cur = Atomic.get a in
+    if i < cur && not (Atomic.compare_and_set a cur i) then go ()
+  in
+  go ()
+
+(* Claim and evaluate chunks until the counter runs past the limit or the
+   cut mark.  Called by spawned workers and by the submitting domain. *)
+let run_chunks (b : batch) =
+  let rec claim () =
+    let start = Atomic.fetch_and_add b.next b.chunk in
+    if start < b.limit && start <= Atomic.get b.cut then (
+      let t0 = Verify_clock.now_ns () in
+      let stop = min b.limit (start + b.chunk) in
+      let i = ref start in
+      let live = ref true in
+      while !live && !i < stop do
+        (* indices above the cut can no longer influence the merged
+           result: skip the rest of the chunk *)
+        if !i <= Atomic.get b.cut then (
+          b.run !i;
+          incr i)
+        else live := false
+      done;
+      ignore (Atomic.fetch_and_add stat_jobs (!i - start));
+      ignore
+        (Atomic.fetch_and_add stat_busy_ns
+           (Int64.to_int (Int64.sub (Verify_clock.now_ns ()) t0)));
+      claim ())
+  in
+  claim ()
+
+let rec worker_loop p seen =
+  Mutex.lock p.mutex;
+  while (not p.stopping) && p.epoch = seen do
+    Condition.wait p.cond p.mutex
+  done;
+  if p.stopping then Mutex.unlock p.mutex
+  else begin
+    let seen = p.epoch in
+    match p.job with
+    | None ->
+      (* the batch finished before this worker woke up *)
+      Mutex.unlock p.mutex;
+      worker_loop p seen
+    | Some b ->
+      p.active <- p.active + 1;
+      Mutex.unlock p.mutex;
+      run_chunks b;
+      Mutex.lock p.mutex;
+      p.active <- p.active - 1;
+      if p.active = 0 then Condition.broadcast p.cond;
+      Mutex.unlock p.mutex;
+      worker_loop p seen
+  end
+
+let create_pool size =
+  let p =
+    {
+      size;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      epoch = 0;
+      active = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  p.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p 0));
+  p
+
+let shutdown_pool p =
+  Mutex.lock p.mutex;
+  p.stopping <- true;
+  Condition.broadcast p.cond;
+  Mutex.unlock p.mutex;
+  List.iter Domain.join p.domains;
+  p.domains <- []
+
+(* Submit one batch and help execute it; returns when every claimed chunk
+   has been fully evaluated. *)
+let run_batch p b =
+  ignore (Atomic.fetch_and_add stat_batches 1);
+  Mutex.lock p.mutex;
+  p.job <- Some b;
+  p.epoch <- p.epoch + 1;
+  Condition.broadcast p.cond;
+  Mutex.unlock p.mutex;
+  run_chunks b;
+  Mutex.lock p.mutex;
+  while p.active > 0 do
+    Condition.wait p.cond p.mutex
+  done;
+  p.job <- None;
+  Mutex.unlock p.mutex
+
+(* ------------------------------------------------------------------ *)
+(* pool registry: one persistent pool per requested size               *)
+(* ------------------------------------------------------------------ *)
+
+let registry : (int, pool * bool ref) Hashtbl.t = Hashtbl.create 4
+let registry_mutex = Mutex.create ()
+let cleanup_registered = ref false
+
+let shutdown_all () =
+  Mutex.lock registry_mutex;
+  let pools = Hashtbl.fold (fun _ (p, _) acc -> p :: acc) registry [] in
+  Hashtbl.reset registry;
+  Mutex.unlock registry_mutex;
+  List.iter shutdown_pool pools
+
+(* Borrow the pool of the given size, creating it on first use.  Returns
+   [None] when that pool is already running a batch (nested or concurrent
+   use) — the caller then falls back to the sequential path, which is
+   always correct. *)
+let acquire size =
+  Mutex.lock registry_mutex;
+  if not !cleanup_registered then (
+    cleanup_registered := true;
+    at_exit shutdown_all);
+  let r =
+    match Hashtbl.find_opt registry size with
+    | Some (p, busy) ->
+      if !busy then None
+      else (
+        busy := true;
+        Some (p, busy))
+    | None ->
+      let p = create_pool size in
+      let busy = ref true in
+      Hashtbl.add registry size (p, busy);
+      Some (p, busy)
+  in
+  Mutex.unlock registry_mutex;
+  r
+
+let release busy =
+  Mutex.lock registry_mutex;
+  busy := false;
+  Mutex.unlock registry_mutex
+
+(* ------------------------------------------------------------------ *)
+(* deterministic scan / map                                            *)
+(* ------------------------------------------------------------------ *)
+
+type 'b cell =
+  | Empty
+  | Value of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let sequential_scan ~cut f xs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+      let y = f x in
+      if cut y then List.rev (y :: acc) else go (y :: acc) rest
+  in
+  go [] xs
+
+let scan ?jobs ~cut f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> 1 in
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then sequential_scan ~cut f xs
+  else
+    match acquire (min jobs n) with
+    | None -> sequential_scan ~cut f xs
+    | Some (pool, busy) ->
+      let arr = Array.of_list xs in
+      let cells = Array.make n Empty in
+      let cut_mark = Atomic.make max_int in
+      let run i =
+        match f arr.(i) with
+        | v ->
+          cells.(i) <- Value v;
+          if cut v then atomic_min cut_mark i
+        | exception e ->
+          cells.(i) <- Raised (e, Printexc.get_raw_backtrace ());
+          atomic_min cut_mark i
+      in
+      let chunk = max 1 (min 32 (n / (pool.size * 4))) in
+      let b = { run; next = Atomic.make 0; chunk; limit = n; cut = cut_mark } in
+      Fun.protect
+        ~finally:(fun () -> release busy)
+        (fun () -> run_batch pool b);
+      (* Merge: walk the prefix up to and including the least cut index.
+         Every slot in that prefix was evaluated (workers only skip
+         indices strictly above the low-water mark), so the result is the
+         sequential scan's, independent of completion order. *)
+      let last = min (n - 1) (Atomic.get cut_mark) in
+      let rec collect i acc =
+        if i > last then List.rev acc
+        else
+          match cells.(i) with
+          | Value v -> collect (i + 1) (v :: acc)
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Empty -> assert false (* all indices <= cut are evaluated *)
+      in
+      collect 0 []
+
+let map ?jobs f xs = scan ?jobs ~cut:(fun _ -> false) f xs

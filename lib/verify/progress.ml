@@ -6,34 +6,42 @@ type bound_report = {
   bound : int;
 }
 
-let completes_within ?strategy ?scheds ~bound layer threads =
+(* Per-schedule body, handed to the {!Parallel} pool: the completed run's
+   step count, or the failure message. *)
+let check_sched ~bound layer threads sched =
+  let outcome = Game.run (Game.config ~max_steps:bound layer threads sched) in
+  match outcome.Game.status with
+  | Game.All_done -> Ok outcome.Game.steps
+  | Game.Deadlock ids ->
+    Error
+      (Printf.sprintf "deadlock among threads %s under %s"
+         (String.concat "," (List.map string_of_int ids))
+         sched.Sched.name)
+  | Game.Stuck (i, _, msg) ->
+    Error (Printf.sprintf "thread %d stuck under %s: %s" i sched.Sched.name msg)
+  | Game.Out_of_fuel ->
+    Error
+      (Printf.sprintf "run under %s exceeded the progress bound of %d moves"
+         sched.Sched.name bound)
+
+let completes_within ?strategy ?scheds ?jobs ~bound layer threads =
   let scheds =
     match scheds with
     | Some s -> s
     | None ->
-      Explore.scheds_of_strategy layer threads
+      Explore.scheds_of_strategy ?jobs layer threads
         (Option.value strategy ~default:Explore.default_strategy)
+  in
+  let results =
+    Parallel.scan ?jobs ~cut:Result.is_error (check_sched ~bound layer threads)
+      scheds
   in
   let rec go runs worst = function
     | [] -> Ok { runs; max_steps_used = worst; bound }
-    | sched :: rest -> (
-      let outcome = Game.run (Game.config ~max_steps:bound layer threads sched) in
-      match outcome.Game.status with
-      | Game.All_done ->
-        go (runs + 1) (max worst outcome.Game.steps) rest
-      | Game.Deadlock ids ->
-        Error
-          (Printf.sprintf "deadlock among threads %s under %s"
-             (String.concat "," (List.map string_of_int ids))
-             sched.Sched.name)
-      | Game.Stuck (i, _, msg) ->
-        Error (Printf.sprintf "thread %d stuck under %s: %s" i sched.Sched.name msg)
-      | Game.Out_of_fuel ->
-        Error
-          (Printf.sprintf "run under %s exceeded the progress bound of %d moves"
-             sched.Sched.name bound))
+    | Ok steps :: rest -> go (runs + 1) (max worst steps) rest
+    | Error msg :: _ -> Error msg
   in
-  go 0 0 scheds
+  go 0 0 results
 
 let lock_of (e : Event.t) =
   match e.args with

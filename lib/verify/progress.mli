@@ -17,6 +17,7 @@ type bound_report = {
 val completes_within :
   ?strategy:Explore.strategy ->
   ?scheds:Sched.t list ->
+  ?jobs:int ->
   bound:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
@@ -24,7 +25,10 @@ val completes_within :
 (** Every run under (fair) schedulers finishes — no deadlock, no stuck
     thread — within [bound] moves.  The scheduler suite is [scheds] when
     given, otherwise derived from [strategy]
-    (default {!Explore.default_strategy}, i.e. DPOR). *)
+    (default {!Explore.default_strategy}, i.e. DPOR).  [jobs] spreads the
+    scan over a {!Parallel} domain pool; the reported failure is always
+    the lowest-indexed failing schedule, identical to the sequential
+    scan. *)
 
 val fifo_order :
   ticket_tag:string ->

@@ -5,36 +5,67 @@ type verdict =
   | Race of { sched_name : string; detail : string; log : Log.t }
   | Other_failure of string
 
-let check ?max_steps ?strategy ?scheds layer threads =
+(* The per-schedule body: pure in the sense that it touches only its own
+   game state, so the pool can evaluate schedules on any domain. *)
+type sched_outcome =
+  | Clean
+  | Racy of { sched_name : string; detail : string; log : Log.t }
+  | Other of string
+
+let check_sched ?max_steps layer threads sched =
+  let outcome = Game.run (Game.config ?max_steps layer threads sched) in
+  match outcome.Game.status with
+  | Game.Stuck (_, Layer.Data_race, msg) ->
+    Racy { sched_name = sched.Sched.name; detail = msg; log = outcome.Game.log }
+  | Game.Stuck (i, Layer.Invalid_transition, msg) ->
+    Other (Printf.sprintf "thread %d stuck (not a race): %s" i msg)
+  | Game.Deadlock ids ->
+    Other
+      (Printf.sprintf "deadlock among threads %s"
+         (String.concat "," (List.map string_of_int ids)))
+  | Game.Out_of_fuel -> Other "out of fuel"
+  | Game.All_done ->
+    if Ccal_machine.Pushpull.race_free outcome.Game.log then Clean
+    else
+      Racy
+        {
+          sched_name = sched.Sched.name;
+          detail = "completed log fails push/pull replay";
+          log = outcome.Game.log;
+        }
+
+(* Deterministic merge.  A race anywhere wins (the lowest-indexed one —
+   [Parallel.scan] guarantees the outcome list is the sequential prefix up
+   to and including the first [Racy]); non-race failures such as one
+   adversarial schedule running out of fuel no longer abort the scan, they
+   are collected and reported only when no schedule exposes a race. *)
+let merge outcomes =
+  let rec go runs others = function
+    | Racy { sched_name; detail; log } :: _ -> Race { sched_name; detail; log }
+    | Other msg :: rest -> go runs (msg :: others) rest
+    | Clean :: rest -> go (runs + 1) others rest
+    | [] -> (
+      match List.rev others with
+      | [] -> Race_free { runs }
+      | first :: more ->
+        Other_failure
+          (if more = [] then first
+           else
+             Printf.sprintf "%s (+%d further non-race failures, %d clean runs)"
+               first (List.length more) runs))
+  in
+  go 0 [] outcomes
+
+let check ?max_steps ?strategy ?scheds ?jobs layer threads =
   let scheds =
     match scheds with
     | Some s -> s
     | None ->
-      Explore.scheds_of_strategy layer threads
+      Explore.scheds_of_strategy ?jobs layer threads
         (Option.value strategy ~default:Explore.default_strategy)
   in
-  let rec go runs = function
-    | [] -> Race_free { runs }
-    | sched :: rest -> (
-      let outcome = Game.run (Game.config ?max_steps layer threads sched) in
-      match outcome.Game.status with
-      | Game.Stuck (_, Layer.Data_race, msg) ->
-        Race { sched_name = sched.Sched.name; detail = msg; log = outcome.Game.log }
-      | Game.Stuck (i, Layer.Invalid_transition, msg) ->
-        Other_failure (Printf.sprintf "thread %d stuck (not a race): %s" i msg)
-      | Game.Deadlock ids ->
-        Other_failure
-          (Printf.sprintf "deadlock among threads %s"
-             (String.concat "," (List.map string_of_int ids)))
-      | Game.Out_of_fuel -> Other_failure "out of fuel"
-      | Game.All_done ->
-        if Ccal_machine.Pushpull.race_free outcome.Game.log then go (runs + 1) rest
-        else
-          Race
-            {
-              sched_name = sched.Sched.name;
-              detail = "completed log fails push/pull replay";
-              log = outcome.Game.log;
-            })
-  in
-  go 0 scheds
+  merge
+    (Parallel.scan ?jobs
+       ~cut:(function Racy _ -> true | Clean | Other _ -> false)
+       (check_sched ?max_steps layer threads)
+       scheds)

@@ -10,7 +10,7 @@
 open Ccal_core
 
 type verdict =
-  | Race_free of { runs : int }
+  | Race_free of { runs : int }  (** [runs] counts the clean runs *)
   | Race of { sched_name : string; detail : string; log : Log.t }
   | Other_failure of string
 
@@ -18,13 +18,21 @@ val check :
   ?max_steps:int ->
   ?strategy:Explore.strategy ->
   ?scheds:Sched.t list ->
+  ?jobs:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   verdict
 (** Run the machine under each scheduler; a [Stuck] status carrying
     [Layer.Data_race] — the structured mark a racing push/pull replay
-    leaves — is reported as a race, any other stuckness as
-    [Other_failure]; completed runs are additionally re-validated with
-    {!Ccal_machine.Pushpull.race_free}.  When no explicit [scheds] are
-    given the suite comes from [strategy]
-    (default {!Explore.default_strategy}, i.e. DPOR). *)
+    leaves — is reported as a race; completed runs are additionally
+    re-validated with {!Ccal_machine.Pushpull.race_free}.  Any other
+    stuckness (deadlock, fuel exhaustion, an invalid transition) is a
+    non-race failure: it is {e collected without aborting the scan}, so a
+    genuine race on a later schedule is still found; only when no schedule
+    races is [Other_failure] reported (the first failure, annotated with
+    the count of further ones).  When no explicit [scheds] are given the
+    suite comes from [strategy] (default {!Explore.default_strategy},
+    i.e. DPOR).  [jobs] spreads the scan over a {!Parallel} domain pool;
+    the verdict is bit-identical for every jobs count — a reported [Race]
+    is always the lowest-indexed racing schedule — and [~jobs:1] (the
+    default) keeps the sequential path. *)

@@ -36,15 +36,21 @@ let pp_report fmt r =
     r.edges;
   Format.fprintf fmt "  total: %d checks in %.1f ms@]" r.total_checks r.total_millis
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
-  r, ms
+let timed = Verify_clock.timed
+
+(* Fold a [Parallel.scan]-produced prefix of per-schedule linking results
+   back into the sequential count-or-first-error shape. *)
+let fold_linking results =
+  let rec go n = function
+    | [] -> Ok n
+    | Ok () :: rest -> go (n + 1) rest
+    | (Error _ as e) :: _ -> e
+  in
+  go 0 results
 
 let vi = Value.int
 
-let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
+let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
   let edges = ref [] in
   let push edge = edges := edge :: !edges in
   let scheds () = Sched.default_suite ~seeds in
@@ -54,7 +60,7 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
   let scheds_for layer threads =
     match strategy with
     | None -> scheds ()
-    | Some s -> Explore.scheds_of_strategy layer threads s
+    | Some s -> Explore.scheds_of_strategy ?jobs layer threads s
   in
   let cert_scheds_for (cert : Calculus.cert) client =
     match strategy with
@@ -66,7 +72,7 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
           (fun i -> i, Prog.Module.link j.Calculus.impl (client i))
           j.Calculus.focus
       in
-      Explore.scheds_of_strategy j.Calculus.underlay threads s
+      Explore.scheds_of_strategy ?jobs j.Calculus.underlay threads s
   in
   let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
 
@@ -79,8 +85,10 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
   let link_result, ms =
     timed (fun () ->
         let threads = [ 1, faa_round 1; 2, faa_round 2 ] in
-        Ccal_machine.Mx86.check_multicore_linking ~threads
-          ~scheds:(scheds_for (Ccal_machine.Mx86.layer ()) threads) ())
+        fold_linking
+          (Parallel.scan ?jobs ~cut:Result.is_error
+             (Ccal_machine.Mx86.check_multicore_linking_sched ~threads)
+             (scheds_for (Ccal_machine.Mx86.layer ()) threads)))
   in
   let* n = link_result in
   push { edge_name = "Mx86 refines Lx86[D] (Thm 3.1)"; kind = `Linking; checks = n; millis = ms };
@@ -122,7 +130,7 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
         let logs =
           List.map
             (fun o -> o.Game.log)
-            (Game.behaviors layer threads (scheds_for layer threads))
+            (Explore.run_all ?jobs layer threads (scheds_for layer threads))
         in
         Result.map_error (Format.asprintf "%a" Calculus.pp_error)
           (Calculus.pcomp c1 c2 ~compat_logs:logs))
@@ -151,7 +159,7 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
             [ Prog.call "enQ_s" [ vi 0; vi (10 + i) ];
               Prog.call "deQ_s" [ vi 0 ] ]
         in
-        Refinement.check_cert stack_cert ~client
+        Linearizability.refine_cert ?jobs stack_cert ~client
           ~scheds:(cert_scheds_for stack_cert client))
   in
   let* sound_report =
@@ -175,8 +183,11 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
               Prog.call Thread_sched.yield_tag []; Prog.call Thread_sched.exit_tag [] ]
         in
         let threads = [ 1, prog 1; 2, prog 2; 3, prog 3 ] in
-        Thread_sched.check_multithreaded_linking ~placement ~layer ~threads
-          ~scheds:(scheds_for layer threads) ())
+        fold_linking
+          (Parallel.scan ?jobs ~cut:Result.is_error
+             (Thread_sched.check_multithreaded_linking_sched ~placement ~layer
+                ~threads)
+             (scheds_for layer threads)))
   in
   let* n = mtl in
   push
@@ -217,7 +228,7 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
                 Prog.call "recv" [ vi 5 ]; Prog.call Thread_sched.exit_tag [] ]
         in
         Result.map_error (Format.asprintf "%a" Refinement.pp_failure)
-          (Refinement.check_cert cert ~client
+          (Linearizability.refine_cert ?jobs cert ~client
              ~scheds:(cert_scheds_for cert client)))
   in
   let* r = ipc_sound in

@@ -29,6 +29,7 @@ val verify_all :
   ?lock:[ `Ticket | `Mcs ] ->
   ?seeds:int ->
   ?strategy:Explore.strategy ->
+  ?jobs:int ->
   unit ->
   (report, string) result
 (** Certify and link the whole stack.  When [strategy] is given, every
@@ -36,7 +37,10 @@ val verify_all :
     corpus and the soundness games) derives its scheduler suite from that
     strategy over the edge's own game — [`Dpor] walks each game and
     replays only non-redundant prefixes; otherwise the seeded default
-    suite ([seeds], default 4) is used.  The edges:
+    suite ([seeds], default 4) is used.  [jobs] spreads every
+    game-driving edge's schedule scan over a {!Parallel} domain pool; the
+    report differs only in the timing fields — failures and check counts
+    are identical for every jobs count.  The edges:
     {ol
     {- multicore linking (Thm 3.1) over the hardware machine;}
     {- the spinlock certificate ([`Ticket] by default; [`Mcs] drops in the

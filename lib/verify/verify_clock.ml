@@ -1,0 +1,16 @@
+(* Monotonic timing for the verifiers.  [Unix.gettimeofday] is wall-clock
+   time: it jumps backwards and forwards under NTP adjustment, which makes
+   the per-edge timings in {!Stack} and the pool's per-chunk accounting
+   unreliable.  Bechamel ships a CLOCK_MONOTONIC stub with no further
+   dependencies, so we use that. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
+let elapsed_ms ~since = ns_to_ms (Int64.sub (now_ns ()) since)
+
+let timed f =
+  let t0 = now_ns () in
+  let r = f () in
+  r, elapsed_ms ~since:t0

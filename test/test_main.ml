@@ -15,5 +15,6 @@ let () =
       "api-surface-and-corner-cases", Test_surface.suite;
       "liveness-and-deadlock", Test_liveness.suite;
       "dpor-exploration (S23)", Test_dpor.suite;
+      "parallel-checking (S24)", Test_parallel.suite;
       "cross-cutting-invariants", Test_invariants.suite;
     ]
