@@ -1,4 +1,4 @@
-.PHONY: all build test check check-parallel explore bench clean
+.PHONY: all build test check check-test-count check-parallel explore bench clean
 
 all: build
 
@@ -8,9 +8,27 @@ build:
 test:
 	dune runtest --force
 
+# Regression guard: the suite must never silently shrink — a dune or
+# module-wiring mistake can drop a whole test file from the runner while
+# everything still "passes".  Bump the floor when tests are added.
+TEST_COUNT_FLOOR := 333
+
+check-test-count:
+	@out=$$(dune runtest --force 2>&1); status=$$?; \
+	echo "$$out" | tail -2; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	count=$$(echo "$$out" | grep -Eo '[0-9]+ tests run' | grep -Eo '[0-9]+' | tail -1); \
+	if [ -z "$$count" ]; then echo "check-test-count: could not parse test count"; exit 1; fi; \
+	if [ "$$count" -lt "$(TEST_COUNT_FLOOR)" ]; then \
+	  echo "check-test-count: REGRESSION - $$count tests run, floor is $(TEST_COUNT_FLOOR)"; exit 1; \
+	else \
+	  echo "check-test-count: OK ($$count tests run >= floor $(TEST_COUNT_FLOOR))"; \
+	fi
+
 # The tier-1 gate: everything CI runs, runnable locally in one shot.
-# Includes the DPOR-vs-exhaustive agreement check on the headline game.
-check: build test
+# Runs the full suite (with the test-count floor) and the
+# DPOR-vs-exhaustive agreement check on the headline game.
+check: build check-test-count
 	dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
 
 # The parallel-checking gate (DESIGN.md S24): the same verdicts must come

@@ -543,6 +543,108 @@ let write_parallel_json path games =
   Format.printf "@.  wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* telemetry — instrumentation overhead and jobs-determinism            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two acceptance gates for the telemetry layer (DESIGN.md S25), measured
+   on the Llock DPOR bench (3 threads, depth 5):
+   - overhead: enabling counters + spans must stay under a few percent of
+     the uninstrumented run (budget: 5%);
+   - determinism: the counter totals must be bit-identical for jobs=1 and
+     jobs=4 — the capture/commit protocol in [Parallel.scan] at work. *)
+
+type telemetry_bench = {
+  off_ms : float;
+  on_ms : float;
+  overhead_pct : float;
+  counters_j1 : (string * int) list;
+  counters_j4 : (string * int) list;
+  counters_equal : bool;
+  spans_recorded : int;
+}
+
+let run_telemetry_bench () =
+  let module V = Ccal_verify in
+  let lock_client i =
+    Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+        Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+  in
+  let layer = Lock_intf.layer "Llock" in
+  let threads = List.init 3 (fun k -> k + 1, lock_client (k + 1)) in
+  let explore jobs = ignore (V.Dpor.explore ~jobs ~depth:5 layer threads) in
+  let best f =
+    (* best-of-N: the minimum is the least noisy location statistic for a
+       deterministic workload *)
+    let rec go n acc =
+      if n = 0 then acc
+      else
+        let _, ms = V.Verify_clock.timed f in
+        go (n - 1) (Float.min acc ms)
+    in
+    go 7 infinity
+  in
+  explore 1 (* warm-up *);
+  V.Telemetry.disable ();
+  let off_ms = best (fun () -> explore 1) in
+  V.Telemetry.enable ();
+  let on_ms = best (fun () -> explore 1) in
+  let counters_at jobs =
+    V.Telemetry.reset ();
+    explore jobs;
+    V.Telemetry.counters ()
+  in
+  let counters_j1 = counters_at 1 in
+  let counters_j4 = counters_at 4 in
+  let spans_recorded = List.length (V.Telemetry.spans ()) in
+  V.Telemetry.disable ();
+  V.Telemetry.reset ();
+  {
+    off_ms;
+    on_ms;
+    overhead_pct = (on_ms -. off_ms) /. off_ms *. 100.;
+    counters_j1;
+    counters_j4;
+    counters_equal = counters_j1 = counters_j4;
+    spans_recorded;
+  }
+
+let print_telemetry_bench (t : telemetry_bench) =
+  Format.printf
+    "@.== telemetry: instrumentation overhead and jobs-determinism ==@.@.";
+  Format.printf
+    "  Llock dpor 3t depth-5: %.3f ms off, %.3f ms on -> %.1f%% overhead \
+     (budget 5%%)@."
+    t.off_ms t.on_ms t.overhead_pct;
+  Format.printf "  counters jobs=1 vs jobs=4: %s@."
+    (if t.counters_equal then "identical" else "DIFFER");
+  List.iter
+    (fun (n, v) -> Format.printf "    %-20s %d@." n v)
+    t.counters_j1;
+  Format.printf "  spans recorded: %d@." t.spans_recorded
+
+let write_telemetry_json path (t : telemetry_bench) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  let counters_json cs =
+    String.concat ", "
+      (List.map (fun (n, v) -> Printf.sprintf "%S: %d" n v) cs)
+  in
+  out "{\n";
+  out "  \"bench\": \"telemetry-overhead\",\n";
+  out "  \"game\": \"llock-dpor-3t-depth5\",\n";
+  out "  \"off_ms\": %.3f,\n" t.off_ms;
+  out "  \"on_ms\": %.3f,\n" t.on_ms;
+  out "  \"overhead_pct\": %.2f,\n" t.overhead_pct;
+  out "  \"overhead_budget_pct\": 5.0,\n";
+  out "  \"counters_jobs1\": {%s},\n" (counters_json t.counters_j1);
+  out "  \"counters_jobs4\": {%s},\n" (counters_json t.counters_j4);
+  out "  \"counters_equal\": %b,\n" t.counters_equal;
+  out "  \"spans_recorded\": %d\n" t.spans_recorded;
+  out "}\n";
+  close_out oc;
+  Format.printf "@.  wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro/macro benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -632,6 +734,9 @@ let () =
   print_dpor_ablation ();
   let scaling = run_parallel_scaling () in
   write_parallel_json "BENCH_parallel.json" scaling;
+  let telemetry = run_telemetry_bench () in
+  print_telemetry_bench telemetry;
+  write_telemetry_json "BENCH_telemetry.json" telemetry;
   let bench_rows = run_benchmarks (make_tests perf) in
   (* headline ratio, from wall-clock *)
   (match

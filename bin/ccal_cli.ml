@@ -30,6 +30,41 @@ let resolve_jobs = function
   | Some n -> max 1 n
   | None -> Ccal_verify.Parallel.default_jobs ()
 
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Enable verification telemetry and print the counter/span \
+                 table after the run.  Counters are identical for every \
+                 $(b,--jobs) value (DESIGN.md S25).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Enable verification telemetry and write the recorded spans \
+                 to $(docv) in Chrome trace format (load in about:tracing \
+                 or ui.perfetto.dev; one track per worker domain).")
+
+(* Run [f] with telemetry enabled when [--stats] or [--trace] asks for it;
+   print the table and/or write the trace afterwards, leaving the exit
+   code to [f].  Exporting happens even when [f] fails — a failing run is
+   exactly when the trace is interesting. *)
+let with_telemetry ~stats ~trace f =
+  let module T = Ccal_verify.Telemetry in
+  if not (stats || trace <> None) then f ()
+  else begin
+    T.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        if stats then Format.printf "%a@." T.pp_stats ();
+        (match trace with
+        | Some path ->
+          T.write_chrome_trace path;
+          Format.printf "trace written to %s@." path
+        | None -> ());
+        T.disable ())
+      f
+  end
+
 (* ---------------- stack ---------------- *)
 
 let strategy_of_string = function
@@ -57,23 +92,24 @@ let strategy_of_string = function
            s))
 
 let stack_cmd =
-  let run lock seeds strategy jobs =
+  let run lock seeds strategy jobs stats trace =
     let lock = match lock with "mcs" -> `Mcs | _ -> `Ticket in
     match strategy_of_string strategy with
     | Error msg ->
       Format.eprintf "%s@." msg;
       2
-    | Ok strategy -> (
-      match
-        Ccal_verify.Stack.verify_all ~lock ~seeds ?strategy
-          ~jobs:(resolve_jobs jobs) ()
-      with
-      | Ok report ->
-        Format.printf "%a@." Ccal_verify.Stack.pp_report report;
-        0
-      | Error msg ->
-        Format.eprintf "stack verification failed: %s@." msg;
-        1)
+    | Ok strategy ->
+      with_telemetry ~stats ~trace (fun () ->
+          match
+            Ccal_verify.Stack.verify_all ~lock ~seeds ?strategy
+              ~jobs:(resolve_jobs jobs) ()
+          with
+          | Ok report ->
+            Format.printf "%a@." Ccal_verify.Stack.pp_report report;
+            0
+          | Error msg ->
+            Format.eprintf "stack verification failed: %s@." msg;
+            1)
   in
   let lock =
     Arg.(value & opt string "ticket"
@@ -92,7 +128,7 @@ let stack_cmd =
   in
   Cmd.v
     (Cmd.info "stack" ~doc:"Certify and link the whole Fig. 1 layer stack")
-    Term.(const run $ lock $ seeds $ strategy $ jobs_arg)
+    Term.(const run $ lock $ seeds $ strategy $ jobs_arg $ stats_arg $ trace_arg)
 
 (* ---------------- verify ---------------- *)
 
@@ -144,35 +180,36 @@ let verify_cmd =
 (* ---------------- pipeline ---------------- *)
 
 let pipeline_cmd =
-  let run seeds jobs =
-    match Ticket_lock.certify ~focus:[ 1; 2 ] () with
-    | Error e ->
-      Format.eprintf "%a@." Calculus.pp_error e;
-      1
-    | Ok cert -> (
-      Format.printf "%a@.@." Calculus.pp_cert cert;
-      let client i =
-        Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
-            Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
-      in
-      match
-        Ccal_verify.Linearizability.refine_cert ~jobs:(resolve_jobs jobs) cert
-          ~client ~scheds:(Sched.default_suite ~seeds)
-      with
-      | Ok r ->
-        Format.printf "soundness: %d schedules refined -- OK@."
-          r.Refinement.scheds_checked;
-        0
-      | Error f ->
-        Format.eprintf "%a@." Refinement.pp_failure f;
-        1)
+  let run seeds jobs stats trace =
+    with_telemetry ~stats ~trace (fun () ->
+        match Ticket_lock.certify ~focus:[ 1; 2 ] () with
+        | Error e ->
+          Format.eprintf "%a@." Calculus.pp_error e;
+          1
+        | Ok cert -> (
+          Format.printf "%a@.@." Calculus.pp_cert cert;
+          let client i =
+            Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+                Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+          in
+          match
+            Ccal_verify.Linearizability.refine_cert ~jobs:(resolve_jobs jobs)
+              cert ~client ~scheds:(Sched.default_suite ~seeds)
+          with
+          | Ok r ->
+            Format.printf "soundness: %d schedules refined -- OK@."
+              r.Refinement.scheds_checked;
+            0
+          | Error f ->
+            Format.eprintf "%a@." Refinement.pp_failure f;
+            1))
   in
   let seeds =
     Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Random schedulers.")
   in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the Fig. 5 ticket-lock pipeline end to end")
-    Term.(const run $ seeds $ jobs_arg)
+    Term.(const run $ seeds $ jobs_arg $ stats_arg $ trace_arg)
 
 (* ---------------- explore ---------------- *)
 
@@ -208,7 +245,7 @@ let explore_game name nthreads =
   | _ -> None
 
 let explore_cmd =
-  let run obj nthreads depth mode jobs =
+  let run obj nthreads depth mode jobs stats trace =
     let independence =
       match mode with
       | "events" -> Some Ccal_verify.Dpor.Commuting_events
@@ -225,6 +262,7 @@ let explore_cmd =
       Format.eprintf "unknown mode %S (expected exact or events)@." mode;
       2
     | Some (layer, threads), Some independence ->
+      with_telemetry ~stats ~trace @@ fun () ->
       let module V = Ccal_verify in
       let jobs = resolve_jobs jobs in
       let dpor = V.Dpor.explore ~independence ~jobs ~depth layer threads in
@@ -283,7 +321,8 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Compare the DPOR explorer against exhaustive enumeration")
-    Term.(const run $ obj $ nthreads $ depth $ mode $ jobs_arg)
+    Term.(const run $ obj $ nthreads $ depth $ mode $ jobs_arg $ stats_arg
+          $ trace_arg)
 
 (* ---------------- inventory ---------------- *)
 

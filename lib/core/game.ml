@@ -30,6 +30,15 @@ type slot =
   | Running of Machine.thread_state
   | Finished of Value.t
 
+(* Telemetry (DESIGN.md S25): every completed game bumps the run and
+   replay-work counters.  [Probe.add] is a single atomic-bool read when
+   telemetry is off, and inside a [Parallel] job the counts go to the
+   job's capture delta, keeping totals jobs-deterministic. *)
+let observe (o : outcome) =
+  Probe.incr Probe.schedules_run;
+  Probe.add Probe.replay_steps (o.steps + o.silent_steps);
+  o
+
 let run cfg =
   let slots =
     List.map
@@ -107,7 +116,7 @@ let run cfg =
           in
           loop log' (steps + 1) (silent + cost) (Some i) violations)
   in
-  loop Log.empty 0 0 None []
+  observe (loop Log.empty 0 0 None [])
 
 let behaviors ?max_steps ?log_switches ?check_guar layer threads scheds =
   List.map

@@ -45,15 +45,28 @@ let count p l =
 let equal a b =
   a.len = b.len && List.for_all2 Event.equal a.rev_events b.rev_events
 
+(* Multiply-xor avalanche per event.  The previous [acc * 31 + h] chain
+   barely diffuses the low bits: permutations and near-permutations of the
+   same events land in the same bucket far too often, degrading [dedup]
+   to its quadratic worst case on exactly the permuted-log corpora the
+   DPOR harness feeds it.  The xor-in / odd-multiply / shift-down round
+   spreads every event hash across the word, and a second finalization
+   pass mixes the length back in so prefixes separate from extensions. *)
+let mix acc k =
+  let h = (acc lxor k) * 0x9E3779B1 in
+  (h lxor (h lsr 16)) land max_int
+
 let hash l =
-  List.fold_left
-    (fun acc e -> ((acc * 31) + Event.hash e) land max_int)
-    l.len l.rev_events
+  let h = List.fold_left (fun acc e -> mix acc (Event.hash e)) 0x2545F491 l.rev_events in
+  let h = mix h l.len in
+  mix h (h lsr 11)
 
 (* Order-preserving dedup, hashing into buckets so counting distinct logs
    is linear in the total number of events rather than quadratic in the
-   number of logs. *)
-let dedup logs =
+   number of logs.  Collisions only cost time, never correctness: equality
+   within a bucket is decided by [equal].  [?hash] lets the tests drive
+   the collision path deliberately (e.g. a constant hash). *)
+let dedup ?(hash = hash) logs =
   let buckets = Hashtbl.create 64 in
   List.filter
     (fun l ->

@@ -53,12 +53,18 @@ val count : (Event.t -> bool) -> t -> int
 val equal : t -> t -> bool
 
 val hash : t -> int
-(** Order-sensitive structural hash, compatible with {!equal}. *)
+(** Order-sensitive structural hash, compatible with {!equal}.  Each
+    event is folded through a multiply-xor avalanche round and the length
+    is mixed in by a second finalization pass, so permuted logs — the
+    bulk of what the DPOR harness deduplicates — spread across buckets
+    instead of chaining. *)
 
-val dedup : t list -> t list
+val dedup : ?hash:(t -> int) -> t list -> t list
 (** Distinct logs in first-occurrence order; hashed, so linear in the
     total number of events (the verification harness counts distinct
-    interleavings over thousands of runs). *)
+    interleavings over thousands of runs).  Hash collisions cost time,
+    never correctness ({!equal} decides within a bucket); [?hash]
+    (default {!hash}) exists so tests can force the collision path. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -14,6 +14,7 @@ let erase_switches =
       if Event.is_switch e then [] else [ e ])
 
 let check_multicore_linking_sched ?max_steps ~threads sched =
+  Probe.span "mx86.linking" @@ fun () ->
   let l = layer () in
   let outcome =
     Game.run (Game.config ?max_steps ~log_switches:true l threads sched)

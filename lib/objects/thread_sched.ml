@@ -263,6 +263,7 @@ let turn_consistent placement log =
 
 let check_multithreaded_linking_sched ?max_steps ~placement ~layer ~threads
     sched =
+  Probe.span "thread_sched.linking" @@ fun () ->
   let outcome = Game.run (Game.config ?max_steps layer threads sched) in
   match outcome.Game.status with
   | Game.Stuck (i, _, msg) -> Error (Printf.sprintf "thread %d stuck: %s" i msg)

@@ -256,13 +256,16 @@ let schedules ?private_fuel ?independence ?reads ?jobs ~depth layer threads =
 let explore ?max_steps ?private_fuel ?(independence = Exact) ?reads ?jobs
     ~depth layer threads =
   let prefixes, sleep_set_prunes =
-    prefixes_with_prunes ?private_fuel ~independence ?reads ?jobs ~depth layer
-      threads
+    Probe.span "dpor.prefixes" (fun () ->
+        prefixes_with_prunes ?private_fuel ~independence ?reads ?jobs ~depth
+          layer threads)
   in
   let outcomes =
-    Parallel.map ?jobs
-      (fun p -> Game.run (Game.config ?max_steps layer threads (sched_of_prefix p)))
-      prefixes
+    Probe.span "dpor.replay" (fun () ->
+        Parallel.map ?jobs
+          (fun p ->
+            Game.run (Game.config ?max_steps layer threads (sched_of_prefix p)))
+          prefixes)
   in
   let logs = List.map (fun o -> o.Game.log) outcomes in
   let representative =
@@ -272,6 +275,11 @@ let explore ?max_steps ?private_fuel ?(independence = Exact) ?reads ?jobs
   in
   let schedules_considered = pow (List.length threads) depth in
   let schedules_run = List.length prefixes in
+  let distinct_logs =
+    Probe.span "dpor.dedup" (fun () -> List.length (Log.dedup representative))
+  in
+  Probe.add Probe.sleep_set_prunes sleep_set_prunes;
+  Probe.add Probe.logs_distinct distinct_logs;
   {
     prefixes;
     outcomes;
@@ -281,7 +289,7 @@ let explore ?max_steps ?private_fuel ?(independence = Exact) ?reads ?jobs
         schedules_run;
         schedules_pruned = max 0 (schedules_considered - schedules_run);
         sleep_set_prunes;
-        distinct_logs = List.length (Log.dedup representative);
+        distinct_logs;
       };
   }
 

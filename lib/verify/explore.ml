@@ -34,9 +34,10 @@ let scheds_of_strategy ?private_fuel ?jobs layer threads = function
   | `Random count -> random_scheds ~count
 
 let run_all ?max_steps ?jobs layer threads scheds =
-  Parallel.map ?jobs
-    (fun sched -> Game.run (Game.config ?max_steps layer threads sched))
-    scheds
+  Probe.span "explore.run_all" (fun () ->
+      Parallel.map ?jobs
+        (fun sched -> Game.run (Game.config ?max_steps layer threads sched))
+        scheds)
 
 let all_logs outcomes = List.map (fun o -> o.Game.log) outcomes
 

@@ -63,10 +63,12 @@ let check ?max_steps ?strategy ?scheds ?jobs ~underlay ~impl ~overlay ~rel
   | Error _ as e -> e
   | Ok r ->
     let logs = r.Refinement.logs in
+    let distinct_logs = List.length (Log.dedup logs) in
+    Probe.add Probe.logs_distinct distinct_logs;
     Ok
       {
         runs = r.Refinement.scheds_checked;
-        distinct_logs = List.length (Log.dedup logs);
+        distinct_logs;
         events = List.fold_left (fun n l -> n + Log.length l) 0 logs;
       }
 

@@ -97,15 +97,19 @@ let run_chunks (b : batch) =
       let t0 = Verify_clock.now_ns () in
       let stop = min b.limit (start + b.chunk) in
       let i = ref start in
-      let live = ref true in
-      while !live && !i < stop do
-        (* indices above the cut can no longer influence the merged
-           result: skip the rest of the chunk *)
-        if !i <= Atomic.get b.cut then (
-          b.run !i;
-          incr i)
-        else live := false
-      done;
+      (* A span, not a counter: which chunks each worker claims is
+         timing-dependent, so it may only show up in the (inherently
+         run-specific) trace, never in the jobs-deterministic totals. *)
+      Ccal_core.Probe.span "pool.chunk" (fun () ->
+          let live = ref true in
+          while !live && !i < stop do
+            (* indices above the cut can no longer influence the merged
+               result: skip the rest of the chunk *)
+            if !i <= Atomic.get b.cut then (
+              b.run !i;
+              incr i)
+            else live := false
+          done);
       ignore (Atomic.fetch_and_add stat_jobs (!i - start));
       ignore
         (Atomic.fetch_and_add stat_busy_ns
@@ -252,26 +256,38 @@ let scan ?jobs ~cut f xs =
     | Some (pool, busy) ->
       let arr = Array.of_list xs in
       let cells = Array.make n Empty in
+      (* Telemetry counters bumped inside a job body go to a per-job
+         capture delta, not the globals: under [jobs > 1] workers may
+         evaluate indices past the final cut — indices a sequential scan
+         never runs — so direct bumps would overcount.  The merge below
+         commits the deltas of exactly the surviving prefix, in index
+         order, keeping every counter total bit-identical to [~jobs:1]. *)
+      let deltas = Array.make n None in
       let cut_mark = Atomic.make max_int in
       let run i =
-        match f arr.(i) with
-        | v ->
-          cells.(i) <- Value v;
-          if cut v then atomic_min cut_mark i
-        | exception e ->
-          cells.(i) <- Raised (e, Printexc.get_raw_backtrace ());
-          atomic_min cut_mark i
+        deltas.(i) <-
+          Ccal_core.Probe.captured (fun () ->
+              match f arr.(i) with
+              | v ->
+                cells.(i) <- Value v;
+                if cut v then atomic_min cut_mark i
+              | exception e ->
+                cells.(i) <- Raised (e, Printexc.get_raw_backtrace ());
+                atomic_min cut_mark i)
       in
       let chunk = max 1 (min 32 (n / (pool.size * 4))) in
       let b = { run; next = Atomic.make 0; chunk; limit = n; cut = cut_mark } in
       Fun.protect
         ~finally:(fun () -> release busy)
-        (fun () -> run_batch pool b);
+        (fun () -> Ccal_core.Probe.span "pool.batch" (fun () -> run_batch pool b));
       (* Merge: walk the prefix up to and including the least cut index.
          Every slot in that prefix was evaluated (workers only skip
          indices strictly above the low-water mark), so the result is the
          sequential scan's, independent of completion order. *)
       let last = min (n - 1) (Atomic.get cut_mark) in
+      for i = 0 to last do
+        Ccal_core.Probe.commit deltas.(i)
+      done;
       let rec collect i acc =
         if i > last then List.rev acc
         else

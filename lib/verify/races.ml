@@ -13,6 +13,7 @@ type sched_outcome =
   | Other of string
 
 let check_sched ?max_steps layer threads sched =
+  Probe.incr Probe.race_checks;
   let outcome = Game.run (Game.config ?max_steps layer threads sched) in
   match outcome.Game.status with
   | Game.Stuck (_, Layer.Data_race, msg) ->

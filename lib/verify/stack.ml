@@ -6,6 +6,8 @@ type edge = {
   kind : [ `Cert of Calculus.rule_name | `Linking | `Soundness ];
   checks : int;
   millis : float;
+  counters : (string * int) list;
+      (* this edge's telemetry counter growth; [] when telemetry is off *)
 }
 
 type report = {
@@ -32,11 +34,22 @@ let pp_report fmt r =
         | `Soundness -> "Sound"
       in
       Format.fprintf fmt "  [%-5s] %-55s %4d checks  %6.1f ms@." kind
-        e.edge_name e.checks e.millis)
+        e.edge_name e.checks e.millis;
+      if e.counters <> [] then
+        Format.fprintf fmt "          %s@."
+          (String.concat ", "
+             (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) e.counters)))
     r.edges;
   Format.fprintf fmt "  total: %d checks in %.1f ms@]" r.total_checks r.total_millis
 
-let timed = Verify_clock.timed
+(* Like [Verify_clock.timed], but also the edge's telemetry counter
+   growth — [Probe.counters] snapshots are cheap (a handful of atomics)
+   and empty when telemetry is off, so this adds nothing to the
+   uninstrumented path. *)
+let timed f =
+  let before = Probe.counters () in
+  let r, ms = Verify_clock.timed f in
+  (r, ms, Probe.diff_counters before (Probe.counters ()))
 
 (* Fold a [Parallel.scan]-produced prefix of per-schedule linking results
    back into the sequential count-or-first-error shape. *)
@@ -82,7 +95,7 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
       [ Prog.call "faa" [ vi 0; vi 1 ]; Prog.call "faa" [ vi 0; vi 1 ];
         Prog.ret (vi i) ]
   in
-  let link_result, ms =
+  let link_result, ms, cs =
     timed (fun () ->
         let threads = [ 1, faa_round 1; 2, faa_round 2 ] in
         fold_linking
@@ -91,7 +104,7 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
              (scheds_for (Ccal_machine.Mx86.layer ()) threads)))
   in
   let* n = link_result in
-  push { edge_name = "Mx86 refines Lx86[D] (Thm 3.1)"; kind = `Linking; checks = n; millis = ms };
+  push { edge_name = "Mx86 refines Lx86[D] (Thm 3.1)"; kind = `Linking; checks = n; millis = ms; counters = cs };
 
   (* 2. spinlock certificate *)
   let lock_name, certify_lock =
@@ -99,17 +112,17 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
     | `Ticket -> "ticket", fun () -> Ticket_lock.certify ~focus:[ 1; 2 ] ()
     | `Mcs -> "mcs", fun () -> Mcs_lock.certify ~focus:[ 1; 2 ] ()
   in
-  let lock_cert, ms = timed certify_lock in
+  let lock_cert, ms, cs = timed certify_lock in
   let* lock_cert =
     Result.map_error (Format.asprintf "%a" Calculus.pp_error) lock_cert
   in
   push
     { edge_name = Printf.sprintf "L0 |- M_%s : Llock (Fun)" lock_name;
       kind = `Cert lock_cert.Calculus.rule;
-      checks = Calculus.count_checks lock_cert; millis = ms };
+      checks = Calculus.count_checks lock_cert; millis = ms; counters = cs };
 
   (* 3. parallel composition of per-thread lock certificates *)
-  let pcomp_result, ms =
+  let pcomp_result, ms, cs =
     timed (fun () ->
         let mk focus =
           match lock with
@@ -139,20 +152,20 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
   push
     { edge_name = "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)";
       kind = `Cert pcert.Calculus.rule;
-      checks = Calculus.count_checks pcert; millis = ms };
+      checks = Calculus.count_checks pcert; millis = ms; counters = cs };
 
   (* 4. shared queue over the lock: vertical composition *)
-  let stack_cert, ms = timed (fun () -> Queue_shared.full_stack_certify ()) in
+  let stack_cert, ms, cs = timed (fun () -> Queue_shared.full_stack_certify ()) in
   let* stack_cert =
     Result.map_error (Format.asprintf "%a" Calculus.pp_error) stack_cert
   in
   push
     { edge_name = "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)";
       kind = `Cert stack_cert.Calculus.rule;
-      checks = Calculus.count_checks stack_cert; millis = ms };
+      checks = Calculus.count_checks stack_cert; millis = ms; counters = cs };
 
   (* 5. queue soundness game *)
-  let sound, ms =
+  let sound, ms, cs =
     timed (fun () ->
         let client i =
           Prog.seq_all
@@ -168,11 +181,11 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
   push
     { edge_name = "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)";
       kind = `Soundness;
-      checks = sound_report.Refinement.scheds_checked; millis = ms };
+      checks = sound_report.Refinement.scheds_checked; millis = ms; counters = cs };
 
   (* 6. multithreaded linking over the scheduler *)
   let placement = [ 1, 0; 2, 0; 3, 1 ] in
-  let mtl, ms =
+  let mtl, ms, cs =
     timed (fun () ->
         let layer =
           Thread_sched.mt_layer placement (Lock_intf.layer "Llock")
@@ -192,25 +205,26 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
   let* n = mtl in
   push
     { edge_name = "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)"; kind = `Linking;
-      checks = n; millis = ms };
+      checks = n; millis = ms; counters = cs };
 
   (* 7. queuing lock *)
-  let ql, ms = timed (fun () -> Qlock.certify ()) in
+  let ql, ms, cs = timed (fun () -> Qlock.certify ()) in
   let* ql = Result.map_error (Format.asprintf "%a" Calculus.pp_error) ql in
   push
     { edge_name = "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)";
-      kind = `Cert ql.Calculus.rule; checks = Calculus.count_checks ql; millis = ms };
+      kind = `Cert ql.Calculus.rule; checks = Calculus.count_checks ql;
+      millis = ms; counters = cs };
 
   (* 8. IPC channel over condition variables *)
-  let ipc, ms = timed (fun () -> Ipc.certify ()) in
+  let ipc, ms, cs = timed (fun () -> Ipc.certify ()) in
   let* ipc_cert = Result.map_error (Format.asprintf "%a" Calculus.pp_error) ipc in
   push
     { edge_name = "Lmt(spin+cv) |- M_ipc : Lipc (Fun)";
       kind = `Cert ipc_cert.Calculus.rule;
-      checks = Calculus.count_checks ipc_cert; millis = ms };
+      checks = Calculus.count_checks ipc_cert; millis = ms; counters = cs };
 
   (* 9. IPC producer/consumer soundness including the blocking paths *)
-  let ipc_sound, ms =
+  let ipc_sound, ms, cs =
     timed (fun () ->
         let* cert =
           Result.map_error (Format.asprintf "%a" Calculus.pp_error)
@@ -234,15 +248,17 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
   let* r = ipc_sound in
   push
     { edge_name = "[[producer|consumer]] refines Lipc (blocking paths)";
-      kind = `Soundness; checks = r.Refinement.scheds_checked; millis = ms };
+      kind = `Soundness; checks = r.Refinement.scheds_checked;
+      millis = ms; counters = cs };
 
   (* 10. reader-writer lock: a synchronization library added on top of the
      existing lock layer without touching it *)
-  let rw, ms = timed (fun () -> Rwlock.certify ()) in
+  let rw, ms, cs = timed (fun () -> Rwlock.certify ()) in
   let* rw = Result.map_error (Format.asprintf "%a" Calculus.pp_error) rw in
   push
     { edge_name = "Llock |- M_rwlock : Lrwlock (Fun, extension)";
-      kind = `Cert rw.Calculus.rule; checks = Calculus.count_checks rw; millis = ms };
+      kind = `Cert rw.Calculus.rule; checks = Calculus.count_checks rw;
+      millis = ms; counters = cs };
 
   let edges = List.rev !edges in
   Ok

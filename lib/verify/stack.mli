@@ -15,6 +15,10 @@ type edge = {
   kind : [ `Cert of Calculus.rule_name | `Linking | `Soundness ];
   checks : int;  (** evidence entries / schedules discharged *)
   millis : float;
+  counters : (string * int) list;
+      (** this edge's telemetry counter growth ({!Telemetry.diff_counters}
+          over the edge's body); [[]] when telemetry is off.  Like
+          [checks], identical for every [jobs] count. *)
 }
 
 type report = {

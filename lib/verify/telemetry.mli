@@ -1,0 +1,51 @@
+(** Verification telemetry (DESIGN.md S25).
+
+    The facade the CLI, bench and tests use: the full instrumentation
+    API of {!Ccal_core.Probe} (counters, spans, capture) re-exported,
+    plus the two exporters behind the [--stats] and [--trace] flags.
+
+    Typical session:
+    {[
+      Telemetry.enable ();
+      ... run checkers ...
+      Format.printf "%a" Telemetry.pp_stats ();
+      Telemetry.write_chrome_trace "trace.json"
+    ]}
+
+    Counters are deterministic across [?jobs] counts (DESIGN.md S24
+    extends to telemetry: the parallel executor captures per-job deltas
+    and commits exactly the sequential prefix).  Spans carry wall-clock
+    and vary run to run; they are for profiling, not for certificates. *)
+
+include module type of Ccal_core.Probe
+(** @inline *)
+
+(** {1 Stats table} *)
+
+type span_stat = {
+  sname : string;
+  calls : int;
+  total_ms : float;
+  max_ms : float;
+  domains : int;  (** distinct domains that recorded this span *)
+}
+
+val span_stats : unit -> span_stat list
+(** Per-name aggregates over {!spans}, sorted by total time descending. *)
+
+val pp_stats : Format.formatter -> unit -> unit
+(** The human-readable table: non-zero counters, span aggregates, and
+    the cumulative {!Parallel.stats} when any pool ran. *)
+
+val stats_string : unit -> string
+
+(** {1 Chrome trace export} *)
+
+val chrome_trace_string : unit -> string
+(** The recorded spans as Trace Event Format JSON (one complete ["X"]
+    event per span, microsecond timestamps relative to the earliest
+    span, [tid] = recording domain, plus ["M"] metadata events naming
+    each domain's track).  Loadable in [about:tracing] / Perfetto. *)
+
+val write_chrome_trace : string -> unit
+(** Write {!chrome_trace_string} to a file. *)

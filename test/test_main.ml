@@ -17,4 +17,5 @@ let () =
       "dpor-exploration (S23)", Test_dpor.suite;
       "parallel-checking (S24)", Test_parallel.suite;
       "cross-cutting-invariants", Test_invariants.suite;
+      "telemetry (S25)", Test_telemetry.suite;
     ]

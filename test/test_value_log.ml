@@ -164,6 +164,27 @@ let prop_value_equal_refl =
       let v = Value.list (List.map Value.int xs) in
       Value.equal v v && Value.compare v v = 0)
 
+(* [Log.dedup] buckets by hash but must decide membership by [Log.equal]
+   alone — under a hash that maps everything to one bucket (the worst
+   collision case), and under the default hash, it must agree with the
+   naive quadratic dedup.  Keeps first occurrences, in order, like the
+   naive version. *)
+let naive_dedup logs =
+  List.rev
+    (List.fold_left
+       (fun acc l -> if List.exists (Log.equal l) acc then acc else l :: acc)
+       [] logs)
+
+let logs_gen =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 12)
+    (QCheck.map log_of events_gen)
+
+let prop_dedup_collisions =
+  qtc "dedup under forced hash collisions" logs_gen (fun logs ->
+      let naive = naive_dedup logs in
+      List.equal Log.equal naive (Log.dedup ~hash:(fun _ -> 0) logs)
+      && List.equal Log.equal naive (Log.dedup logs))
+
 let suite =
   [
     tc "value equal" test_value_equal;
@@ -182,4 +203,5 @@ let suite =
     prop_map_events_id;
     prop_suffix_roundtrip;
     prop_value_equal_refl;
+    prop_dedup_collisions;
   ]
