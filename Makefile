@@ -1,4 +1,4 @@
-.PHONY: all build test check check-test-count check-parallel explore bench clean
+.PHONY: all build test check check-test-count check-parallel check-cache examples explore bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # Regression guard: the suite must never silently shrink — a dune or
 # module-wiring mistake can drop a whole test file from the runner while
 # everything still "passes".  Bump the floor when tests are added.
-TEST_COUNT_FLOOR := 333
+TEST_COUNT_FLOOR := 354
 
 check-test-count:
 	@out=$$(dune runtest --force 2>&1); status=$$?; \
@@ -26,10 +26,40 @@ check-test-count:
 	fi
 
 # The tier-1 gate: everything CI runs, runnable locally in one shot.
-# Runs the full suite (with the test-count floor) and the
-# DPOR-vs-exhaustive agreement check on the headline game.
-check: build check-test-count
+# Runs the full suite (with the test-count floor), the DPOR-vs-exhaustive
+# agreement check on the headline game, and the certificate-cache gate.
+check: build check-test-count check-cache
 	dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
+
+# The certificate-cache gate (DESIGN.md S26): a warm stack run over a
+# populated store must print a bit-identical canonical report and finish
+# at least 2x faster than the cold run that filled it.  Uses the built
+# binary directly so the wall-clock ratio isn't swamped by dune overhead.
+CCAL_BIN := _build/default/bin/ccal_cli.exe
+CACHE_CHECK_DIR := _build/ccal-cache-check
+
+check-cache: build
+	@rm -rf $(CACHE_CHECK_DIR); \
+	t0=$$(date +%s%N); \
+	$(CCAL_BIN) stack --cache-dir $(CACHE_CHECK_DIR) --report _build/cache-cold.txt --jobs 2 || exit 1; \
+	t1=$$(date +%s%N); \
+	$(CCAL_BIN) stack --cache-dir $(CACHE_CHECK_DIR) --report _build/cache-warm.txt --jobs 2 || exit 1; \
+	t2=$$(date +%s%N); \
+	cmp _build/cache-cold.txt _build/cache-warm.txt || { \
+	  echo "check-cache: REGRESSION - warm report differs from cold"; exit 1; }; \
+	cold=$$(( (t1 - t0) / 1000000 )); warm=$$(( (t2 - t1) / 1000000 )); \
+	echo "check-cache: cold $${cold}ms, warm $${warm}ms"; \
+	if [ $$(( warm * 2 )) -gt $$cold ]; then \
+	  echo "check-cache: REGRESSION - warm run not >= 2x faster"; exit 1; fi; \
+	echo "check-cache: OK (reports identical, >= 2x speedup)"
+	@$(CCAL_BIN) cache stats --cache-dir $(CACHE_CHECK_DIR)
+
+# Build and run every example as a smoke test (the CI examples step).
+examples: build
+	dune exec examples/quickstart.exe
+	dune exec examples/ticket_vs_mcs.exe
+	dune exec examples/producer_consumer.exe
+	dune exec examples/kernel_sim.exe
 
 # The parallel-checking gate (DESIGN.md S24): the same verdicts must come
 # out of the sequential oracle and the 4-domain pool.  CI runs `check`

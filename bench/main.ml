@@ -645,6 +645,104 @@ let write_telemetry_json path (t : telemetry_bench) =
   Format.printf "@.  wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* certificate cache — warm vs. cold (DESIGN.md S26)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The cache acceptance gates: a warm [Stack.verify_all] over a populated
+   store must (a) produce a canonical report bit-identical to the cold
+   run's and (b) finish at least 2x faster.  The bench runs against a
+   private temp directory so it never touches (or benefits from) the
+   user's ~/.cache/ccal. *)
+
+type cache_bench = {
+  cold_ms : float;
+  warm_ms : float;
+  speedup : float;
+  reports_identical : bool;
+  cold_stats : Ccal_verify.Cache.session;
+  warm_stats : Ccal_verify.Cache.session;
+  entries : int;
+  bytes : int;
+}
+
+let run_cache_bench () =
+  let module V = Ccal_verify in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccal-bench-cache-%d" (Unix.getpid ()))
+  in
+  let canonical = function
+    | Ok r -> Format.asprintf "%a" V.Stack.pp_report_canonical r
+    | Error e -> "ERROR: " ^ e
+  in
+  ignore (V.Stack.verify_all ~seeds:2 ()) (* warm-up, outside the cache *);
+  let cold_cache = V.Cache.create ~dir () in
+  let cold, cold_ms =
+    V.Verify_clock.timed (fun () ->
+        V.Stack.verify_all ~seeds:2 ~cache:cold_cache ())
+  in
+  let cold_stats = V.Cache.session_stats cold_cache in
+  let { V.Cache.entries; bytes } = V.Cache.disk_stats cold_cache in
+  let warm_cache = V.Cache.create ~dir () in
+  let warm, warm_ms =
+    V.Verify_clock.timed (fun () ->
+        V.Stack.verify_all ~seeds:2 ~cache:warm_cache ())
+  in
+  let warm_stats = V.Cache.session_stats warm_cache in
+  ignore (V.Cache.clear warm_cache);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  {
+    cold_ms;
+    warm_ms;
+    speedup = cold_ms /. warm_ms;
+    reports_identical = canonical cold = canonical warm;
+    cold_stats;
+    warm_stats;
+    entries;
+    bytes;
+  }
+
+let print_cache_bench (c : cache_bench) =
+  Format.printf "@.== certificate cache: cold vs. warm (S26) ==@.@.";
+  Format.printf
+    "  stack verify-all (seeds 2): %.2f ms cold -> %.2f ms warm = %.1fx \
+     (gate: >= 2x)@."
+    c.cold_ms c.warm_ms c.speedup;
+  Format.printf "  canonical reports: %s@."
+    (if c.reports_identical then "identical" else "DIFFER");
+  Format.printf "  cold: %d hits, %d misses, %d stores@." c.cold_stats.hits
+    c.cold_stats.misses c.cold_stats.stores;
+  Format.printf "  warm: %d hits, %d misses, %d stores@." c.warm_stats.hits
+    c.warm_stats.misses c.warm_stats.stores;
+  Format.printf "  store after cold run: %d entries, %d bytes@." c.entries
+    c.bytes
+
+let write_cache_json path (c : cache_bench) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  let session_json (s : Ccal_verify.Cache.session) =
+    Printf.sprintf
+      "{\"hits\": %d, \"misses\": %d, \"invalidations\": %d, \"stores\": %d}"
+      s.hits s.misses s.invalidations s.stores
+  in
+  out "{\n";
+  out "  \"bench\": \"certificate-cache\",\n";
+  out "  \"game\": \"stack-verify-all-seeds2\",\n";
+  out "  \"cold_ms\": %.3f,\n" c.cold_ms;
+  out "  \"warm_ms\": %.3f,\n" c.warm_ms;
+  out "  \"speedup\": %.2f,\n" c.speedup;
+  out "  \"speedup_gate\": 2.0,\n";
+  out "  \"reports_identical\": %b,\n" c.reports_identical;
+  out "  \"cold\": %s,\n" (session_json c.cold_stats);
+  out "  \"warm\": %s,\n" (session_json c.warm_stats);
+  out "  \"entries\": %d,\n" c.entries;
+  out "  \"bytes\": %d\n" c.bytes;
+  out "}\n";
+  close_out oc;
+  Format.printf "@.  wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro/macro benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -737,6 +835,9 @@ let () =
   let telemetry = run_telemetry_bench () in
   print_telemetry_bench telemetry;
   write_telemetry_json "BENCH_telemetry.json" telemetry;
+  let cache = run_cache_bench () in
+  print_cache_bench cache;
+  write_cache_json "BENCH_cache.json" cache;
   let bench_rows = run_benchmarks (make_tests perf) in
   (* headline ratio, from wall-clock *)
   (match

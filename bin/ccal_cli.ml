@@ -65,6 +65,41 @@ let with_telemetry ~stats ~trace f =
       f
   end
 
+(* ---------------- cache options ---------------- *)
+
+let cache_flag_arg =
+  Arg.(value & flag
+       & info [ "cache" ]
+           ~doc:"Consult the on-disk certificate cache before each edge and \
+                 record new verdicts after (DESIGN.md S26).  Failing \
+                 verdicts are never replayed from disk.  The store lives in \
+                 $(b,--cache-dir), $(b,CCAL_CACHE_DIR) or ~/.cache/ccal.")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Certificate cache directory (implies $(b,--cache)).  \
+                 Defaults to $(b,CCAL_CACHE_DIR) or ~/.cache/ccal.")
+
+(* [Some cache] when --cache/--cache-dir asks for one; [Error] (exit 2)
+   when the directory cannot be created. *)
+let make_cache use_cache dir =
+  if use_cache || dir <> None then
+    match Ccal_verify.Cache.create ?dir () with
+    | c -> Ok (Some c)
+    | exception Sys_error msg -> Error msg
+  else Ok None
+
+let pp_cache_summary fmt cache =
+  match cache with
+  | None -> ()
+  | Some c ->
+    let s = Ccal_verify.Cache.session_stats c in
+    Format.fprintf fmt "cache: %d hits, %d misses, %d invalidations (%s)@."
+      s.Ccal_verify.Cache.hits s.Ccal_verify.Cache.misses
+      s.Ccal_verify.Cache.invalidations
+      (Ccal_verify.Cache.dir c)
+
 (* ---------------- stack ---------------- *)
 
 let strategy_of_string = function
@@ -92,24 +127,40 @@ let strategy_of_string = function
            s))
 
 let stack_cmd =
-  let run lock seeds strategy jobs stats trace =
+  let run lock seeds strategy jobs stats trace use_cache cache_dir report_file =
     let lock = match lock with "mcs" -> `Mcs | _ -> `Ticket in
     match strategy_of_string strategy with
     | Error msg ->
       Format.eprintf "%s@." msg;
       2
-    | Ok strategy ->
-      with_telemetry ~stats ~trace (fun () ->
-          match
-            Ccal_verify.Stack.verify_all ~lock ~seeds ?strategy
-              ~jobs:(resolve_jobs jobs) ()
-          with
-          | Ok report ->
-            Format.printf "%a@." Ccal_verify.Stack.pp_report report;
-            0
-          | Error msg ->
-            Format.eprintf "stack verification failed: %s@." msg;
-            1)
+    | Ok strategy -> (
+      match make_cache use_cache cache_dir with
+      | Error msg ->
+        Format.eprintf "cannot open cache: %s@." msg;
+        2
+      | Ok cache ->
+        with_telemetry ~stats ~trace (fun () ->
+            match
+              Ccal_verify.Stack.verify_all ~lock ~seeds ?strategy
+                ~jobs:(resolve_jobs jobs) ?cache ()
+            with
+            | Ok report ->
+              Format.printf "%a@." Ccal_verify.Stack.pp_report report;
+              (match report_file with
+              | None -> ()
+              | Some path ->
+                let oc = open_out path in
+                let fmt = Format.formatter_of_out_channel oc in
+                Format.fprintf fmt "%a@."
+                  Ccal_verify.Stack.pp_report_canonical report;
+                Format.pp_print_flush fmt ();
+                close_out oc;
+                Format.printf "canonical report written to %s@." path);
+              Format.printf "%a" pp_cache_summary cache;
+              0
+            | Error msg ->
+              Format.eprintf "stack verification failed: %s@." msg;
+              1))
   in
   let lock =
     Arg.(value & opt string "ticket"
@@ -126,9 +177,17 @@ let stack_cmd =
                    default (seeded suite), dpor[:DEPTH], exhaustive:DEPTH \
                    or random:COUNT.")
   in
+  let report_file =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Also write the canonical (timing-free) report to $(docv).  \
+                   The file is bit-identical between cold and warm cached \
+                   runs and across $(b,--jobs) counts — made for $(b,cmp).")
+  in
   Cmd.v
     (Cmd.info "stack" ~doc:"Certify and link the whole Fig. 1 layer stack")
-    Term.(const run $ lock $ seeds $ strategy $ jobs_arg $ stats_arg $ trace_arg)
+    Term.(const run $ lock $ seeds $ strategy $ jobs_arg $ stats_arg
+          $ trace_arg $ cache_flag_arg $ cache_dir_arg $ report_file)
 
 (* ---------------- verify ---------------- *)
 
@@ -177,39 +236,108 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Build the certificate for one object")
     Term.(const run $ obj_arg)
 
+(* ---------------- cache ---------------- *)
+
+let cache_cmd =
+  let open_cache dir k =
+    match Ccal_verify.Cache.create ?dir () with
+    | c -> k c
+    | exception Sys_error msg ->
+      Format.eprintf "cannot open cache: %s@." msg;
+      2
+  in
+  let stats_cmd =
+    let run dir =
+      open_cache dir (fun c ->
+          let d = Ccal_verify.Cache.disk_stats c in
+          Format.printf "dir:     %s@.entries: %d@.bytes:   %d@."
+            (Ccal_verify.Cache.dir c) d.Ccal_verify.Cache.entries
+            d.Ccal_verify.Cache.bytes;
+          0)
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Print the certificate-cache location and size")
+      Term.(const run $ cache_dir_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      open_cache dir (fun c ->
+          let removed = Ccal_verify.Cache.clear c in
+          Format.printf "removed %d entries from %s@." removed
+            (Ccal_verify.Cache.dir c);
+          0)
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Delete every certificate-cache entry")
+      Term.(const run $ cache_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or clear the on-disk certificate cache")
+    [ stats_cmd; clear_cmd ]
+
 (* ---------------- pipeline ---------------- *)
 
 let pipeline_cmd =
-  let run seeds jobs stats trace =
-    with_telemetry ~stats ~trace (fun () ->
-        match Ticket_lock.certify ~focus:[ 1; 2 ] () with
-        | Error e ->
-          Format.eprintf "%a@." Calculus.pp_error e;
-          1
-        | Ok cert -> (
-          Format.printf "%a@.@." Calculus.pp_cert cert;
-          let client i =
-            Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
-                Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
-          in
-          match
-            Ccal_verify.Linearizability.refine_cert ~jobs:(resolve_jobs jobs)
-              cert ~client ~scheds:(Sched.default_suite ~seeds)
-          with
-          | Ok r ->
-            Format.printf "soundness: %d schedules refined -- OK@."
-              r.Refinement.scheds_checked;
-            0
-          | Error f ->
-            Format.eprintf "%a@." Refinement.pp_failure f;
-            1))
+  let run seeds strategy jobs stats trace =
+    match strategy_of_string strategy with
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      2
+    | Ok strategy ->
+      with_telemetry ~stats ~trace (fun () ->
+          match Ticket_lock.certify ~focus:[ 1; 2 ] () with
+          | Error e ->
+            Format.eprintf "%a@." Calculus.pp_error e;
+            1
+          | Ok cert -> (
+            Format.printf "%a@.@." Calculus.pp_cert cert;
+            let client i =
+              Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+                  Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+            in
+            let jobs = resolve_jobs jobs in
+            (* As in [Stack.verify_all]: an explicit strategy derives the
+               suite from the soundness game itself — the linked
+               client+implementation threads over the certificate's
+               underlay — so DPOR walks the very game it will replay. *)
+            let scheds =
+              match strategy with
+              | None -> Sched.default_suite ~seeds
+              | Some s ->
+                let j = cert.Calculus.judgment in
+                let threads =
+                  List.map
+                    (fun i -> i, Prog.Module.link j.Calculus.impl (client i))
+                    j.Calculus.focus
+                in
+                Ccal_verify.Explore.scheds_of_strategy ~jobs
+                  j.Calculus.underlay threads s
+            in
+            match
+              Ccal_verify.Linearizability.refine_cert ~jobs cert ~client
+                ~scheds
+            with
+            | Ok r ->
+              Format.printf "soundness: %d schedules refined -- OK@."
+                r.Refinement.scheds_checked;
+              0
+            | Error f ->
+              Format.eprintf "%a@." Refinement.pp_failure f;
+              1))
   in
   let seeds =
     Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Random schedulers.")
   in
+  let strategy =
+    Arg.(value & opt string "default"
+         & info [ "strategy" ] ~docv:"STRAT"
+             ~doc:"Exploration strategy for the soundness game: default \
+                   (seeded suite), dpor[:DEPTH], exhaustive:DEPTH or \
+                   random:COUNT.")
+  in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the Fig. 5 ticket-lock pipeline end to end")
-    Term.(const run $ seeds $ jobs_arg $ stats_arg $ trace_arg)
+    Term.(const run $ seeds $ strategy $ jobs_arg $ stats_arg $ trace_arg)
 
 (* ---------------- explore ---------------- *)
 
@@ -353,4 +481,5 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "ccal" ~version:"1.0.0" ~doc)
-          [ stack_cmd; verify_cmd; pipeline_cmd; explore_cmd; inventory_cmd ]))
+          [ stack_cmd; verify_cmd; pipeline_cmd; explore_cmd; inventory_cmd;
+            cache_cmd ]))

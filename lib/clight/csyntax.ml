@@ -136,3 +136,60 @@ let pp_fn fmt fn =
   Format.fprintf fmt "@[<v 2>%s(%s) {@ %a@]@ }" fn.name
     (String.concat ", " fn.params)
     pp_stmt fn.body
+
+(* Structural fingerprints, for the certificate cache: the cache key of
+   an edge certified from ClightX code must change exactly when the code
+   changes, so the fold covers every constructor — including [locals],
+   which [pp_fn] elides. *)
+
+let fp_binop = function
+  | Add -> 1
+  | Sub -> 2
+  | Mul -> 3
+  | Div -> 4
+  | Mod -> 5
+  | Eq -> 6
+  | Ne -> 7
+  | Lt -> 8
+  | Le -> 9
+  | Gt -> 10
+  | Ge -> 11
+  | And -> 12
+  | Or -> 13
+
+let rec fp_expr st e =
+  let open Ccal_core in
+  match e with
+  | Const n -> Fingerprint.int (Fingerprint.int st 0x6345) n
+  | Var x -> Fingerprint.string (Fingerprint.int st 0x6356) x
+  | Binop (op, a, b) ->
+    fp_expr (fp_expr (Fingerprint.int (Fingerprint.int st 0x6342) (fp_binop op)) a) b
+  | Unop (Neg, e) -> fp_expr (Fingerprint.int st 0x634E) e
+  | Unop (Not, e) -> fp_expr (Fingerprint.int st 0x6321) e
+
+let rec fp_stmt st s =
+  let open Ccal_core in
+  match s with
+  | Sskip -> Fingerprint.int st 0x7300
+  | Sassign (x, e) -> fp_expr (Fingerprint.string (Fingerprint.int st 0x7341) x) e
+  | Scall (x, p, args) ->
+    Fingerprint.list fp_expr
+      (Fingerprint.string
+         (Fingerprint.option Fingerprint.string (Fingerprint.int st 0x7343) x)
+         p)
+      args
+  | Sseq (a, b) -> fp_stmt (fp_stmt (Fingerprint.int st 0x7353) a) b
+  | Sif (c, a, b) -> fp_stmt (fp_stmt (fp_expr (Fingerprint.int st 0x7349) c) a) b
+  | Swhile (c, s) -> fp_stmt (fp_expr (Fingerprint.int st 0x7357) c) s
+  | Sreturn e -> Fingerprint.option fp_expr (Fingerprint.int st 0x7352) e
+
+let fp_fn st fn =
+  let open Ccal_core in
+  let st = Fingerprint.string (Fingerprint.int st 0x6646) fn.name in
+  let st = Fingerprint.list Fingerprint.string st fn.params in
+  let st = Fingerprint.list Fingerprint.string st fn.locals in
+  fp_stmt st fn.body
+
+let fingerprint fns =
+  let open Ccal_core in
+  Fingerprint.finish (Fingerprint.list fp_fn Fingerprint.empty fns)

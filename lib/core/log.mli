@@ -52,6 +52,13 @@ val count : (Event.t -> bool) -> t -> int
 
 val equal : t -> t -> bool
 
+val mix : int -> int -> int
+(** [mix acc k] is one multiply-xor avalanche round: xor [k] into the
+    accumulator, multiply by an odd constant, fold the high bits back
+    down, and mask to [max_int].  This is the round behind {!hash};
+    {!Fingerprint} folds structural data through the same mixer so
+    cache keys and log hashes diffuse identically. *)
+
 val hash : t -> int
 (** Order-sensitive structural hash, compatible with {!equal}.  Each
     event is folded through a multiply-xor avalanche round and the length

@@ -116,7 +116,26 @@ type fringe_item = Leaf of Event.tid list | Subtree of node
    sequential DFS on separate domains and their results are concatenated
    in fringe order.  Pre-order is preserved at every stage, so the prefix
    list (and the prune count, a sum) is identical for every jobs count. *)
-let prefixes_with_prunes ?private_fuel ?(independence = Exact)
+(* Cache key of a DPOR walk: the game identity plus every knob that
+   shapes the DFS.  The walk has no failure mode (a stuck leaf is just a
+   short prefix), so unlike verdicts its result is stored
+   unconditionally; the replay phase always runs live. *)
+let walk_key ?private_fuel ~independence ~reads ~depth layer threads =
+  let st = Fingerprint.string Fingerprint.empty "dpor" in
+  let st = Fingerprint.layer st layer in
+  let st =
+    Fingerprint.list
+      (fun st (i, p) -> Fingerprint.prog (Fingerprint.int st i) p)
+      st threads
+  in
+  let st = Fingerprint.int st depth in
+  let st =
+    Fingerprint.int st (match independence with Exact -> 1 | Commuting_events -> 2)
+  in
+  let st = Fingerprint.list Fingerprint.string st reads in
+  Fingerprint.finish (Fingerprint.option Fingerprint.int st private_fuel)
+
+let prefixes_with_prunes_live ?private_fuel ?(independence = Exact)
     ?(reads = default_reads) ?jobs ~depth layer threads =
   let classify slots log =
     List.filter_map
@@ -237,10 +256,28 @@ let prefixes_with_prunes ?private_fuel ?(independence = Exact)
       List.fold_left (fun acc (_, p) -> acc + p) grow_prunes parts )
   end
 
-let prefixes ?private_fuel ?independence ?reads ?jobs ~depth layer threads =
+let prefixes_with_prunes ?private_fuel ?(independence = Exact)
+    ?(reads = default_reads) ?jobs ?cache ~depth layer threads =
+  let body () =
+    prefixes_with_prunes_live ?private_fuel ~independence ~reads ?jobs ~depth
+      layer threads
+  in
+  match cache with
+  | None -> body ()
+  | Some c -> (
+    let key = walk_key ?private_fuel ~independence ~reads ~depth layer threads in
+    match Cache.find c ~kind:"dpor" key with
+    | Some (r : Event.tid list list * int) -> r
+    | None ->
+      let r = body () in
+      Cache.store c ~kind:"dpor" key r;
+      r)
+
+let prefixes ?private_fuel ?independence ?reads ?jobs ?cache ~depth layer
+    threads =
   fst
-    (prefixes_with_prunes ?private_fuel ?independence ?reads ?jobs ~depth layer
-       threads)
+    (prefixes_with_prunes ?private_fuel ?independence ?reads ?jobs ?cache
+       ~depth layer threads)
 
 let sched_of_prefix prefix =
   Sched.of_trace
@@ -249,16 +286,18 @@ let sched_of_prefix prefix =
          (String.concat "," (List.map string_of_int prefix)))
     prefix
 
-let schedules ?private_fuel ?independence ?reads ?jobs ~depth layer threads =
+let schedules ?private_fuel ?independence ?reads ?jobs ?cache ~depth layer
+    threads =
   List.map sched_of_prefix
-    (prefixes ?private_fuel ?independence ?reads ?jobs ~depth layer threads)
+    (prefixes ?private_fuel ?independence ?reads ?jobs ?cache ~depth layer
+       threads)
 
 let explore ?max_steps ?private_fuel ?(independence = Exact) ?reads ?jobs
-    ~depth layer threads =
+    ?cache ~depth layer threads =
   let prefixes, sleep_set_prunes =
     Probe.span "dpor.prefixes" (fun () ->
-        prefixes_with_prunes ?private_fuel ~independence ?reads ?jobs ~depth
-          layer threads)
+        prefixes_with_prunes ?private_fuel ~independence ?reads ?jobs ?cache
+          ~depth layer threads)
   in
   let outcomes =
     Probe.span "dpor.replay" (fun () ->

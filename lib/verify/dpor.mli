@@ -68,6 +68,7 @@ val explore :
   ?independence:independence ->
   ?reads:string list ->
   ?jobs:int ->
+  ?cache:Cache.t ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
@@ -78,13 +79,17 @@ val explore :
     pool: the DFS splits its frontier into independent subtrees (a child's
     sleep set depends only on its parent and earlier siblings, all known
     before descent), and the replays are a deterministic parallel map —
-    prefixes, outcomes, and stats are identical for every jobs count. *)
+    prefixes, outcomes, and stats are identical for every jobs count.
+    [cache] memoizes the DFS walk (prefixes + sleep-set prune count),
+    keyed on the game identity and every DFS knob; the replay phase
+    always runs live, so failures reproduce from the real game. *)
 
 val prefixes :
   ?private_fuel:int ->
   ?independence:independence ->
   ?reads:string list ->
   ?jobs:int ->
+  ?cache:Cache.t ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
@@ -96,6 +101,7 @@ val schedules :
   ?independence:independence ->
   ?reads:string list ->
   ?jobs:int ->
+  ?cache:Cache.t ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->

@@ -7,7 +7,17 @@ let exhaustive_scheds ~tids ~depth =
       let shorter = traces (d - 1) in
       List.concat_map (fun t -> List.map (fun tr -> t :: tr) shorter) tids
   in
-  List.map (fun tr -> Sched.of_trace tr) (traces depth)
+  (* Content-bearing names, not the default "trace": the certificate
+     cache identifies a scheduler suite by its names, so two exhaustive
+     suites of different prefixes must not alias. *)
+  List.map
+    (fun tr ->
+      Sched.of_trace
+        ~name:
+          (Printf.sprintf "exh:[%s]"
+             (String.concat "," (List.map string_of_int tr)))
+        tr)
+    (traces depth)
 
 let random_scheds ~count = List.init count (fun k -> Sched.random ~seed:(k + 1))
 
@@ -27,17 +37,47 @@ let pp_strategy fmt = function
   | `Dpor d -> Format.fprintf fmt "dpor(depth=%d)" d
   | `Random n -> Format.fprintf fmt "random(count=%d)" n
 
-let scheds_of_strategy ?private_fuel ?jobs layer threads = function
+let scheds_of_strategy ?private_fuel ?jobs ?cache layer threads = function
   | `Exhaustive depth ->
     exhaustive_scheds ~tids:(List.map fst threads) ~depth
-  | `Dpor depth -> Dpor.schedules ?private_fuel ?jobs ~depth layer threads
+  | `Dpor depth ->
+    Dpor.schedules ?private_fuel ?jobs ?cache ~depth layer threads
   | `Random count -> random_scheds ~count
 
-let run_all ?max_steps ?jobs layer threads scheds =
-  Probe.span "explore.run_all" (fun () ->
-      Parallel.map ?jobs
-        (fun sched -> Game.run (Game.config ?max_steps layer threads sched))
-        scheds)
+(* Cache key of a [run_all] call: the complete game identity — layer,
+   linked client programs, scheduler suite (by name), fuel.  [jobs] is
+   deliberately absent: outcomes are bit-identical across jobs counts. *)
+let runall_key ?max_steps layer threads scheds =
+  let st = Fingerprint.string Fingerprint.empty "runall" in
+  let st = Fingerprint.layer st layer in
+  let st =
+    Fingerprint.list
+      (fun st (i, p) -> Fingerprint.prog (Fingerprint.int st i) p)
+      st threads
+  in
+  let st = Fingerprint.scheds st scheds in
+  Fingerprint.finish (Fingerprint.option Fingerprint.int st max_steps)
+
+let run_all ?max_steps ?jobs ?cache layer threads scheds =
+  let body () =
+    Probe.span "explore.run_all" (fun () ->
+        Parallel.map ?jobs
+          (fun sched -> Game.run (Game.config ?max_steps layer threads sched))
+          scheds)
+  in
+  match cache with
+  | None -> body ()
+  | Some c -> (
+    let key = runall_key ?max_steps layer threads scheds in
+    match Cache.find c ~kind:"runall" key with
+    | Some (outcomes : Game.outcome list) -> outcomes
+    | None ->
+      let outcomes = body () in
+      (* Only fully clean corpora are stored: any non-[All_done] status
+         is a (potential) failure and must always reproduce live. *)
+      if List.for_all (fun o -> o.Game.status = Game.All_done) outcomes then
+        Cache.store c ~kind:"runall" key outcomes;
+      outcomes)
 
 let all_logs outcomes = List.map (fun o -> o.Game.log) outcomes
 

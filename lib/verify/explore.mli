@@ -41,6 +41,7 @@ val pp_strategy : Format.formatter -> strategy -> unit
 val scheds_of_strategy :
   ?private_fuel:int ->
   ?jobs:int ->
+  ?cache:Cache.t ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   strategy ->
@@ -49,17 +50,22 @@ val scheds_of_strategy :
     [`Dpor] walks the game itself to find the non-redundant prefixes;
     the layer and threads must therefore be the ones the returned
     schedulers will drive.  [jobs] parallelises the DPOR walk
-    ({!Dpor.schedules}); the suite is identical for every jobs count. *)
+    ({!Dpor.schedules}); the suite is identical for every jobs count.
+    [cache] memoizes the DPOR walk ({!Dpor.prefixes}). *)
 
 val run_all :
   ?max_steps:int ->
   ?jobs:int ->
+  ?cache:Cache.t ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   Sched.t list ->
   Game.outcome list
 (** Run the machine under every scheduler.  [jobs] spreads the runs over
-    a {!Parallel} domain pool; the outcome list keeps schedule order. *)
+    a {!Parallel} domain pool; the outcome list keeps schedule order.
+    [cache] memoizes the whole outcome list, keyed on the game identity
+    (layer, programs, scheduler names, fuel) — but only when every
+    outcome is [All_done]: corpora containing failures re-run live. *)
 
 val all_logs : Game.outcome list -> Log.t list
 

@@ -11,8 +11,8 @@ type report = {
    the sequential loop does — the reported failure (if any) is the
    lowest-indexed failing schedule, so the result is identical for every
    jobs count. *)
-let refine ?max_steps ?expect_all_done ?jobs ~underlay ~impl ~overlay ~rel
-    ~client ~tids ~scheds () =
+let refine_live ?max_steps ?expect_all_done ?jobs ~underlay ~impl ~overlay
+    ~rel ~client ~tids ~scheds () =
   let results =
     Parallel.scan ?jobs ~cut:Result.is_error
       (Refinement.check_sched ?max_steps ?expect_all_done ~underlay ~impl
@@ -33,9 +33,68 @@ let refine ?max_steps ?expect_all_done ?jobs ~underlay ~impl ~overlay ~rel
   in
   go 0 [] [] results
 
-let refine_cert ?max_steps ?expect_all_done ?jobs (cert : Calculus.cert)
-    ~client ~scheds =
-  refine ?max_steps ?expect_all_done ?jobs
+(* Cache key of a refinement scan: both machine interfaces, the
+   implementation bodies, the relation (by name), the client workload on
+   the focused threads, the suite identity, and the fuel/strictness
+   knobs.  [jobs] is absent by design. *)
+let refine_key ?max_steps ?expect_all_done ~underlay ~impl ~overlay ~rel
+    ~client ~tids ~scheds () =
+  let st = Fingerprint.string Fingerprint.empty "refine" in
+  let st = Fingerprint.layer st underlay in
+  let st = Fingerprint.layer st overlay in
+  let st = Fingerprint.modul st impl in
+  let st = Fingerprint.string st rel.Sim_rel.name in
+  let st =
+    Fingerprint.list
+      (fun st i -> Fingerprint.prog (Fingerprint.int st i) (client i))
+      st tids
+  in
+  let st = Fingerprint.scheds st scheds in
+  let st = Fingerprint.option Fingerprint.int st max_steps in
+  Fingerprint.finish (Fingerprint.option Fingerprint.bool st expect_all_done)
+
+(* The stored verdict: the successful report plus the hash of its logs,
+   re-checked on load so a bit-rotted entry invalidates instead of
+   deserializing into a wrong-but-plausible report. *)
+type stored_report = { report : Refinement.report; log_hash : Fingerprint.t }
+
+let report_hash (r : Refinement.report) =
+  let st = Fingerprint.int Fingerprint.empty r.Refinement.scheds_checked in
+  let st = Fingerprint.list Fingerprint.log st r.Refinement.logs in
+  Fingerprint.finish (Fingerprint.list Fingerprint.log st r.Refinement.translated)
+
+let refine ?max_steps ?expect_all_done ?jobs ?cache ~underlay ~impl ~overlay
+    ~rel ~client ~tids ~scheds () =
+  let live () =
+    refine_live ?max_steps ?expect_all_done ?jobs ~underlay ~impl ~overlay
+      ~rel ~client ~tids ~scheds ()
+  in
+  match cache with
+  | None -> live ()
+  | Some c -> (
+    let key =
+      refine_key ?max_steps ?expect_all_done ~underlay ~impl ~overlay ~rel
+        ~client ~tids ~scheds ()
+    in
+    match Cache.find c ~kind:"refine" key with
+    | Some { report; log_hash }
+      when Fingerprint.equal (report_hash report) log_hash ->
+      Ok report
+    | Some _ ->
+      Cache.invalidate c ~kind:"refine" key;
+      live ()
+    | None -> (
+      match live () with
+      | Ok report as ok ->
+        Cache.store c ~kind:"refine" key
+          { report; log_hash = report_hash report };
+        ok
+      (* Refinement failures always re-run live — never stored. *)
+      | Error _ as e -> e))
+
+let refine_cert ?max_steps ?expect_all_done ?jobs ?cache
+    (cert : Calculus.cert) ~client ~scheds =
+  refine ?max_steps ?expect_all_done ?jobs ?cache
     ~underlay:cert.Calculus.judgment.Calculus.underlay
     ~impl:cert.Calculus.judgment.Calculus.impl
     ~overlay:cert.Calculus.judgment.Calculus.overlay

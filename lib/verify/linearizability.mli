@@ -21,6 +21,7 @@ val refine :
   ?max_steps:int ->
   ?expect_all_done:bool ->
   ?jobs:int ->
+  ?cache:Cache.t ->
   underlay:Layer.t ->
   impl:Prog.Module.t ->
   overlay:Layer.t ->
@@ -35,12 +36,18 @@ val refine :
     pool and the ordered results folded as the sequential loop would —
     the report (or lowest-indexed failure) is structurally identical for
     every [jobs] count, and [~jobs:1] (the default) stays on the
-    sequential path. *)
+    sequential path.  [cache] memoizes successful reports, keyed on both
+    interfaces, the implementation, the relation name, the client
+    workload, and the suite identity; the stored entry records the hash
+    of its logs and is invalidated (and re-run) if it no longer matches.
+    Failures are never stored — a failing refinement always reproduces
+    live. *)
 
 val refine_cert :
   ?max_steps:int ->
   ?expect_all_done:bool ->
   ?jobs:int ->
+  ?cache:Cache.t ->
   Calculus.cert ->
   client:(Event.tid -> Prog.t) ->
   scheds:Sched.t list ->

@@ -57,16 +57,58 @@ let merge outcomes =
   in
   go 0 [] outcomes
 
-let check ?max_steps ?strategy ?scheds ?jobs layer threads =
-  let scheds =
-    match scheds with
-    | Some s -> s
-    | None ->
-      Explore.scheds_of_strategy ?jobs layer threads
-        (Option.value strategy ~default:Explore.default_strategy)
+(* Cache key: game identity plus the suite identity.  When the suite is
+   implicit the key uses the strategy descriptor — deliberately, so a
+   warm hit skips even the DPOR walk that would materialize it. *)
+let check_key ?max_steps ~suite layer threads =
+  let st = Fingerprint.string Fingerprint.empty "races" in
+  let st = Fingerprint.layer st layer in
+  let st =
+    Fingerprint.list
+      (fun st (i, p) -> Fingerprint.prog (Fingerprint.int st i) p)
+      st threads
   in
-  merge
-    (Parallel.scan ?jobs
-       ~cut:(function Racy _ -> true | Clean | Other _ -> false)
-       (check_sched ?max_steps layer threads)
-       scheds)
+  let st =
+    match suite with
+    | `Scheds ss -> Fingerprint.scheds (Fingerprint.int st 1) ss
+    | `Strategy s ->
+      Fingerprint.string (Fingerprint.int st 2)
+        (Format.asprintf "%a" Explore.pp_strategy s)
+  in
+  Fingerprint.finish (Fingerprint.option Fingerprint.int st max_steps)
+
+let check ?max_steps ?strategy ?scheds ?jobs ?cache layer threads =
+  let run () =
+    let scheds =
+      match scheds with
+      | Some s -> s
+      | None ->
+        Explore.scheds_of_strategy ?jobs ?cache layer threads
+          (Option.value strategy ~default:Explore.default_strategy)
+    in
+    merge
+      (Parallel.scan ?jobs
+         ~cut:(function Racy _ -> true | Clean | Other _ -> false)
+         (check_sched ?max_steps layer threads)
+         scheds)
+  in
+  match cache with
+  | None -> run ()
+  | Some c -> (
+    let suite =
+      match scheds with
+      | Some ss -> `Scheds ss
+      | None ->
+        `Strategy (Option.value strategy ~default:Explore.default_strategy)
+    in
+    let key = check_key ?max_steps ~suite layer threads in
+    match Cache.find c ~kind:"races" key with
+    | Some (runs : int) -> Race_free { runs }
+    | None -> (
+      match run () with
+      | Race_free { runs } as v ->
+        Cache.store c ~kind:"races" key runs;
+        v
+      (* Races and other failures are never stored: they must always
+         reproduce live, counterexample log and all. *)
+      | (Race _ | Other_failure _) as v -> v))

@@ -19,6 +19,7 @@ val check :
   ?strategy:Explore.strategy ->
   ?scheds:Sched.t list ->
   ?jobs:int ->
+  ?cache:Cache.t ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   verdict
@@ -35,4 +36,8 @@ val check :
     i.e. DPOR).  [jobs] spreads the scan over a {!Parallel} domain pool;
     the verdict is bit-identical for every jobs count — a reported [Race]
     is always the lowest-indexed racing schedule — and [~jobs:1] (the
-    default) keeps the sequential path. *)
+    default) keeps the sequential path.  [cache] memoizes [Race_free]
+    verdicts only, keyed on the game and suite identity (never [jobs]):
+    a racing or otherwise failing game always re-runs live, so its
+    counterexample is reproduced from the real machine, never replayed
+    from disk. *)

@@ -16,31 +16,48 @@ type report = {
   total_millis : float;
 }
 
+let kind_label = function
+  | `Cert rule ->
+    (match rule with
+    | Calculus.Empty -> "Empty"
+    | Calculus.Fun -> "Fun"
+    | Calculus.Vcomp -> "Vcomp"
+    | Calculus.Hcomp -> "Hcomp"
+    | Calculus.Wk -> "Wk"
+    | Calculus.Pcomp -> "Pcomp")
+  | `Linking -> "Link"
+  | `Soundness -> "Sound"
+
+let pp_counters fmt counters =
+  if counters <> [] then
+    Format.fprintf fmt "          %s@."
+      (String.concat ", "
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) counters))
+
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>";
   List.iter
     (fun e ->
-      let kind =
-        match e.kind with
-        | `Cert rule ->
-          (match rule with
-          | Calculus.Empty -> "Empty"
-          | Calculus.Fun -> "Fun"
-          | Calculus.Vcomp -> "Vcomp"
-          | Calculus.Hcomp -> "Hcomp"
-          | Calculus.Wk -> "Wk"
-          | Calculus.Pcomp -> "Pcomp")
-        | `Linking -> "Link"
-        | `Soundness -> "Sound"
-      in
-      Format.fprintf fmt "  [%-5s] %-55s %4d checks  %6.1f ms@." kind
-        e.edge_name e.checks e.millis;
-      if e.counters <> [] then
-        Format.fprintf fmt "          %s@."
-          (String.concat ", "
-             (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) e.counters)))
+      Format.fprintf fmt "  [%-5s] %-55s %4d checks  %6.1f ms@."
+        (kind_label e.kind) e.edge_name e.checks e.millis;
+      pp_counters fmt e.counters)
     r.edges;
   Format.fprintf fmt "  total: %d checks in %.1f ms@]" r.total_checks r.total_millis
+
+(* The verdict-stable projection of the report: everything except the
+   timing fields.  This is the "bit-identical" contract of the
+   certificate cache — a warm run prints exactly this text, byte for
+   byte, for every jobs count (DESIGN "Certificate cache"), so the CI
+   cache leg can [cmp] cold and warm runs. *)
+let pp_report_canonical fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  [%-5s] %-55s %4d checks@." (kind_label e.kind)
+        e.edge_name e.checks;
+      pp_counters fmt e.counters)
+    r.edges;
+  Format.fprintf fmt "  total: %d checks@]" r.total_checks
 
 (* Like [Verify_clock.timed], but also the edge's telemetry counter
    growth — [Probe.counters] snapshots are cheap (a handful of atomics)
@@ -63,9 +80,219 @@ let fold_linking results =
 
 let vi = Value.int
 
-let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
+(* The client workloads of the game-driving edges, shared between the
+   edge bodies and the edge fingerprints so the two can never drift. *)
+
+let faa_round i =
+  Prog.seq_all
+    [ Prog.call "faa" [ vi 0; vi 1 ]; Prog.call "faa" [ vi 0; vi 1 ];
+      Prog.ret (vi i) ]
+
+let lock_client m i =
+  Prog.Module.link m
+    (Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+         Prog.call "rel" [ vi 0; vi i ]))
+
+let queue_client i =
+  Prog.seq_all
+    [ Prog.call "enQ_s" [ vi 0; vi (10 + i) ]; Prog.call "deQ_s" [ vi 0 ] ]
+
+let mt_placement = [ 1, 0; 2, 0; 3, 1 ]
+
+let mt_prog i =
+  Prog.seq_all
+    [ Prog.call "acq" [ vi 0 ]; Prog.call "rel" [ vi 0; vi i ];
+      Prog.call Thread_sched.yield_tag []; Prog.call Thread_sched.exit_tag [] ]
+
+let ipc_placement = [ 1, 1; 2, 2; 9, 9 ]
+
+let ipc_client i =
+  if i = 1 then
+    Prog.seq_all
+      [ Prog.call "send" [ vi 5; vi 10 ]; Prog.call "send" [ vi 5; vi 11 ];
+        Prog.call "send" [ vi 5; vi 12 ]; Prog.call Thread_sched.exit_tag [] ]
+  else
+    Prog.seq_all
+      [ Prog.call "recv" [ vi 5 ]; Prog.call "recv" [ vi 5 ];
+        Prog.call "recv" [ vi 5 ]; Prog.call Thread_sched.exit_tag [] ]
+
+(* ------------------------------------------------------------------ *)
+(* Edge fingerprints.
+
+   One key per edge, covering exactly what that edge's verdict depends
+   on: the ClightX sources of the objects it certifies (via
+   [Csyntax.fp_fn] — the structural hash, so editing one object module
+   invalidates exactly the edges whose key folds it in), the layer
+   interfaces, the client workloads, and — for the game-driving edges
+   only — the scheduler-suite identity (seeds or strategy).  [jobs] is
+   never part of a key: verdicts are identical across jobs counts. *)
+
+let fp_fns st fns = List.fold_left Ccal_clight.Csyntax.fp_fn st fns
+
+let fp_placement st p =
+  Fingerprint.list
+    (fun st (t, c) -> Fingerprint.int (Fingerprint.int st t) c)
+    st p
+
+let edge_keys ~lock ~seeds ~strategy =
+  let suite st =
+    match strategy with
+    | None -> Fingerprint.string (Fingerprint.int st 1) (Printf.sprintf "seeds:%d" seeds)
+    | Some s ->
+      Fingerprint.string (Fingerprint.int st 2)
+        (Format.asprintf "%a" Explore.pp_strategy s)
+  in
+  let base name =
+    Fingerprint.string (Fingerprint.string Fingerprint.empty "stack-edge") name
+  in
+  let lock_name = match lock with `Ticket -> "ticket" | `Mcs -> "mcs" in
+  let lock_fns =
+    match lock with
+    | `Ticket -> [ Ticket_lock.acq_fn; Ticket_lock.rel_fn ]
+    | `Mcs -> [ Mcs_lock.acq_fn; Mcs_lock.rel_fn ]
+  in
+  let lock_l0 =
+    match lock with `Ticket -> Ticket_lock.l0 () | `Mcs -> Mcs_lock.l0 ()
+  in
+  let lock_overlay =
+    match lock with
+    | `Ticket -> Ticket_lock.overlay ()
+    | `Mcs -> Mcs_lock.overlay ()
+  in
+  let lock_m =
+    match lock with
+    | `Ticket -> Ticket_lock.c_module ()
+    | `Mcs -> Mcs_lock.c_module ()
+  in
+  let queue_fns =
+    [ Ticket_lock.acq_fn; Ticket_lock.rel_fn; Queue_shared.enq_fn;
+      Queue_shared.deq_fn ]
+  in
+  let ipc_fns =
+    [ Ipc.send_fn; Ipc.recv_fn; Condvar.cv_wait_fn; Condvar.cv_signal_fn;
+      Condvar.cv_broadcast_fn ]
+  in
+  let fp_threads st threads =
+    Fingerprint.list
+      (fun st (i, p) -> Fingerprint.prog (Fingerprint.int st i) p)
+      st threads
+  in
+  let e1 =
+    let st = base "Mx86 refines Lx86[D] (Thm 3.1)" in
+    let st = Fingerprint.layer st (Ccal_machine.Mx86.layer ()) in
+    let st = fp_threads st [ 1, faa_round 1; 2, faa_round 2 ] in
+    Fingerprint.finish (suite st)
+  in
+  let e2 =
+    let st = base (Printf.sprintf "L0 |- M_%s : Llock (Fun)" lock_name) in
+    let st = Fingerprint.string st lock_name in
+    let st = fp_fns st lock_fns in
+    let st = Fingerprint.layer st lock_l0 in
+    Fingerprint.finish (Fingerprint.layer st lock_overlay)
+  in
+  let e3 =
+    let st = base "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)" in
+    let st = Fingerprint.string st lock_name in
+    let st = fp_fns st lock_fns in
+    let st = Fingerprint.layer st lock_l0 in
+    let st = Fingerprint.layer st lock_overlay in
+    let st = fp_threads st [ 1, lock_client lock_m 1; 2, lock_client lock_m 2 ] in
+    Fingerprint.finish (suite st)
+  in
+  let e4 =
+    let st = base "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)" in
+    let st = fp_fns st queue_fns in
+    let st = Fingerprint.layer st (Ticket_lock.l0 ()) in
+    Fingerprint.finish (Fingerprint.layer st (Queue_shared.overlay ()))
+  in
+  let e5 =
+    let st = base "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)" in
+    let st = fp_fns st queue_fns in
+    let st = Fingerprint.layer st (Ticket_lock.l0 ()) in
+    let st = Fingerprint.layer st (Queue_shared.overlay ()) in
+    let st = fp_threads st [ 1, queue_client 1; 2, queue_client 2 ] in
+    Fingerprint.finish (suite st)
+  in
+  let e6 =
+    let st = base "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)" in
+    let st = fp_placement st mt_placement in
+    let st =
+      Fingerprint.layer st
+        (Thread_sched.mt_layer mt_placement (Lock_intf.layer "Llock"))
+    in
+    let st = fp_threads st [ 1, mt_prog 1; 2, mt_prog 2; 3, mt_prog 3 ] in
+    Fingerprint.finish (suite st)
+  in
+  let e7 =
+    let st = base "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)" in
+    let st = fp_fns st [ Qlock.acq_q_fn; Qlock.rel_q_fn ] in
+    Fingerprint.finish (Fingerprint.layer st (Qlock.overlay ()))
+  in
+  let e8 =
+    let st = base "Lmt(spin+cv) |- M_ipc : Lipc (Fun)" in
+    let st = fp_fns st ipc_fns in
+    Fingerprint.finish (Fingerprint.layer st (Ipc.overlay ()))
+  in
+  let e9 =
+    let st = base "[[producer|consumer]] refines Lipc (blocking paths)" in
+    let st = fp_fns st ipc_fns in
+    let st = Fingerprint.layer st (Ipc.overlay ()) in
+    let st = fp_placement st ipc_placement in
+    let st = fp_threads st [ 1, ipc_client 1; 2, ipc_client 2 ] in
+    Fingerprint.finish (suite st)
+  in
+  let e10 =
+    let st = base "Llock |- M_rwlock : Lrwlock (Fun, extension)" in
+    let st =
+      fp_fns st
+        [ Rwlock.acq_r_fn; Rwlock.rel_r_fn; Rwlock.acq_w_fn; Rwlock.rel_w_fn ]
+    in
+    Fingerprint.finish (Fingerprint.layer st (Rwlock.overlay ()))
+  in
+  [
+    "Mx86 refines Lx86[D] (Thm 3.1)", e1;
+    Printf.sprintf "L0 |- M_%s : Llock (Fun)" lock_name, e2;
+    "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)", e3;
+    "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)", e4;
+    "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)", e5;
+    "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)", e6;
+    "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)", e7;
+    "Lmt(spin+cv) |- M_ipc : Lipc (Fun)", e8;
+    "[[producer|consumer]] refines Lipc (blocking paths)", e9;
+    "Llock |- M_rwlock : Lrwlock (Fun, extension)", e10;
+  ]
+
+let edge_fingerprints ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
+  edge_keys ~lock ~seeds ~strategy
+
+let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs ?cache () =
+  let keys = edge_keys ~lock ~seeds ~strategy in
+  let key_of name = List.assoc name keys in
   let edges = ref [] in
   let push edge = edges := edge :: !edges in
+  (* Per-edge memoization.  The cache probe and store sit OUTSIDE the
+     [timed] window of the edge body, so a cold run's per-edge counters
+     are unaffected by caching and a warm hit reproduces the stored
+     edge verbatim (timing aside: a hit's [millis] is the lookup time).
+     Only successful edges are stored — a failing edge aborts the stack
+     and always re-runs live. *)
+  let edge_cached name (run : unit -> (edge, string) result) =
+    match cache with
+    | None -> run ()
+    | Some c -> (
+      let key = key_of name in
+      let found, lookup_ms =
+        Verify_clock.timed (fun () -> Cache.find c ~kind:"edge" key)
+      in
+      match found with
+      | Some (e : edge) -> Ok { e with millis = lookup_ms }
+      | None -> (
+        match run () with
+        | Ok e ->
+          Cache.store c ~kind:"edge" key e;
+          Ok e
+        | Error _ as err -> err))
+  in
   let scheds () = Sched.default_suite ~seeds in
   (* With an explicit strategy, every game-driving edge derives its
      scheduler suite from the edge's own game (DPOR must walk the game it
@@ -73,7 +300,7 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
   let scheds_for layer threads =
     match strategy with
     | None -> scheds ()
-    | Some s -> Explore.scheds_of_strategy ?jobs layer threads s
+    | Some s -> Explore.scheds_of_strategy ?jobs ?cache layer threads s
   in
   let cert_scheds_for (cert : Calculus.cert) client =
     match strategy with
@@ -85,26 +312,27 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
           (fun i -> i, Prog.Module.link j.Calculus.impl (client i))
           j.Calculus.focus
       in
-      Explore.scheds_of_strategy ?jobs j.Calculus.underlay threads s
+      Explore.scheds_of_strategy ?jobs ?cache j.Calculus.underlay threads s
   in
   let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
 
   (* 1. multicore linking over the hardware machine *)
-  let faa_round i =
-    Prog.seq_all
-      [ Prog.call "faa" [ vi 0; vi 1 ]; Prog.call "faa" [ vi 0; vi 1 ];
-        Prog.ret (vi i) ]
+  let* e =
+    edge_cached "Mx86 refines Lx86[D] (Thm 3.1)" (fun () ->
+        let link_result, ms, cs =
+          timed (fun () ->
+              let threads = [ 1, faa_round 1; 2, faa_round 2 ] in
+              fold_linking
+                (Parallel.scan ?jobs ~cut:Result.is_error
+                   (Ccal_machine.Mx86.check_multicore_linking_sched ~threads)
+                   (scheds_for (Ccal_machine.Mx86.layer ()) threads)))
+        in
+        let* n = link_result in
+        Ok
+          { edge_name = "Mx86 refines Lx86[D] (Thm 3.1)"; kind = `Linking;
+            checks = n; millis = ms; counters = cs })
   in
-  let link_result, ms, cs =
-    timed (fun () ->
-        let threads = [ 1, faa_round 1; 2, faa_round 2 ] in
-        fold_linking
-          (Parallel.scan ?jobs ~cut:Result.is_error
-             (Ccal_machine.Mx86.check_multicore_linking_sched ~threads)
-             (scheds_for (Ccal_machine.Mx86.layer ()) threads)))
-  in
-  let* n = link_result in
-  push { edge_name = "Mx86 refines Lx86[D] (Thm 3.1)"; kind = `Linking; checks = n; millis = ms; counters = cs };
+  push e;
 
   (* 2. spinlock certificate *)
   let lock_name, certify_lock =
@@ -112,153 +340,206 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs () =
     | `Ticket -> "ticket", fun () -> Ticket_lock.certify ~focus:[ 1; 2 ] ()
     | `Mcs -> "mcs", fun () -> Mcs_lock.certify ~focus:[ 1; 2 ] ()
   in
-  let lock_cert, ms, cs = timed certify_lock in
-  let* lock_cert =
-    Result.map_error (Format.asprintf "%a" Calculus.pp_error) lock_cert
+  let lock_edge_name = Printf.sprintf "L0 |- M_%s : Llock (Fun)" lock_name in
+  let* e =
+    edge_cached lock_edge_name (fun () ->
+        let lock_cert, ms, cs = timed certify_lock in
+        let* lock_cert =
+          Result.map_error (Format.asprintf "%a" Calculus.pp_error) lock_cert
+        in
+        Ok
+          { edge_name = lock_edge_name; kind = `Cert lock_cert.Calculus.rule;
+            checks = Calculus.count_checks lock_cert; millis = ms;
+            counters = cs })
   in
-  push
-    { edge_name = Printf.sprintf "L0 |- M_%s : Llock (Fun)" lock_name;
-      kind = `Cert lock_cert.Calculus.rule;
-      checks = Calculus.count_checks lock_cert; millis = ms; counters = cs };
+  push e;
 
   (* 3. parallel composition of per-thread lock certificates *)
-  let pcomp_result, ms, cs =
-    timed (fun () ->
-        let mk focus =
-          match lock with
-          | `Ticket -> Ticket_lock.certify ~focus ()
-          | `Mcs -> Mcs_lock.certify ~focus ()
+  let* e =
+    edge_cached "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)" (fun () ->
+        let pcomp_result, ms, cs =
+          timed (fun () ->
+              let mk focus =
+                match lock with
+                | `Ticket -> Ticket_lock.certify ~focus ()
+                | `Mcs -> Mcs_lock.certify ~focus ()
+              in
+              let* c1 =
+                Result.map_error (Format.asprintf "%a" Calculus.pp_error)
+                  (mk [ 1 ])
+              in
+              let* c2 =
+                Result.map_error (Format.asprintf "%a" Calculus.pp_error)
+                  (mk [ 2 ])
+              in
+              (* the compat corpus: logs from contention games *)
+              let layer =
+                match lock with
+                | `Ticket -> Ticket_lock.l0 ()
+                | `Mcs -> Mcs_lock.l0 ()
+              in
+              let m =
+                match lock with
+                | `Ticket -> Ticket_lock.c_module ()
+                | `Mcs -> Mcs_lock.c_module ()
+              in
+              let threads = [ 1, lock_client m 1; 2, lock_client m 2 ] in
+              let logs =
+                List.map
+                  (fun o -> o.Game.log)
+                  (Explore.run_all ?jobs ?cache layer threads
+                     (scheds_for layer threads))
+              in
+              Result.map_error (Format.asprintf "%a" Calculus.pp_error)
+                (Calculus.pcomp c1 c2 ~compat_logs:logs))
         in
-        let* c1 = Result.map_error (Format.asprintf "%a" Calculus.pp_error) (mk [ 1 ]) in
-        let* c2 = Result.map_error (Format.asprintf "%a" Calculus.pp_error) (mk [ 2 ]) in
-        (* the compat corpus: logs from contention games *)
-        let layer = match lock with `Ticket -> Ticket_lock.l0 () | `Mcs -> Mcs_lock.l0 () in
-        let m = match lock with `Ticket -> Ticket_lock.c_module () | `Mcs -> Mcs_lock.c_module () in
-        let client i =
-          Prog.Module.link m
-            (Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
-                 Prog.call "rel" [ vi 0; vi i ]))
-        in
-        let threads = [ 1, client 1; 2, client 2 ] in
-        let logs =
-          List.map
-            (fun o -> o.Game.log)
-            (Explore.run_all ?jobs layer threads (scheds_for layer threads))
-        in
-        Result.map_error (Format.asprintf "%a" Calculus.pp_error)
-          (Calculus.pcomp c1 c2 ~compat_logs:logs))
+        let* pcert = pcomp_result in
+        Ok
+          { edge_name = "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)";
+            kind = `Cert pcert.Calculus.rule;
+            checks = Calculus.count_checks pcert; millis = ms; counters = cs })
   in
-  let* pcert = pcomp_result in
-  push
-    { edge_name = "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)";
-      kind = `Cert pcert.Calculus.rule;
-      checks = Calculus.count_checks pcert; millis = ms; counters = cs };
+  push e;
 
-  (* 4. shared queue over the lock: vertical composition *)
-  let stack_cert, ms, cs = timed (fun () -> Queue_shared.full_stack_certify ()) in
-  let* stack_cert =
-    Result.map_error (Format.asprintf "%a" Calculus.pp_error) stack_cert
+  (* 4. shared queue over the lock: vertical composition.  The
+     certificate value is also an input of edge 5; it is memoized outside
+     the cache so a cache hit on edge 4 does not force edge 5 to rebuild
+     it inside its own timed window. *)
+  let stack_cert_memo = ref None in
+  let build_stack_cert () =
+    match !stack_cert_memo with
+    | Some c -> Ok c
+    | None ->
+      Result.map
+        (fun c ->
+          stack_cert_memo := Some c;
+          c)
+        (Result.map_error (Format.asprintf "%a" Calculus.pp_error)
+           (Queue_shared.full_stack_certify ()))
   in
-  push
-    { edge_name = "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)";
-      kind = `Cert stack_cert.Calculus.rule;
-      checks = Calculus.count_checks stack_cert; millis = ms; counters = cs };
+  let* e =
+    edge_cached "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)" (fun () ->
+        let stack_cert, ms, cs = timed build_stack_cert in
+        let* stack_cert = stack_cert in
+        Ok
+          { edge_name = "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)";
+            kind = `Cert stack_cert.Calculus.rule;
+            checks = Calculus.count_checks stack_cert; millis = ms;
+            counters = cs })
+  in
+  push e;
 
-  (* 5. queue soundness game *)
-  let sound, ms, cs =
-    timed (fun () ->
-        let client i =
-          Prog.seq_all
-            [ Prog.call "enQ_s" [ vi 0; vi (10 + i) ];
-              Prog.call "deQ_s" [ vi 0 ] ]
+  (* 5. queue soundness game.  The certificate comes from the memo (or a
+     rebuild, outside the timed window, when edge 4 was a cache hit); the
+     edge's timing and counters cover the soundness game only, exactly as
+     they always did. *)
+  let* e =
+    edge_cached "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)" (fun () ->
+        let* stack_cert = build_stack_cert () in
+        let sound, ms, cs =
+          timed (fun () ->
+              Result.map_error (Format.asprintf "%a" Refinement.pp_failure)
+                (Linearizability.refine_cert ?jobs ?cache stack_cert
+                   ~client:queue_client
+                   ~scheds:(cert_scheds_for stack_cert queue_client)))
         in
-        Linearizability.refine_cert ?jobs stack_cert ~client
-          ~scheds:(cert_scheds_for stack_cert client))
+        let* sound_report = sound in
+        Ok
+          { edge_name = "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)";
+            kind = `Soundness;
+            checks = sound_report.Refinement.scheds_checked; millis = ms;
+            counters = cs })
   in
-  let* sound_report =
-    Result.map_error (Format.asprintf "%a" Refinement.pp_failure) sound
-  in
-  push
-    { edge_name = "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)";
-      kind = `Soundness;
-      checks = sound_report.Refinement.scheds_checked; millis = ms; counters = cs };
+  push e;
 
   (* 6. multithreaded linking over the scheduler *)
-  let placement = [ 1, 0; 2, 0; 3, 1 ] in
-  let mtl, ms, cs =
-    timed (fun () ->
-        let layer =
-          Thread_sched.mt_layer placement (Lock_intf.layer "Llock")
+  let* e =
+    edge_cached "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)" (fun () ->
+        let mtl, ms, cs =
+          timed (fun () ->
+              let layer =
+                Thread_sched.mt_layer mt_placement (Lock_intf.layer "Llock")
+              in
+              let threads = [ 1, mt_prog 1; 2, mt_prog 2; 3, mt_prog 3 ] in
+              fold_linking
+                (Parallel.scan ?jobs ~cut:Result.is_error
+                   (Thread_sched.check_multithreaded_linking_sched
+                      ~placement:mt_placement ~layer ~threads)
+                   (scheds_for layer threads)))
         in
-        let prog i =
-          Prog.seq_all
-            [ Prog.call "acq" [ vi 0 ]; Prog.call "rel" [ vi 0; vi i ];
-              Prog.call Thread_sched.yield_tag []; Prog.call Thread_sched.exit_tag [] ]
-        in
-        let threads = [ 1, prog 1; 2, prog 2; 3, prog 3 ] in
-        fold_linking
-          (Parallel.scan ?jobs ~cut:Result.is_error
-             (Thread_sched.check_multithreaded_linking_sched ~placement ~layer
-                ~threads)
-             (scheds_for layer threads)))
+        let* n = mtl in
+        Ok
+          { edge_name = "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)"; kind = `Linking;
+            checks = n; millis = ms; counters = cs })
   in
-  let* n = mtl in
-  push
-    { edge_name = "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)"; kind = `Linking;
-      checks = n; millis = ms; counters = cs };
+  push e;
 
   (* 7. queuing lock *)
-  let ql, ms, cs = timed (fun () -> Qlock.certify ()) in
-  let* ql = Result.map_error (Format.asprintf "%a" Calculus.pp_error) ql in
-  push
-    { edge_name = "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)";
-      kind = `Cert ql.Calculus.rule; checks = Calculus.count_checks ql;
-      millis = ms; counters = cs };
+  let* e =
+    edge_cached "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)" (fun () ->
+        let ql, ms, cs = timed (fun () -> Qlock.certify ()) in
+        let* ql =
+          Result.map_error (Format.asprintf "%a" Calculus.pp_error) ql
+        in
+        Ok
+          { edge_name = "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)";
+            kind = `Cert ql.Calculus.rule; checks = Calculus.count_checks ql;
+            millis = ms; counters = cs })
+  in
+  push e;
 
   (* 8. IPC channel over condition variables *)
-  let ipc, ms, cs = timed (fun () -> Ipc.certify ()) in
-  let* ipc_cert = Result.map_error (Format.asprintf "%a" Calculus.pp_error) ipc in
-  push
-    { edge_name = "Lmt(spin+cv) |- M_ipc : Lipc (Fun)";
-      kind = `Cert ipc_cert.Calculus.rule;
-      checks = Calculus.count_checks ipc_cert; millis = ms; counters = cs };
+  let* e =
+    edge_cached "Lmt(spin+cv) |- M_ipc : Lipc (Fun)" (fun () ->
+        let ipc, ms, cs = timed (fun () -> Ipc.certify ()) in
+        let* ipc_cert =
+          Result.map_error (Format.asprintf "%a" Calculus.pp_error) ipc
+        in
+        Ok
+          { edge_name = "Lmt(spin+cv) |- M_ipc : Lipc (Fun)";
+            kind = `Cert ipc_cert.Calculus.rule;
+            checks = Calculus.count_checks ipc_cert; millis = ms;
+            counters = cs })
+  in
+  push e;
 
   (* 9. IPC producer/consumer soundness including the blocking paths *)
-  let ipc_sound, ms, cs =
-    timed (fun () ->
-        let* cert =
-          Result.map_error (Format.asprintf "%a" Calculus.pp_error)
-            (Ipc.certify ~placement:[ 1, 1; 2, 2; 9, 9 ] ~focus:[ 1; 2 ] ())
+  let* e =
+    edge_cached "[[producer|consumer]] refines Lipc (blocking paths)"
+      (fun () ->
+        let ipc_sound, ms, cs =
+          timed (fun () ->
+              let* cert =
+                Result.map_error (Format.asprintf "%a" Calculus.pp_error)
+                  (Ipc.certify ~placement:ipc_placement ~focus:[ 1; 2 ] ())
+              in
+              Result.map_error (Format.asprintf "%a" Refinement.pp_failure)
+                (Linearizability.refine_cert ?jobs ?cache cert
+                   ~client:ipc_client
+                   ~scheds:(cert_scheds_for cert ipc_client)))
         in
-        let client i =
-          if i = 1 then
-            Prog.seq_all
-              [ Prog.call "send" [ vi 5; vi 10 ]; Prog.call "send" [ vi 5; vi 11 ];
-                Prog.call "send" [ vi 5; vi 12 ];
-                Prog.call Thread_sched.exit_tag [] ]
-          else
-            Prog.seq_all
-              [ Prog.call "recv" [ vi 5 ]; Prog.call "recv" [ vi 5 ];
-                Prog.call "recv" [ vi 5 ]; Prog.call Thread_sched.exit_tag [] ]
-        in
-        Result.map_error (Format.asprintf "%a" Refinement.pp_failure)
-          (Linearizability.refine_cert ?jobs cert ~client
-             ~scheds:(cert_scheds_for cert client)))
+        let* r = ipc_sound in
+        Ok
+          { edge_name = "[[producer|consumer]] refines Lipc (blocking paths)";
+            kind = `Soundness; checks = r.Refinement.scheds_checked;
+            millis = ms; counters = cs })
   in
-  let* r = ipc_sound in
-  push
-    { edge_name = "[[producer|consumer]] refines Lipc (blocking paths)";
-      kind = `Soundness; checks = r.Refinement.scheds_checked;
-      millis = ms; counters = cs };
+  push e;
 
   (* 10. reader-writer lock: a synchronization library added on top of the
      existing lock layer without touching it *)
-  let rw, ms, cs = timed (fun () -> Rwlock.certify ()) in
-  let* rw = Result.map_error (Format.asprintf "%a" Calculus.pp_error) rw in
-  push
-    { edge_name = "Llock |- M_rwlock : Lrwlock (Fun, extension)";
-      kind = `Cert rw.Calculus.rule; checks = Calculus.count_checks rw;
-      millis = ms; counters = cs };
+  let* e =
+    edge_cached "Llock |- M_rwlock : Lrwlock (Fun, extension)" (fun () ->
+        let rw, ms, cs = timed (fun () -> Rwlock.certify ()) in
+        let* rw =
+          Result.map_error (Format.asprintf "%a" Calculus.pp_error) rw
+        in
+        Ok
+          { edge_name = "Llock |- M_rwlock : Lrwlock (Fun, extension)";
+            kind = `Cert rw.Calculus.rule; checks = Calculus.count_checks rw;
+            millis = ms; counters = cs })
+  in
+  push e;
 
   let edges = List.rev !edges in
   Ok

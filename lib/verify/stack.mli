@@ -29,11 +29,30 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+val pp_report_canonical : Format.formatter -> report -> unit
+(** The verdict-stable projection: like {!pp_report} but without the
+    timing fields.  This text is bit-identical between a cold and a warm
+    cached run, and across every [jobs] count — the CI cache leg and the
+    cache tests compare it byte for byte. *)
+
+val edge_fingerprints :
+  ?lock:[ `Ticket | `Mcs ] ->
+  ?seeds:int ->
+  ?strategy:Explore.strategy ->
+  unit ->
+  (string * Fingerprint.t) list
+(** The cache key of every edge {!verify_all} would check, in order,
+    keyed by [edge_name] — exposed so tests can assert the invalidation
+    contract: changing an input (the lock implementation, the seeds, the
+    strategy) must change exactly the keys of the edges that depend on
+    it.  [jobs] takes no part in any key. *)
+
 val verify_all :
   ?lock:[ `Ticket | `Mcs ] ->
   ?seeds:int ->
   ?strategy:Explore.strategy ->
   ?jobs:int ->
+  ?cache:Cache.t ->
   unit ->
   (report, string) result
 (** Certify and link the whole stack.  When [strategy] is given, every
@@ -54,4 +73,13 @@ val verify_all :
     {- parallel composition of per-thread lock certificates (Pcomp);}
     {- multithreaded linking (Thm 5.1) over the scheduler;}
     {- the queuing-lock and IPC certificates;}
-    {- whole-machine soundness games for the lock, queue and IPC layers.}} *)
+    {- whole-machine soundness games for the lock, queue and IPC layers.}}
+
+    [cache] memoizes each edge's verdict on disk under its
+    {!edge_fingerprints} key: a hit pushes the stored edge (verdict,
+    [checks], [counters]) with the lookup time as [millis] and skips the
+    edge's game entirely; a miss runs the edge and stores it on success.
+    Failing edges are never stored, so failures always reproduce live.
+    The cache handle is also threaded into the edges' inner checkers
+    ({!Explore.run_all}, {!Dpor}, {!Linearizability.refine_cert}), which
+    keep their own finer-grained entries. *)

@@ -1,0 +1,390 @@
+(* The certificate cache (DESIGN.md S26): fingerprint stability, the
+   on-disk store's hit/miss/corruption behaviour, the never-replay-failures
+   policy, the per-edge invalidation contract of the stack keys, and the
+   warm-run-equals-cold-run acceptance gate. *)
+open Ccal_core
+open Ccal_objects
+open Util
+module V = Ccal_verify
+
+(* ---- scratch cache directories ---- *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ccal-test-cache-%d-%d" (Unix.getpid ()) !dir_counter)
+
+let cleanup c =
+  ignore (V.Cache.clear c);
+  try Unix.rmdir (V.Cache.dir c) with Unix.Unix_error _ -> ()
+
+let with_cache f =
+  let c = V.Cache.create ~dir:(fresh_dir ()) () in
+  Fun.protect ~finally:(fun () -> cleanup c) (fun () -> f c)
+
+(* Entry files in the store (same filter as [Cache.disk_stats]). *)
+let entry_files c =
+  Sys.readdir (V.Cache.dir c)
+  |> Array.to_list
+  |> List.filter (fun f -> not (String.starts_with ~prefix:".tmp-" f))
+  |> List.map (Filename.concat (V.Cache.dir c))
+
+(* ---- fingerprints ---- *)
+
+let fp_of_string s = Fingerprint.finish (Fingerprint.string Fingerprint.empty s)
+
+let test_fingerprint_stable () =
+  (* same structure, same fingerprint — across separately-built values *)
+  check_bool "strings" true
+    (Fingerprint.equal (fp_of_string "abc") (fp_of_string "abc"));
+  let fp_layer () =
+    Fingerprint.finish (Fingerprint.layer Fingerprint.empty (Ticket_lock.l0 ()))
+  in
+  check_bool "layers" true (Fingerprint.equal (fp_layer ()) (fp_layer ()));
+  let prog i =
+    Prog.bind (Prog.call "acq" [ vi 0 ]) (fun v ->
+        Prog.seq (Prog.call "rel" [ vi 0; v ]) (Prog.ret (vi i)))
+  in
+  let fp_prog p = Fingerprint.finish (Fingerprint.prog Fingerprint.empty p) in
+  check_bool "progs equal" true (Fingerprint.equal (fp_prog (prog 1)) (fp_prog (prog 1)));
+  check_bool "progs differ" false
+    (Fingerprint.equal (fp_prog (prog 1)) (fp_prog (prog 2)));
+  check_int "hex width" 16 (String.length (Fingerprint.to_hex (fp_of_string "x")))
+
+let test_fingerprint_sensitive () =
+  check_bool "different strings" false
+    (Fingerprint.equal (fp_of_string "abc") (fp_of_string "abd"));
+  (* suites are identified by scheduler names: seeded suites of different
+     sizes, and exhaustive suites of different depths, must all differ *)
+  let fp_scheds ss = Fingerprint.finish (Fingerprint.scheds Fingerprint.empty ss) in
+  check_bool "seed suites" false
+    (Fingerprint.equal
+       (fp_scheds (Sched.default_suite ~seeds:4))
+       (fp_scheds (Sched.default_suite ~seeds:5)));
+  check_bool "exhaustive depths" false
+    (Fingerprint.equal
+       (fp_scheds (V.Explore.exhaustive_scheds ~tids:[ 1; 2 ] ~depth:2))
+       (fp_scheds (V.Explore.exhaustive_scheds ~tids:[ 1; 2 ] ~depth:3)));
+  (* the C sources are fingerprinted structurally: the two lock
+     implementations must not collide *)
+  let fp_fn f =
+    Fingerprint.finish (Ccal_clight.Csyntax.fp_fn Fingerprint.empty f)
+  in
+  check_bool "ticket vs mcs acq" false
+    (Fingerprint.equal (fp_fn Ticket_lock.acq_fn) (fp_fn Mcs_lock.acq_fn))
+
+(* ---- the store ---- *)
+
+let test_roundtrip () =
+  with_cache (fun c ->
+      let key = fp_of_string "roundtrip-key" in
+      check_bool "absent is a miss" true (V.Cache.find c ~kind:"edge" key = None);
+      V.Cache.store c ~kind:"edge" key (42, "payload");
+      check_bool "hit returns the value" true
+        (V.Cache.find c ~kind:"edge" key = Some (42, "payload"));
+      let s = V.Cache.session_stats c in
+      check_int "hits" 1 s.hits;
+      check_int "misses" 1 s.misses;
+      check_int "stores" 1 s.stores;
+      let d = V.Cache.disk_stats c in
+      check_int "entries" 1 d.entries;
+      check_bool "bytes" true (d.bytes > 0))
+
+let test_kind_separates_payloads () =
+  with_cache (fun c ->
+      let key = fp_of_string "same-key" in
+      V.Cache.store c ~kind:"edge" key 1;
+      (* same fingerprint, different payload kind: no type confusion *)
+      check_bool "other kind misses" true (V.Cache.find c ~kind:"races" key = None);
+      check_bool "own kind hits" true (V.Cache.find c ~kind:"edge" key = Some 1))
+
+let test_corrupt_entry_recovered () =
+  with_cache (fun c ->
+      let key = fp_of_string "corrupt-me" in
+      V.Cache.store c ~kind:"edge" key (List.init 64 Fun.id);
+      (match entry_files c with
+      | [ path ] ->
+        let oc = open_out path in
+        output_string oc "not a cache entry at all";
+        close_out oc
+      | files -> Alcotest.failf "expected 1 entry, found %d" (List.length files));
+      check_bool "corrupt is a miss" true
+        (V.Cache.find c ~kind:"edge" (key : Fingerprint.t) = (None : int list option));
+      let s = V.Cache.session_stats c in
+      check_int "invalidation counted" 1 s.invalidations;
+      check_int "entry deleted" 0 (V.Cache.disk_stats c).entries)
+
+let test_truncated_entry_recovered () =
+  with_cache (fun c ->
+      let key = fp_of_string "truncate-me" in
+      V.Cache.store c ~kind:"edge" key (String.make 4096 'x');
+      (match entry_files c with
+      | [ path ] ->
+        (* keep the magic header, cut the payload short *)
+        let ic = open_in_bin path in
+        let keep = min (in_channel_length ic) 40 in
+        let prefix = really_input_string ic keep in
+        close_in ic;
+        let oc = open_out_bin path in
+        output_string oc prefix;
+        close_out oc
+      | files -> Alcotest.failf "expected 1 entry, found %d" (List.length files));
+      check_bool "truncated is a miss" true
+        (V.Cache.find c ~kind:"edge" (key : Fingerprint.t) = (None : string option));
+      check_int "invalidation counted" 1 (V.Cache.session_stats c).invalidations;
+      check_int "entry deleted" 0 (V.Cache.disk_stats c).entries)
+
+let test_invalidate_and_clear () =
+  with_cache (fun c ->
+      let k1 = fp_of_string "k1" and k2 = fp_of_string "k2" in
+      V.Cache.store c ~kind:"edge" k1 1;
+      V.Cache.store c ~kind:"edge" k2 2;
+      V.Cache.invalidate c ~kind:"edge" k1;
+      check_bool "invalidated entry gone" true
+        (V.Cache.find c ~kind:"edge" k1 = (None : int option));
+      check_int "other entry intact" 1 (V.Cache.disk_stats c).entries;
+      check_int "clear reports count" 1 (V.Cache.clear c);
+      check_int "store empty" 0 (V.Cache.disk_stats c).entries)
+
+(* ---- never replay failures ---- *)
+
+let racy_layer () =
+  Layer.make "Lracy"
+    [ Layer.shared_prim "collide" (fun c _ _ ->
+          Layer.Race (Printf.sprintf "CPU %d collided" c)) ]
+
+let test_races_failure_never_stored () =
+  with_cache (fun c ->
+      let layer = racy_layer () in
+      let threads = [ 1, Prog.call "collide" [] ] in
+      let run () =
+        V.Races.check ~cache:c layer threads ~scheds:[ Sched.round_robin ]
+      in
+      (match run () with
+      | V.Races.Race _ -> ()
+      | _ -> Alcotest.fail "expected a race");
+      check_int "nothing stored" 0 (V.Cache.disk_stats c).entries;
+      (match run () with
+      | V.Races.Race _ -> ()
+      | _ -> Alcotest.fail "expected the race again");
+      let s = V.Cache.session_stats c in
+      check_int "re-ran live both times" 2 s.misses;
+      check_int "no hits" 0 s.hits)
+
+let test_races_clean_verdict_cached () =
+  with_cache (fun c ->
+      let layer = Ticket_lock.l0 () in
+      let m = Ticket_lock.c_module () in
+      let client i =
+        Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+            Prog.call "rel" [ vi 0; vi i ])
+      in
+      let threads =
+        List.map (fun i -> i, Prog.Module.link m (client i)) [ 1; 2 ]
+      in
+      (* trace/random schedulers are single-use: regenerate per run; the
+         suite identity (the names) is what the key sees *)
+      let run () =
+        V.Races.check ~cache:c layer threads
+          ~scheds:(Sched.default_suite ~seeds:6)
+      in
+      let runs_of = function
+        | V.Races.Race_free { runs } -> runs
+        | V.Races.Race { detail; _ } -> Alcotest.failf "false positive: %s" detail
+        | V.Races.Other_failure msg -> Alcotest.fail msg
+      in
+      let cold = runs_of (run ()) in
+      check_int "stored once" 1 (V.Cache.session_stats c).stores;
+      let warm = runs_of (run ()) in
+      check_int "same runs from the store" cold warm;
+      check_int "second call hit" 1 (V.Cache.session_stats c).hits)
+
+(* ---- the inner checkers ---- *)
+
+let lock_threads () =
+  let m = Ticket_lock.c_module () in
+  let client i =
+    Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+        Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+  in
+  List.map (fun i -> i, Prog.Module.link m (client i)) [ 1; 2 ]
+
+let test_dpor_walk_cached () =
+  with_cache (fun c ->
+      let layer = Ticket_lock.l0 () in
+      let r1 = V.Dpor.explore ~cache:c ~depth:4 layer (lock_threads ()) in
+      check_int "first walk missed" 1 (V.Cache.session_stats c).misses;
+      let r2 = V.Dpor.explore ~cache:c ~depth:4 layer (lock_threads ()) in
+      check_int "second walk hit" 1 (V.Cache.session_stats c).hits;
+      check_bool "same prefixes" true (r1.V.Dpor.prefixes = r2.V.Dpor.prefixes);
+      check_bool "same stats" true (r1.V.Dpor.stats = r2.V.Dpor.stats);
+      (* the replay phase is live either way: outcomes present on the hit *)
+      check_int "outcomes replayed" (List.length r1.V.Dpor.outcomes)
+        (List.length r2.V.Dpor.outcomes))
+
+let test_run_all_cached_only_when_all_done () =
+  with_cache (fun c ->
+      let layer = Ticket_lock.l0 () in
+      let out1 =
+        V.Explore.run_all ~cache:c layer (lock_threads ())
+          (Sched.default_suite ~seeds:3)
+      in
+      check_int "clean corpus stored" 1 (V.Cache.disk_stats c).entries;
+      let out2 =
+        V.Explore.run_all ~cache:c layer (lock_threads ())
+          (Sched.default_suite ~seeds:3)
+      in
+      check_int "served from the store" 1 (V.Cache.session_stats c).hits;
+      check_bool "same statuses" true
+        (List.map (fun (o : Game.outcome) -> o.Game.status) out1
+        = List.map (fun (o : Game.outcome) -> o.Game.status) out2);
+      (* a corpus containing a failure is never stored *)
+      let trap =
+        Layer.make "Ltrap"
+          [ Layer.shared_prim "trap" (fun _ _ _ -> Layer.Stuck "trapped") ]
+      in
+      let before = (V.Cache.disk_stats c).entries in
+      ignore
+        (V.Explore.run_all ~cache:c trap
+           [ 1, Prog.call "trap" [] ]
+           [ Sched.round_robin ]);
+      ignore
+        (V.Explore.run_all ~cache:c trap
+           [ 1, Prog.call "trap" [] ]
+           [ Sched.round_robin ]);
+      check_int "failing corpus not stored" before (V.Cache.disk_stats c).entries)
+
+let test_refine_cached () =
+  with_cache (fun c ->
+      let layer = Ticket_lock.l0 () in
+      let m = Ticket_lock.c_module () in
+      let client i =
+        Prog.bind (Prog.call "acq" [ vi 0 ]) (fun v ->
+            Prog.seq (Prog.call "rel" [ vi 0; v ]) (Prog.ret (vi i)))
+      in
+      let run () =
+        V.Linearizability.refine ~cache:c ~underlay:layer ~impl:m
+          ~overlay:(Ticket_lock.overlay ()) ~rel:Ticket_lock.r_ticket ~client
+          ~tids:[ 1; 2 ] ~scheds:(Sched.default_suite ~seeds:4) ()
+      in
+      let report = function
+        | Ok (r : Refinement.report) -> r
+        | Error _ -> Alcotest.fail "refinement failed"
+      in
+      let cold = report (run ()) in
+      check_int "stored" 1 (V.Cache.session_stats c).stores;
+      let warm = report (run ()) in
+      check_int "hit" 1 (V.Cache.session_stats c).hits;
+      check_int "same scheds_checked" cold.Refinement.scheds_checked
+        warm.Refinement.scheds_checked;
+      check_bool "same logs" true
+        (List.for_all2 Log.equal cold.Refinement.logs warm.Refinement.logs))
+
+(* ---- stack edge keys: the invalidation contract ---- *)
+
+(* Names present in both listings whose fingerprints changed. *)
+let changed_edges a b =
+  List.filter_map
+    (fun (n, fp) ->
+      match List.assoc_opt n b with
+      | Some fp' when not (Fingerprint.equal fp fp') -> Some n
+      | _ -> None)
+    a
+
+let game_driving_edges =
+  [
+    "Mx86 refines Lx86[D] (Thm 3.1)";
+    "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)";
+    "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)";
+    "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)";
+    "[[producer|consumer]] refines Lipc (blocking paths)";
+  ]
+
+let test_edge_keys_deterministic () =
+  let a = V.Stack.edge_fingerprints () and b = V.Stack.edge_fingerprints () in
+  check_int "ten edges" 10 (List.length a);
+  check_bool "same keys across calls" true
+    (List.for_all2
+       (fun (n, fp) (n', fp') -> n = n' && Fingerprint.equal fp fp')
+       a b)
+
+let test_seeds_invalidate_exactly_game_edges () =
+  let base = V.Stack.edge_fingerprints () in
+  let changed = changed_edges base (V.Stack.edge_fingerprints ~seeds:5 ()) in
+  Alcotest.(check (list string))
+    "exactly the suite-driven edges" game_driving_edges changed
+
+let test_strategy_invalidates_exactly_game_edges () =
+  let base = V.Stack.edge_fingerprints () in
+  let changed =
+    changed_edges base (V.Stack.edge_fingerprints ~strategy:(`Dpor 4) ())
+  in
+  Alcotest.(check (list string))
+    "exactly the suite-driven edges" game_driving_edges changed
+
+let test_lock_swap_invalidates_exactly_lock_edges () =
+  let base = V.Stack.edge_fingerprints () in
+  let mcs = V.Stack.edge_fingerprints ~lock:`Mcs () in
+  (* the lock's own certification edge is renamed outright *)
+  check_bool "ticket edge named" true
+    (List.mem_assoc "L0 |- M_ticket : Llock (Fun)" base);
+  check_bool "mcs edge named" true
+    (List.mem_assoc "L0 |- M_mcs : Llock (Fun)" mcs);
+  (* of the edges shared by name, only the lock Pcomp corpus changes: the
+     queue stack above is pinned to the ticket lock and the upper layers
+     never see the implementation *)
+  Alcotest.(check (list string))
+    "exactly the Pcomp edge"
+    [ "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)" ]
+    (changed_edges base mcs)
+
+(* ---- warm stack run: bit-identical report, every jobs count ---- *)
+
+let canonical = function
+  | Ok r -> Format.asprintf "%a" V.Stack.pp_report_canonical r
+  | Error e -> Alcotest.failf "stack failed: %s" e
+
+let test_stack_warm_equals_cold () =
+  let dir = fresh_dir () in
+  let cold_cache = V.Cache.create ~dir () in
+  Fun.protect ~finally:(fun () -> cleanup cold_cache) (fun () ->
+      let cold = canonical (V.Stack.verify_all ~seeds:2 ~cache:cold_cache ()) in
+      let s = V.Cache.session_stats cold_cache in
+      check_int "cold run has no hits" 0 s.hits;
+      check_bool "cold run populates the store" true (s.stores > 0);
+      List.iter
+        (fun jobs ->
+          let warm_cache = V.Cache.create ~dir () in
+          let warm =
+            canonical (V.Stack.verify_all ~seeds:2 ~jobs ~cache:warm_cache ())
+          in
+          check_string (Printf.sprintf "warm report identical (j=%d)" jobs)
+            cold warm;
+          let w = V.Cache.session_stats warm_cache in
+          check_int "every edge served from the store" 10 w.hits;
+          check_int "no warm misses" 0 w.misses)
+        [ 1; 2 ])
+
+let suite =
+  [
+    tc "fingerprints are stable" test_fingerprint_stable;
+    tc "fingerprints are sensitive" test_fingerprint_sensitive;
+    tc "store roundtrip and counters" test_roundtrip;
+    tc "kinds keep payload types apart" test_kind_separates_payloads;
+    tc "corrupt entry is a miss, then gone" test_corrupt_entry_recovered;
+    tc "truncated entry is a miss, then gone" test_truncated_entry_recovered;
+    tc "invalidate and clear" test_invalidate_and_clear;
+    tc "racing verdicts never stored" test_races_failure_never_stored;
+    tc "race-free verdict cached" test_races_clean_verdict_cached;
+    tc "DPOR walk cached, replay live" test_dpor_walk_cached;
+    tc "run_all cached only when all done" test_run_all_cached_only_when_all_done;
+    tc "refinement report cached with log hash" test_refine_cached;
+    tc "edge keys deterministic" test_edge_keys_deterministic;
+    tc "seeds invalidate exactly the game edges" test_seeds_invalidate_exactly_game_edges;
+    tc "strategy invalidates exactly the game edges" test_strategy_invalidates_exactly_game_edges;
+    tc "lock swap invalidates exactly the lock edges" test_lock_swap_invalidates_exactly_lock_edges;
+    tc "warm stack run equals cold (jobs 1, 2)" test_stack_warm_equals_cold;
+  ]

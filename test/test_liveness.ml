@@ -143,10 +143,85 @@ let test_dining_deadlock_on_ticket_impl () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "cross-order locking terminated?"
 
+(* ---- the bound under both engines, for both lock implementations ---- *)
+
+(* Generalized [ticket_logs]: any lock implementation over its own
+   hardware layer, with the scheduler suite derived per game — the DPOR
+   engine walks the very game it will drive. *)
+let lock_logs ~layer ~m ~ncpus ~rounds suite_of =
+  let client i =
+    let rec go k =
+      if k = 0 then Prog.ret (vi i)
+      else
+        Prog.bind (Prog.call "acq" [ vi 0 ]) (fun v ->
+            Prog.seq (Prog.call "rel" [ vi 0; v ]) (go (k - 1)))
+    in
+    Prog.Module.link m (go rounds)
+  in
+  let threads = List.init ncpus (fun k -> k + 1, client (k + 1)) in
+  let scheds = suite_of layer threads in
+  List.filter_map
+    (fun (o : Game.outcome) ->
+      match o.Game.status with Game.All_done -> Some o.Game.log | _ -> None)
+    (Game.behaviors ~max_steps:500_000 layer threads scheds)
+
+let seeded_suite _layer _threads = Sched.default_suite ~seeds:10
+
+let dpor_suite depth layer threads =
+  Ccal_verify.Explore.scheds_of_strategy layer threads (`Dpor depth)
+
+(* Assert every waiting span of every log stays under the Sec. 4.1
+   n*m*#CPU bound — computed by the formula, not hardcoded. *)
+let assert_starvation_bound ~name ~ticket_tag ~cs_events ~spin_events ~ncpus
+    logs =
+  check_bool (name ^ ": produced complete runs") true (logs <> []);
+  let bound =
+    Ccal_verify.Progress.starvation_bound ~cs_events ~spin_events ~ncpus
+  in
+  match
+    Ccal_verify.Progress.check_starvation_free ~ticket_tag ~enter_tag:"pull"
+      ~cs_events ~spin_events ~ncpus logs
+  with
+  | Ok worst ->
+    check_bool
+      (Printf.sprintf "%s: worst wait %d within n*m*#CPU = %d" name worst bound)
+      true (worst <= bound)
+  | Error msg -> Alcotest.fail msg
+
+let test_ticket_bound_seeded () =
+  assert_starvation_bound ~name:"ticket/seeded" ~ticket_tag:"FAI_t"
+    ~cs_events:4 ~spin_events:8 ~ncpus:3
+    (lock_logs ~layer:(Ticket_lock.l0 ()) ~m:(Ticket_lock.c_module ()) ~ncpus:3
+       ~rounds:2 seeded_suite)
+
+let test_ticket_bound_dpor () =
+  assert_starvation_bound ~name:"ticket/dpor" ~ticket_tag:"FAI_t" ~cs_events:4
+    ~spin_events:8 ~ncpus:3
+    (lock_logs ~layer:(Ticket_lock.l0 ()) ~m:(Ticket_lock.c_module ()) ~ncpus:3
+       ~rounds:2 (dpor_suite 4))
+
+let test_mcs_bound_seeded () =
+  (* MCS critical sections carry the queue hand-off cell traffic, so the
+     per-section event budget (n) is wider than the ticket lock's *)
+  assert_starvation_bound ~name:"mcs/seeded" ~ticket_tag:"xchg" ~cs_events:8
+    ~spin_events:12 ~ncpus:3
+    (lock_logs ~layer:(Mcs_lock.l0 ()) ~m:(Mcs_lock.c_module ()) ~ncpus:3
+       ~rounds:2 seeded_suite)
+
+let test_mcs_bound_dpor () =
+  assert_starvation_bound ~name:"mcs/dpor" ~ticket_tag:"xchg" ~cs_events:8
+    ~spin_events:12 ~ncpus:3
+    (lock_logs ~layer:(Mcs_lock.l0 ()) ~m:(Mcs_lock.c_module ()) ~ncpus:3
+       ~rounds:2 (dpor_suite 3))
+
 let suite =
   [
     tc "starvation bound formula" test_starvation_bound_formula;
     tc "ticket lock starvation-free (n*m*#CPU)" test_ticket_starvation_free;
+    tc "ticket bound, seeded engine" test_ticket_bound_seeded;
+    tc "ticket bound, DPOR engine" test_ticket_bound_dpor;
+    tc "mcs bound, seeded engine" test_mcs_bound_seeded;
+    tc "mcs bound, DPOR engine" test_mcs_bound_dpor;
     tc "unfair scheduler and the bound" test_starvation_bound_violated_by_unfair;
     tc "dining philosophers deadlock found" test_dining_deadlock_found;
     tc "ordered locking safe (all schedules)" test_dining_ordered_locking_safe;

@@ -18,4 +18,5 @@ let () =
       "parallel-checking (S24)", Test_parallel.suite;
       "cross-cutting-invariants", Test_invariants.suite;
       "telemetry (S25)", Test_telemetry.suite;
+      "certificate-cache (S26)", Test_cache.suite;
     ]
