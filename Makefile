@@ -1,4 +1,4 @@
-.PHONY: all build test check check-test-count check-parallel check-cache examples explore bench clean
+.PHONY: all build test check check-test-count check-parallel check-cache check-robust examples explore bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # Regression guard: the suite must never silently shrink — a dune or
 # module-wiring mistake can drop a whole test file from the runner while
 # everything still "passes".  Bump the floor when tests are added.
-TEST_COUNT_FLOOR := 354
+TEST_COUNT_FLOOR := 367
 
 check-test-count:
 	@out=$$(dune runtest --force 2>&1); status=$$?; \
@@ -27,8 +27,9 @@ check-test-count:
 
 # The tier-1 gate: everything CI runs, runnable locally in one shot.
 # Runs the full suite (with the test-count floor), the DPOR-vs-exhaustive
-# agreement check on the headline game, and the certificate-cache gate.
-check: build check-test-count check-cache
+# agreement check on the headline game, and the certificate-cache and
+# robustness gates.
+check: build check-test-count check-cache check-robust
 	dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
 
 # The certificate-cache gate (DESIGN.md S26): a warm stack run over a
@@ -53,6 +54,28 @@ check-cache: build
 	  echo "check-cache: REGRESSION - warm run not >= 2x faster"; exit 1; fi; \
 	echo "check-cache: OK (reports identical, >= 2x speedup)"
 	@$(CCAL_BIN) cache stats --cache-dir $(CACHE_CHECK_DIR)
+
+# The robustness gate (DESIGN.md S27).  Two legs:
+#   1. the adversarial rwlock spin suite livelocks under the trace-prefix
+#      schedulers; a 2s wall-clock budget must turn that into a clean
+#      exit 0 with an Exhausted report naming the unfinished edge;
+#   2. injected faults (worker crashes, clock skew, corrupted cache
+#      entries) must be absorbed by the requeue/skip machinery: the
+#      canonical report of a faulted pool run is byte-identical to the
+#      fault-free one.
+check-robust: build
+	@out=$$($(CCAL_BIN) stack --livelock --budget-ms 2000); status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  echo "check-robust: REGRESSION - budgeted livelock run exited $$status"; exit 1; fi; \
+	echo "$$out" | grep -q "budget exhausted" || { \
+	  echo "check-robust: REGRESSION - no Exhausted report from the livelock run"; exit 1; }; \
+	echo "check-robust: OK (livelock bounded: $$(echo "$$out" | grep 'budget exhausted'))"
+	@$(CCAL_BIN) stack --report _build/robust-clean.txt > /dev/null || exit 1; \
+	$(CCAL_BIN) stack --jobs 4 --inject crash:0.25,corrupt-cache:0.05,skew:0.2,seed:7 \
+	  --report _build/robust-faulted.txt > /dev/null || exit 1; \
+	cmp _build/robust-clean.txt _build/robust-faulted.txt || { \
+	  echo "check-robust: REGRESSION - faulted report differs from fault-free"; exit 1; }; \
+	echo "check-robust: OK (faulted report byte-identical to fault-free)"
 
 # Build and run every example as a smoke test (the CI examples step).
 examples: build

@@ -61,6 +61,25 @@ let timed f =
   let r = f () in
   r, (Unix.gettimeofday () -. t0) *. 1000.
 
+(* Ctx shims: the bench drives everything through the [*_ctx] checker
+   entry points (the pre-Ctx signatures are deprecated) with an unlimited
+   budget, so [Budget.value] never loses a partial result. *)
+let vctx ?jobs ?cache () = Ccal_verify.Ctx.make ?jobs ?cache ()
+
+let run_all_scheds ?jobs layer threads scheds =
+  Ccal_verify.Budget.value
+    (Ccal_verify.Explore.run_all_ctx ~ctx:(vctx ?jobs ()) layer threads scheds)
+
+let dpor_explore ?jobs ~depth layer threads =
+  Ccal_verify.Budget.value
+    (Ccal_verify.Dpor.explore_ctx ~ctx:(vctx ?jobs ()) ~depth layer threads)
+
+let stack_verify ?cache ~seeds () =
+  Result.map
+    (fun (p : Ccal_verify.Stack.progress) -> p.Ccal_verify.Stack.completed)
+    (Ccal_verify.Budget.value
+       (Ccal_verify.Stack.verify_all_ctx ~ctx:(vctx ?cache ()) ~seeds ()))
+
 (* ------------------------------------------------------------------ *)
 (* tab1 — Table 1: toolkit components                                   *)
 (* ------------------------------------------------------------------ *)
@@ -335,7 +354,7 @@ let print_exploration_ablation () =
   let threads = [ 1, client 1; 2, client 2 ] in
   let distinct scheds =
     Ccal_verify.Explore.count_distinct_logs
-      (Ccal_verify.Explore.run_all layer threads scheds)
+      (run_all_scheds layer threads scheds)
   in
   let budgets = [ 8; 16; 32; 64 ] in
   Format.printf "  %-8s %-22s %-22s@." "budget" "exhaustive (depth log2)" "random seeds";
@@ -377,10 +396,10 @@ let print_dpor_ablation () =
     "exhaustive" "distinct" "agree";
   List.iter
     (fun (name, layer, threads, depth) ->
-      let r = Ccal_verify.Dpor.explore ~depth layer threads in
+      let r = dpor_explore ~depth layer threads in
       let tids = List.map fst threads in
       let ex =
-        Ccal_verify.Explore.run_all layer threads
+        run_all_scheds layer threads
           (Ccal_verify.Explore.exhaustive_scheds ~tids ~depth)
       in
       let exh_distinct = Ccal_verify.Explore.count_distinct_logs ex in
@@ -434,6 +453,11 @@ let verdict_name = function
   | Ccal_verify.Races.Race_free { runs } -> Printf.sprintf "race-free(%d)" runs
   | Ccal_verify.Races.Race { sched_name; _ } -> "race@" ^ sched_name
   | Ccal_verify.Races.Other_failure msg -> "other: " ^ msg
+  | Ccal_verify.Races.Exhausted { partial; _ } ->
+    (* scanned/clean are the jobs-deterministic part; spent.elapsed_ms is
+       wall clock and deliberately excluded *)
+    Printf.sprintf "exhausted(%d scanned, %d clean)"
+      partial.Ccal_verify.Races.scanned partial.Ccal_verify.Races.clean
 
 let parallel_scaling_games () =
   let lock_client i =
@@ -478,8 +502,8 @@ let run_parallel_scaling () =
             in
             let verdict, ms =
               Ccal_verify.Verify_clock.timed (fun () ->
-                  Ccal_verify.Races.check ~max_steps:200_000 ~scheds ~jobs
-                    layer threads)
+                  Ccal_verify.Races.check_ctx ~ctx:(vctx ~jobs ())
+                    ~max_steps:200_000 ~scheds layer threads)
             in
             let scheds_per_sec = float_of_int count /. (ms /. 1000.) in
             ({ jobs; ms; scheds_per_sec; speedup = 1.0 }, verdict))
@@ -571,7 +595,7 @@ let run_telemetry_bench () =
   in
   let layer = Lock_intf.layer "Llock" in
   let threads = List.init 3 (fun k -> k + 1, lock_client (k + 1)) in
-  let explore jobs = ignore (V.Dpor.explore ~jobs ~depth:5 layer threads) in
+  let explore jobs = ignore (dpor_explore ~jobs ~depth:5 layer threads) in
   let best f =
     (* best-of-N: the minimum is the least noisy location statistic for a
        deterministic workload *)
@@ -676,18 +700,16 @@ let run_cache_bench () =
     | Ok r -> Format.asprintf "%a" V.Stack.pp_report_canonical r
     | Error e -> "ERROR: " ^ e
   in
-  ignore (V.Stack.verify_all ~seeds:2 ()) (* warm-up, outside the cache *);
+  ignore (stack_verify ~seeds:2 ()) (* warm-up, outside the cache *);
   let cold_cache = V.Cache.create ~dir () in
   let cold, cold_ms =
-    V.Verify_clock.timed (fun () ->
-        V.Stack.verify_all ~seeds:2 ~cache:cold_cache ())
+    V.Verify_clock.timed (fun () -> stack_verify ~seeds:2 ~cache:cold_cache ())
   in
   let cold_stats = V.Cache.session_stats cold_cache in
   let { V.Cache.entries; bytes } = V.Cache.disk_stats cold_cache in
   let warm_cache = V.Cache.create ~dir () in
   let warm, warm_ms =
-    V.Verify_clock.timed (fun () ->
-        V.Stack.verify_all ~seeds:2 ~cache:warm_cache ())
+    V.Verify_clock.timed (fun () -> stack_verify ~seeds:2 ~cache:warm_cache ())
   in
   let warm_stats = V.Cache.session_stats warm_cache in
   ignore (V.Cache.clear warm_cache);
@@ -743,6 +765,165 @@ let write_cache_json path (c : cache_bench) =
   Format.printf "@.  wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* robust — budgets, cancellation and fault injection (DESIGN.md S27)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Three acceptance gates for the robustness layer:
+   - overhead: a checker run with an armed (but never-tripping) budget
+     must stay within 5% of the budgets-disabled run — the token polling
+     and private-allowance bookkeeping are the only difference;
+   - fault determinism: injected worker crashes and clock skew must not
+     change any verdict, on any jobs count (the pool's requeue path and
+     the monotone skewed clock at work);
+   - budget determinism: a pure step budget must truncate the scan at the
+     same schedule prefix for every jobs count, with graceful degradation
+     as the budget grows. *)
+
+type robust_bench = {
+  off_ms : float;  (** budgets disabled *)
+  on_ms : float;  (** huge budget armed, never trips *)
+  overhead_pct : float;
+  fault_free_verdict : string;
+  fault_verdicts : (int * string) list;  (** per jobs count *)
+  faults_deterministic : bool;
+  budget_rows : (int * string) list;  (** step budget -> verdict *)
+  budget_scans_agree : bool;  (** each row identical on jobs {1,2,4,7} *)
+}
+
+let robust_jobs = [ 1; 2; 4; 7 ]
+
+let robust_game () =
+  let lock_client i =
+    Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+        Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+  in
+  let m = Mcs_lock.c_module () in
+  ( Mcs_lock.l0 (),
+    List.init 3 (fun k -> k + 1, Prog.Module.link m (lock_client (k + 1))) )
+
+let run_robust_bench () =
+  let module V = Ccal_verify in
+  let layer, threads = robust_game () in
+  let tids = List.map fst threads in
+  let depth = 5 in
+  let check ctx =
+    (* fresh suite per run: trace schedulers are single-use *)
+    V.Races.check_ctx ~ctx ~max_steps:200_000
+      ~scheds:(V.Explore.exhaustive_scheds ~tids ~depth)
+      layer threads
+  in
+  let best f =
+    let rec go n acc =
+      if n = 0 then acc
+      else
+        let _, ms = V.Verify_clock.timed f in
+        go (n - 1) (Float.min acc ms)
+    in
+    go 5 infinity
+  in
+  ignore (check V.Ctx.default) (* warm-up *);
+  let off_ms = best (fun () -> ignore (check V.Ctx.default)) in
+  let armed () =
+    V.Ctx.with_budget (V.Budget.make ~ms:1e12 ~steps:max_int ()) V.Ctx.default
+  in
+  let on_ms = best (fun () -> ignore (check (armed ()))) in
+  let plan =
+    match V.Fault.parse "crash:0.25,skew:0.2,seed:7" with
+    | Ok p -> p
+    | Error _ -> V.Fault.none
+  in
+  let fault_free_verdict = verdict_name (check V.Ctx.default) in
+  let fault_verdicts =
+    List.map
+      (fun jobs ->
+        jobs, verdict_name (check (V.Ctx.with_faults plan (vctx ~jobs ()))))
+      robust_jobs
+  in
+  let faults_deterministic =
+    List.for_all (fun (_, v) -> v = fault_free_verdict) fault_verdicts
+  in
+  let budgeted_verdict ~jobs steps =
+    check (V.Ctx.with_budget (V.Budget.make ~steps ()) (vctx ~jobs ()))
+  in
+  let budget_steps = [ 200; 2_000; 20_000 ] in
+  let budget_rows =
+    List.map
+      (fun s -> s, verdict_name (budgeted_verdict ~jobs:1 s))
+      budget_steps
+  in
+  let budget_scans_agree =
+    List.for_all2
+      (fun s (_, v1) ->
+        List.for_all
+          (fun jobs -> verdict_name (budgeted_verdict ~jobs s) = v1)
+          (List.filter (fun j -> j <> 1) robust_jobs))
+      budget_steps budget_rows
+  in
+  {
+    off_ms;
+    on_ms;
+    overhead_pct = (on_ms -. off_ms) /. off_ms *. 100.;
+    fault_free_verdict;
+    fault_verdicts;
+    faults_deterministic;
+    budget_rows;
+    budget_scans_agree;
+  }
+
+let print_robust_bench (r : robust_bench) =
+  Format.printf
+    "@.== robust: budgets and fault injection (mcs-lock-3t depth-5) ==@.@.";
+  Format.printf
+    "  budget machinery: %.2f ms disabled, %.2f ms armed -> %.1f%% overhead \
+     (budget 5%%)@."
+    r.off_ms r.on_ms r.overhead_pct;
+  Format.printf "  fault-free verdict: %s@." r.fault_free_verdict;
+  List.iter
+    (fun (jobs, v) ->
+      Format.printf "  crash:0.25,skew:0.2 %@ jobs=%d: %s@." jobs v)
+    r.fault_verdicts;
+  Format.printf "  fault verdicts %s the fault-free run@."
+    (if r.faults_deterministic then "match" else "DIFFER FROM");
+  List.iter
+    (fun (steps, v) -> Format.printf "  step budget %-7d -> %s@." steps v)
+    r.budget_rows;
+  Format.printf "  budget truncation across jobs {%s}: %s@."
+    (String.concat ", " (List.map string_of_int robust_jobs))
+    (if r.budget_scans_agree then "identical" else "DIFFERS")
+
+let write_robust_json path (r : robust_bench) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"robust-budgets-and-faults\",\n";
+  out "  \"game\": \"mcs-lock-3t-depth5\",\n";
+  out "  \"off_ms\": %.3f,\n" r.off_ms;
+  out "  \"on_ms\": %.3f,\n" r.on_ms;
+  out "  \"overhead_pct\": %.2f,\n" r.overhead_pct;
+  out "  \"overhead_budget_pct\": 5.0,\n";
+  out "  \"fault_plan\": \"crash:0.25,skew:0.2,seed:7\",\n";
+  out "  \"fault_free_verdict\": %S,\n" r.fault_free_verdict;
+  out "  \"fault_verdicts\": [\n";
+  List.iteri
+    (fun i (jobs, v) ->
+      out "    {\"jobs\": %d, \"verdict\": %S}%s\n" jobs v
+        (if i = List.length r.fault_verdicts - 1 then "" else ","))
+    r.fault_verdicts;
+  out "  ],\n";
+  out "  \"faults_deterministic\": %b,\n" r.faults_deterministic;
+  out "  \"budget_rows\": [\n";
+  List.iteri
+    (fun i (steps, v) ->
+      out "    {\"budget_steps\": %d, \"verdict\": %S}%s\n" steps v
+        (if i = List.length r.budget_rows - 1 then "" else ","))
+    r.budget_rows;
+  out "  ],\n";
+  out "  \"budget_scans_agree\": %b\n" r.budget_scans_agree;
+  out "}\n";
+  close_out oc;
+  Format.printf "@.  wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro/macro benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -770,12 +951,10 @@ let make_tests (ghost_layer, ghost_m, clean_layer, clean_m) =
         (Staged.stage (fun () -> ignore (Ipc.certify ~focus:[ 1 ] ())));
       (* tab1: the toolkit self-check *)
       Test.make ~name:"tab1/toolkit-selfcheck"
-        (Staged.stage (fun () ->
-             ignore (Ccal_verify.Stack.verify_all ~seeds:1 ())));
+        (Staged.stage (fun () -> ignore (stack_verify ~seeds:1 ())));
       (* fig1: the whole Fig. 1 stack *)
       Test.make ~name:"fig1_stack/verify-all"
-        (Staged.stage (fun () ->
-             ignore (Ccal_verify.Stack.verify_all ~seeds:2 ())));
+        (Staged.stage (fun () -> ignore (stack_verify ~seeds:2 ())));
       (* fig5: the ticket-lock pipeline incl. soundness *)
       Test.make ~name:"fig5_pipeline/certify+soundness"
         (Staged.stage (fun () ->
@@ -820,7 +999,20 @@ let run_benchmarks tests =
     rows;
   rows
 
+(* `--robust-only` runs just the S27 robustness section and writes
+   BENCH_robust.json — the CI robustness leg uses it to avoid the full
+   Bechamel sweep. *)
+let robust_only = Array.exists (String.equal "--robust-only") Sys.argv
+
 let () =
+  if robust_only then begin
+    Format.printf "=== CCAL robustness benchmark (DESIGN.md S27) ===@.";
+    let robust = run_robust_bench () in
+    print_robust_bench robust;
+    write_robust_json "BENCH_robust.json" robust;
+    Format.printf "@.done.@.";
+    exit 0
+  end;
   Format.printf "=== CCAL reproduction benchmarks (PLDI'18, Sec. 6) ===@.";
   print_tab1 ();
   let rows = tab2_rows () in
@@ -838,6 +1030,9 @@ let () =
   let cache = run_cache_bench () in
   print_cache_bench cache;
   write_cache_json "BENCH_cache.json" cache;
+  let robust = run_robust_bench () in
+  print_robust_bench robust;
+  write_robust_json "BENCH_robust.json" robust;
   let bench_rows = run_benchmarks (make_tests perf) in
   (* headline ratio, from wall-clock *)
   (match

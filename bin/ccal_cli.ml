@@ -7,7 +7,13 @@
      ccal pipeline  run the Fig. 5 ticket-lock pipeline with soundness
      ccal explore   compare the DPOR explorer against exhaustive
                     enumeration on a benchmark game
-     ccal inventory print the layer/object inventory *)
+     ccal inventory print the layer/object inventory
+
+   The game-driving subcommands (stack, pipeline, explore) share one
+   flag bundle — --jobs, --strategy, --cache/--cache-dir, --stats,
+   --trace, --budget-ms, --budget-steps, --inject — parsed once into a
+   [Ccal_verify.Ctx.t] and threaded through the [*_ctx] checker entry
+   points (DESIGN.md S27). *)
 
 open Cmdliner
 open Ccal_core
@@ -43,6 +49,37 @@ let trace_arg =
            ~doc:"Enable verification telemetry and write the recorded spans \
                  to $(docv) in Chrome trace format (load in about:tracing \
                  or ui.perfetto.dev; one track per worker domain).")
+
+let strategy_arg =
+  Arg.(value & opt string "default"
+       & info [ "strategy" ] ~docv:"STRAT"
+           ~doc:"Exploration strategy for the game-driving checks: \
+                 default (seeded suite), dpor[:DEPTH], exhaustive:DEPTH \
+                 or random:COUNT.")
+
+let budget_ms_arg =
+  Arg.(value & opt (some float) None
+       & info [ "budget-ms" ] ~docv:"MS"
+           ~doc:"Wall-clock budget in milliseconds.  When it runs out the \
+                 checkers stop at the next schedule boundary and report \
+                 what they established so far ($(b,exhausted) verdict, \
+                 exit 0) instead of hanging.")
+
+let budget_steps_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget-steps" ] ~docv:"N"
+           ~doc:"Game-step budget.  Deterministic: the same step budget \
+                 truncates the same schedule prefix on every $(b,--jobs) \
+                 value (DESIGN.md S27).")
+
+let inject_arg =
+  Arg.(value & opt (some string) None
+       & info [ "inject" ] ~docv:"SPEC"
+           ~doc:"Deterministic fault injection, e.g. \
+                 $(b,crash:0.1,corrupt-cache:0.05,seed:7).  Kinds: crash \
+                 (worker domains), corrupt-cache, oversize, skew.  \
+                 Verdicts are bit-identical with and without faults — \
+                 this exercises the retry/requeue paths, not the math.")
 
 (* Run [f] with telemetry enabled when [--stats] or [--trace] asks for it;
    print the table and/or write the trace afterwards, leaving the exit
@@ -100,8 +137,6 @@ let pp_cache_summary fmt cache =
       s.Ccal_verify.Cache.invalidations
       (Ccal_verify.Cache.dir c)
 
-(* ---------------- stack ---------------- *)
-
 let strategy_of_string = function
   | "default" | "" -> Ok None
   | s -> (
@@ -126,41 +161,131 @@ let strategy_of_string = function
             exhaustive:DEPTH or random:COUNT)"
            s))
 
+(* ---------------- the shared flag bundle ---------------- *)
+
+(* Everything the game-driving subcommands have in common, parsed once.
+   [strategy = None] means "the command's historical default suite". *)
+type common = {
+  jobs : int;
+  cache : Ccal_verify.Cache.t option;
+  strategy : Ccal_verify.Ctx.strategy option;
+  budget : Ccal_verify.Budget.t;
+  faults : Ccal_verify.Fault.plan;
+  stats : bool;
+  trace : string option;
+}
+
+let common_of jobs strategy use_cache cache_dir budget_ms budget_steps inject
+    stats trace =
+  match strategy_of_string strategy with
+  | Error msg -> Error msg
+  | Ok strategy -> (
+    match make_cache use_cache cache_dir with
+    | Error msg -> Error (Printf.sprintf "cannot open cache: %s" msg)
+    | Ok cache -> (
+      match
+        match inject with
+        | None -> Ok Ccal_verify.Fault.none
+        | Some spec -> Ccal_verify.Fault.parse spec
+      with
+      | Error msg -> Error msg
+      | Ok faults ->
+        Ok
+          {
+            jobs = resolve_jobs jobs;
+            cache;
+            strategy;
+            budget = Ccal_verify.Budget.make ?ms:budget_ms ?steps:budget_steps ();
+            faults;
+            stats;
+            trace;
+          }))
+
+let common_term =
+  Term.(const common_of $ jobs_arg $ strategy_arg $ cache_flag_arg
+        $ cache_dir_arg $ budget_ms_arg $ budget_steps_arg $ inject_arg
+        $ stats_arg $ trace_arg)
+
+(* The context a parsed bundle denotes.  The budget is attached last —
+   [Ctx.with_budget] starts the token, and the deadline epoch should be
+   the moment the checker starts, not argument parsing. *)
+let ctx_of c =
+  let module V = Ccal_verify in
+  let ctx = V.Ctx.with_jobs c.jobs V.Ctx.default in
+  let ctx =
+    match c.cache with Some ca -> V.Ctx.with_cache ca ctx | None -> ctx
+  in
+  let ctx =
+    match c.strategy with Some s -> V.Ctx.with_strategy s ctx | None -> ctx
+  in
+  let ctx = V.Ctx.with_faults c.faults ctx in
+  let ctx = V.Ctx.with_stats c.stats ctx in
+  let ctx =
+    match c.trace with Some t -> V.Ctx.with_trace t ctx | None -> ctx
+  in
+  V.Ctx.with_budget c.budget ctx
+
+let pp_fault_summary fmt (c : common) =
+  if not (Ccal_verify.Fault.is_none c.faults) then begin
+    let s = Ccal_verify.Fault.stats () in
+    Format.fprintf fmt
+      "faults injected: %d crashes, %d corruptions, %d oversized, %d skew \
+       jumps@."
+      s.Ccal_verify.Fault.crashes s.Ccal_verify.Fault.corruptions
+      s.Ccal_verify.Fault.oversized s.Ccal_verify.Fault.skew_jumps
+  end
+
+(* Run a subcommand body under the bundle's telemetry settings, printing
+   the fault and cache summaries afterwards. *)
+let run_with_common (c : common) f =
+  with_telemetry ~stats:c.stats ~trace:c.trace (fun () ->
+      Ccal_verify.Fault.reset_stats ();
+      let code = f (ctx_of c) in
+      Format.printf "%a%a" pp_fault_summary c pp_cache_summary c.cache;
+      code)
+
+(* ---------------- stack ---------------- *)
+
 let stack_cmd =
-  let run lock seeds strategy jobs stats trace use_cache cache_dir report_file =
-    let lock = match lock with "mcs" -> `Mcs | _ -> `Ticket in
-    match strategy_of_string strategy with
+  let run common lock seeds livelock report_file =
+    match common with
     | Error msg ->
       Format.eprintf "%s@." msg;
       2
-    | Ok strategy -> (
-      match make_cache use_cache cache_dir with
-      | Error msg ->
-        Format.eprintf "cannot open cache: %s@." msg;
-        2
-      | Ok cache ->
-        with_telemetry ~stats ~trace (fun () ->
-            match
-              Ccal_verify.Stack.verify_all ~lock ~seeds ?strategy
-                ~jobs:(resolve_jobs jobs) ?cache ()
-            with
-            | Ok report ->
-              Format.printf "%a@." Ccal_verify.Stack.pp_report report;
-              (match report_file with
-              | None -> ()
-              | Some path ->
-                let oc = open_out path in
-                let fmt = Format.formatter_of_out_channel oc in
-                Format.fprintf fmt "%a@."
-                  Ccal_verify.Stack.pp_report_canonical report;
-                Format.pp_print_flush fmt ();
-                close_out oc;
-                Format.printf "canonical report written to %s@." path);
-              Format.printf "%a" pp_cache_summary cache;
-              0
-            | Error msg ->
-              Format.eprintf "stack verification failed: %s@." msg;
-              1))
+    | Ok c ->
+      let lock = match lock with "mcs" -> `Mcs | _ -> `Ticket in
+      run_with_common c @@ fun ctx ->
+      let module V = Ccal_verify in
+      let write_report report =
+        match report_file with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          let fmt = Format.formatter_of_out_channel oc in
+          Format.fprintf fmt "%a@." V.Stack.pp_report_canonical report;
+          Format.pp_print_flush fmt ();
+          close_out oc;
+          Format.printf "canonical report written to %s@." path
+      in
+      (match
+         V.Stack.verify_all_ctx ~ctx ~lock ~seeds ?strategy:c.strategy
+           ~adversarial:livelock ()
+       with
+      | V.Budget.Complete (Ok progress) ->
+        Format.printf "%a@." V.Stack.pp_report progress.V.Stack.completed;
+        write_report progress.V.Stack.completed;
+        0
+      | V.Budget.Exhausted { spent; partial = Ok progress } ->
+        Format.printf "%a@." V.Stack.pp_report progress.V.Stack.completed;
+        Format.printf "budget exhausted (%a) before edge %S@."
+          V.Budget.pp_spent spent
+          (Option.value progress.V.Stack.next_edge ~default:"?");
+        write_report progress.V.Stack.completed;
+        0
+      | V.Budget.Complete (Error msg)
+      | V.Budget.Exhausted { partial = Error msg; _ } ->
+        Format.eprintf "stack verification failed: %s@." msg;
+        1)
   in
   let lock =
     Arg.(value & opt string "ticket"
@@ -170,12 +295,14 @@ let stack_cmd =
     Arg.(value & opt int 4
          & info [ "seeds" ] ~docv:"N" ~doc:"Random schedulers per check.")
   in
-  let strategy =
-    Arg.(value & opt string "default"
-         & info [ "strategy" ] ~docv:"STRAT"
-             ~doc:"Exploration strategy for the game-driving edges: \
-                   default (seeded suite), dpor[:DEPTH], exhaustive:DEPTH \
-                   or random:COUNT.")
+  let livelock =
+    Arg.(value & flag
+         & info [ "livelock" ]
+             ~doc:"Append the adversarial spinning-rwlock edge, which \
+                   livelocks under the trace-prefix schedulers.  Without a \
+                   $(b,--budget-ms) this effectively hangs; with one, the \
+                   run stops at the deadline and reports the completed \
+                   edges ($(b,exhausted), exit 0).")
   in
   let report_file =
     Arg.(value & opt (some string) None
@@ -186,8 +313,7 @@ let stack_cmd =
   in
   Cmd.v
     (Cmd.info "stack" ~doc:"Certify and link the whole Fig. 1 layer stack")
-    Term.(const run $ lock $ seeds $ strategy $ jobs_arg $ stats_arg
-          $ trace_arg $ cache_flag_arg $ cache_dir_arg $ report_file)
+    Term.(const run $ common_term $ lock $ seeds $ livelock $ report_file)
 
 (* ---------------- verify ---------------- *)
 
@@ -278,66 +404,62 @@ let cache_cmd =
 (* ---------------- pipeline ---------------- *)
 
 let pipeline_cmd =
-  let run seeds strategy jobs stats trace =
-    match strategy_of_string strategy with
+  let run common seeds =
+    match common with
     | Error msg ->
       Format.eprintf "%s@." msg;
       2
-    | Ok strategy ->
-      with_telemetry ~stats ~trace (fun () ->
-          match Ticket_lock.certify ~focus:[ 1; 2 ] () with
-          | Error e ->
-            Format.eprintf "%a@." Calculus.pp_error e;
-            1
-          | Ok cert -> (
-            Format.printf "%a@.@." Calculus.pp_cert cert;
-            let client i =
-              Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
-                  Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+    | Ok c ->
+      run_with_common c @@ fun ctx ->
+      let module V = Ccal_verify in
+      (match Ticket_lock.certify ~focus:[ 1; 2 ] () with
+      | Error e ->
+        Format.eprintf "%a@." Calculus.pp_error e;
+        1
+      | Ok cert -> (
+        Format.printf "%a@.@." Calculus.pp_cert cert;
+        let client i =
+          Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+              Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+        in
+        (* As in [Stack.verify_all_ctx]: an explicit strategy derives the
+           suite from the soundness game itself — the linked
+           client+implementation threads over the certificate's
+           underlay — so DPOR walks the very game it will replay. *)
+        let scheds =
+          match c.strategy with
+          | None -> Sched.default_suite ~seeds
+          | Some _ ->
+            let j = cert.Calculus.judgment in
+            let threads =
+              List.map
+                (fun i -> i, Prog.Module.link j.Calculus.impl (client i))
+                j.Calculus.focus
             in
-            let jobs = resolve_jobs jobs in
-            (* As in [Stack.verify_all]: an explicit strategy derives the
-               suite from the soundness game itself — the linked
-               client+implementation threads over the certificate's
-               underlay — so DPOR walks the very game it will replay. *)
-            let scheds =
-              match strategy with
-              | None -> Sched.default_suite ~seeds
-              | Some s ->
-                let j = cert.Calculus.judgment in
-                let threads =
-                  List.map
-                    (fun i -> i, Prog.Module.link j.Calculus.impl (client i))
-                    j.Calculus.focus
-                in
-                Ccal_verify.Explore.scheds_of_strategy ~jobs
-                  j.Calculus.underlay threads s
-            in
-            match
-              Ccal_verify.Linearizability.refine_cert ~jobs cert ~client
-                ~scheds
-            with
-            | Ok r ->
-              Format.printf "soundness: %d schedules refined -- OK@."
-                r.Refinement.scheds_checked;
-              0
-            | Error f ->
-              Format.eprintf "%a@." Refinement.pp_failure f;
-              1))
+            V.Explore.scheds_of_strategy_ctx ~ctx j.Calculus.underlay threads
+        in
+        match V.Linearizability.refine_cert_ctx ~ctx cert ~client ~scheds with
+        | V.Budget.Complete (Ok r) ->
+          Format.printf "soundness: %d schedules refined -- OK@."
+            r.Refinement.scheds_checked;
+          0
+        | V.Budget.Exhausted { spent; partial = Ok r } ->
+          Format.printf
+            "soundness: %d schedules refined before the budget ran out \
+             (%a)@."
+            r.Refinement.scheds_checked V.Budget.pp_spent spent;
+          0
+        | V.Budget.Complete (Error f)
+        | V.Budget.Exhausted { partial = Error f; _ } ->
+          Format.eprintf "%a@." Refinement.pp_failure f;
+          1))
   in
   let seeds =
     Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Random schedulers.")
   in
-  let strategy =
-    Arg.(value & opt string "default"
-         & info [ "strategy" ] ~docv:"STRAT"
-             ~doc:"Exploration strategy for the soundness game: default \
-                   (seeded suite), dpor[:DEPTH], exhaustive:DEPTH or \
-                   random:COUNT.")
-  in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the Fig. 5 ticket-lock pipeline end to end")
-    Term.(const run $ seeds $ strategy $ jobs_arg $ stats_arg $ trace_arg)
+    Term.(const run $ common_term $ seeds)
 
 (* ---------------- explore ---------------- *)
 
@@ -373,55 +495,82 @@ let explore_game name nthreads =
   | _ -> None
 
 let explore_cmd =
-  let run obj nthreads depth mode jobs stats trace =
+  let run common obj nthreads depth mode =
     let independence =
       match mode with
       | "events" -> Some Ccal_verify.Dpor.Commuting_events
       | "exact" -> Some Ccal_verify.Dpor.Exact
       | _ -> None
     in
-    match explore_game obj nthreads, independence with
-    | None, _ ->
+    match common, explore_game obj nthreads, independence with
+    | Error msg, _, _ ->
+      Format.eprintf "%s@." msg;
+      2
+    | _, None, _ ->
       Format.eprintf
         "unknown game %S (expected lock, ticket, mcs, queue or queue-atomic)@."
         obj;
       2
-    | _, None ->
+    | _, _, None ->
       Format.eprintf "unknown mode %S (expected exact or events)@." mode;
       2
-    | Some (layer, threads), Some independence ->
-      with_telemetry ~stats ~trace @@ fun () ->
+    | Ok c, Some (layer, threads), Some independence ->
+      run_with_common c @@ fun ctx ->
       let module V = Ccal_verify in
-      let jobs = resolve_jobs jobs in
-      let dpor = V.Dpor.explore ~independence ~jobs ~depth layer threads in
-      let tids = List.map fst threads in
-      let exhaustive =
-        V.Explore.run_all ~jobs layer threads
-          (V.Explore.exhaustive_scheds ~tids ~depth)
+      let header () =
+        Format.printf "game %s: %d threads, depth %d, %s independence@." obj
+          nthreads depth
+          (match independence with
+          | V.Dpor.Exact -> "exact"
+          | V.Dpor.Commuting_events -> "commuting-events")
       in
-      let canon l =
-        match independence with
-        | V.Dpor.Exact -> l
-        | V.Dpor.Commuting_events -> V.Dpor.canonical_log l
-      in
-      let dpor_logs =
-        Log.dedup
-          (List.map (fun (o : Game.outcome) -> canon o.Game.log) dpor.V.Dpor.outcomes)
-      in
-      let exh_logs = Log.dedup (List.map canon (V.Explore.all_logs exhaustive)) in
-      let subset a b = List.for_all (fun l -> List.exists (Log.equal l) b) a in
-      let agree = subset dpor_logs exh_logs && subset exh_logs dpor_logs in
-      Format.printf "game %s: %d threads, depth %d, %s independence@." obj
-        nthreads depth
-        (match independence with
-        | V.Dpor.Exact -> "exact"
-        | V.Dpor.Commuting_events -> "commuting-events");
-      Format.printf "  dpor:       %a@." V.Dpor.pp_stats dpor.V.Dpor.stats;
-      Format.printf "  exhaustive: %d schedules run; %d distinct logs@."
-        (List.length exhaustive) (List.length exh_logs);
-      Format.printf "  log sets %s@."
-        (if agree then "agree" else "DISAGREE (DPOR is unsound here)");
-      if agree then 0 else 1
+      (match V.Dpor.explore_ctx ~ctx ~independence ~depth layer threads with
+      | V.Budget.Exhausted { spent; partial } ->
+        header ();
+        Format.printf "  dpor:       %a@." V.Dpor.pp_stats partial.V.Dpor.stats;
+        Format.printf
+          "  budget exhausted (%a) after %d of %d replays; comparison \
+           skipped@."
+          V.Budget.pp_spent spent partial.V.Dpor.stats.V.Dpor.schedules_run
+          (List.length partial.V.Dpor.prefixes);
+        0
+      | V.Budget.Complete dpor -> (
+        let tids = List.map fst threads in
+        match
+          V.Explore.run_all_ctx ~ctx layer threads
+            (V.Explore.exhaustive_scheds ~tids ~depth)
+        with
+        | V.Budget.Exhausted { spent; partial } ->
+          header ();
+          Format.printf "  dpor:       %a@." V.Dpor.pp_stats dpor.V.Dpor.stats;
+          Format.printf
+            "  budget exhausted (%a) after %d exhaustive runs; comparison \
+             skipped@."
+            V.Budget.pp_spent spent (List.length partial);
+          0
+        | V.Budget.Complete exhaustive ->
+          let canon l =
+            match independence with
+            | V.Dpor.Exact -> l
+            | V.Dpor.Commuting_events -> V.Dpor.canonical_log l
+          in
+          let dpor_logs =
+            Log.dedup
+              (List.map (fun (o : Game.outcome) -> canon o.Game.log)
+                 dpor.V.Dpor.outcomes)
+          in
+          let exh_logs =
+            Log.dedup (List.map canon (V.Explore.all_logs exhaustive))
+          in
+          let subset a b = List.for_all (fun l -> List.exists (Log.equal l) b) a in
+          let agree = subset dpor_logs exh_logs && subset exh_logs dpor_logs in
+          header ();
+          Format.printf "  dpor:       %a@." V.Dpor.pp_stats dpor.V.Dpor.stats;
+          Format.printf "  exhaustive: %d schedules run; %d distinct logs@."
+            (List.length exhaustive) (List.length exh_logs);
+          Format.printf "  log sets %s@."
+            (if agree then "agree" else "DISAGREE (DPOR is unsound here)");
+          if agree then 0 else 1))
   in
   let obj =
     Arg.(value & pos 0 string "lock"
@@ -449,8 +598,7 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Compare the DPOR explorer against exhaustive enumeration")
-    Term.(const run $ obj $ nthreads $ depth $ mode $ jobs_arg $ stats_arg
-          $ trace_arg)
+    Term.(const run $ common_term $ obj $ nthreads $ depth $ mode)
 
 (* ---------------- inventory ---------------- *)
 

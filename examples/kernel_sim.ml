@@ -22,8 +22,14 @@ let vi = Value.int
 
 let () =
   Format.printf "== kernel_sim: verifying the Fig. 1 layer stack ==@.@.";
-  (match Ccal_verify.Stack.verify_all ~lock:`Ticket ~seeds:4 () with
-  | Ok report -> Format.printf "%a@.@." Ccal_verify.Stack.pp_report report
+  (match
+     Ccal_verify.Budget.value
+       (Ccal_verify.Stack.verify_all_ctx ~ctx:Ccal_verify.Ctx.default
+          ~lock:`Ticket ~seeds:4 ())
+   with
+  | Ok p ->
+    Format.printf "%a@.@." Ccal_verify.Stack.pp_report
+      p.Ccal_verify.Stack.completed
   | Error msg ->
     Format.printf "STACK VERIFICATION FAILED: %s@." msg;
     exit 1);

@@ -85,8 +85,13 @@ let () =
 
   (* swap the lock under the shared queue: the queue layer is untouched *)
   Format.printf "@.swapping the lock under the shared queue (Sec. 6):@.";
-  match Ccal_verify.Stack.verify_all ~lock:`Mcs ~seeds:2 () with
-  | Ok r ->
+  match
+    Ccal_verify.Budget.value
+      (Ccal_verify.Stack.verify_all_ctx ~ctx:Ccal_verify.Ctx.default
+         ~lock:`Mcs ~seeds:2 ())
+  with
+  | Ok p ->
+    let r = p.Ccal_verify.Stack.completed in
     Format.printf
       "  full stack re-verified over the MCS lock: %d checks in %.0f ms@."
       r.Ccal_verify.Stack.total_checks r.Ccal_verify.Stack.total_millis

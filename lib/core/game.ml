@@ -5,17 +5,19 @@ type config = {
   max_steps : int;
   log_switches : bool;
   check_guar : bool;
+  stop : (unit -> bool) option;
 }
 
 let config ?(max_steps = 100_000) ?(log_switches = false) ?(check_guar = false)
-    layer threads sched =
-  { layer; threads; sched; max_steps; log_switches; check_guar }
+    ?stop layer threads sched =
+  { layer; threads; sched; max_steps; log_switches; check_guar; stop }
 
 type status =
   | All_done
   | Deadlock of Event.tid list
   | Stuck of Event.tid * Layer.stuck_kind * string
   | Out_of_fuel
+  | Cancelled
 
 type outcome = {
   log : Log.t;
@@ -62,6 +64,14 @@ let run cfg =
       match pending with
       | [] ->
         { log; results = results (); status = All_done; steps; silent_steps = silent; guar_violations = List.rev violations }
+      | _ when (match cfg.stop with Some s -> s () | None -> false) ->
+        (* Cooperative cancellation (DESIGN.md S27): the stop closure is
+           polled once per move, before the scheduler is consulted but
+           only when a move remains — a game that already finished all
+           its moves reports [All_done] even on an exactly-spent budget —
+           so a cancelled game carries a meaningful play prefix in
+           [log]. *)
+        { log; results = results (); status = Cancelled; steps; silent_steps = silent; guar_violations = List.rev violations }
       | _ ->
         (* Pick a mover; threads found blocked at this log are excluded and
            the scheduler is asked again. *)
@@ -139,3 +149,4 @@ let pp_status fmt = function
   | Stuck (i, Layer.Data_race, msg) ->
     Format.fprintf fmt "race(thread %d: %s)" i msg
   | Out_of_fuel -> Format.pp_print_string fmt "out-of-fuel"
+  | Cancelled -> Format.pp_print_string fmt "cancelled"

@@ -20,12 +20,16 @@ type config = {
       (** record a scheduling event whenever the mover changes, as the
           multicore hardware model does (Sec. 3.1) *)
   check_guar : bool;  (** check the layer guarantee after every move *)
+  stop : (unit -> bool) option;
+      (** cooperative cancellation: polled once per move; when it turns
+          true the game ends with {!Cancelled} and its play prefix *)
 }
 
 val config :
   ?max_steps:int ->
   ?log_switches:bool ->
   ?check_guar:bool ->
+  ?stop:(unit -> bool) ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   Sched.t ->
@@ -38,6 +42,7 @@ type status =
       (** a thread has no valid transition; [Layer.Data_race] marks a
           detected data race, [Layer.Invalid_transition] everything else *)
   | Out_of_fuel
+  | Cancelled  (** the [stop] closure tripped (budget/cancellation) *)
 
 type outcome = {
   log : Log.t;

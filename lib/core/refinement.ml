@@ -137,55 +137,82 @@ let replay_multi ?(max_steps = 200_000) ?(allow_blocked_at_end = false) overlay
    replayed against the overlay.  Exposed (through {!check_sched}) so the
    parallel checkers can hand it, schedule by schedule, to a domain pool;
    it is pure up to its own game state. *)
+let check_one_gen ?stop ~max_steps ~expect_all_done ~underlay ~overlay ~rel
+    ~threads_under ~threads_over sched =
+  let outcome =
+    Game.run (Game.config ~max_steps ?stop underlay threads_under sched)
+  in
+  match outcome.Game.status with
+  | Game.Cancelled ->
+    (* Only reachable when a [stop] closure was installed: the budget ran
+       out mid-game.  Not a refinement verdict either way — the budgeted
+       scan counts it as an interrupted schedule. *)
+    `Interrupted
+  | (Game.Deadlock _ | Game.Stuck _ | Game.Out_of_fuel) when expect_all_done ->
+    `Checked
+      (Error
+         {
+           sched_name = sched.Sched.name;
+           reason =
+             Format.asprintf "underlay run did not complete: %a"
+               Game.pp_status outcome.Game.status;
+           under_log = outcome.Game.log;
+           over_log = Log.empty;
+         })
+  | _ ->
+    `Checked
+      (let l = outcome.Game.log in
+       let lt = Sim_rel.apply rel l in
+       match
+         replay_multi ~max_steps ~allow_blocked_at_end:(not expect_all_done)
+           overlay threads_over lt
+       with
+       | Error (reason, over_log) ->
+         Error { sched_name = sched.Sched.name; reason; under_log = l; over_log }
+       | Ok over_results ->
+         (* Termination-sensitivity: results must agree thread-by-thread. *)
+         let mismatches =
+           List.filter
+             (fun (i, v) ->
+               match List.assoc_opt i over_results with
+               | Some v' -> not (Value.equal v v')
+               | None -> true)
+             outcome.Game.results
+         in
+         (match mismatches with
+         | (i, v) :: _ ->
+           Error
+             {
+               sched_name = sched.Sched.name;
+               reason =
+                 Printf.sprintf
+                   "thread %d returned %s at the underlay but %s at the overlay"
+                   i (Value.to_string v)
+                   (match List.assoc_opt i over_results with
+                   | Some v' -> Value.to_string v'
+                   | None -> "nothing");
+               under_log = l;
+               over_log = lt;
+             }
+         | [] -> Ok (l, lt)))
+
 let check_one ~max_steps ~expect_all_done ~underlay ~overlay ~rel ~threads_under
     ~threads_over sched =
-  let outcome = Game.run (Game.config ~max_steps underlay threads_under sched) in
-  match outcome.Game.status with
-  | (Game.Deadlock _ | Game.Stuck _ | Game.Out_of_fuel) when expect_all_done ->
-    Error
-      {
-        sched_name = sched.Sched.name;
-        reason =
-          Format.asprintf "underlay run did not complete: %a"
-            Game.pp_status outcome.Game.status;
-        under_log = outcome.Game.log;
-        over_log = Log.empty;
-      }
-  | _ -> (
-    let l = outcome.Game.log in
-    let lt = Sim_rel.apply rel l in
-    match
-      replay_multi ~max_steps ~allow_blocked_at_end:(not expect_all_done)
-        overlay threads_over lt
-    with
-    | Error (reason, over_log) ->
-      Error { sched_name = sched.Sched.name; reason; under_log = l; over_log }
-    | Ok over_results ->
-      (* Termination-sensitivity: results must agree thread-by-thread. *)
-      let mismatches =
-        List.filter
-          (fun (i, v) ->
-            match List.assoc_opt i over_results with
-            | Some v' -> not (Value.equal v v')
-            | None -> true)
-          outcome.Game.results
-      in
-      (match mismatches with
-      | (i, v) :: _ ->
-        Error
-          {
-            sched_name = sched.Sched.name;
-            reason =
-              Printf.sprintf
-                "thread %d returned %s at the underlay but %s at the overlay"
-                i (Value.to_string v)
-                (match List.assoc_opt i over_results with
-                | Some v' -> Value.to_string v'
-                | None -> "nothing");
-            under_log = l;
-            over_log = lt;
-          }
-      | [] -> Ok (l, lt)))
+  match
+    check_one_gen ~max_steps ~expect_all_done ~underlay ~overlay ~rel
+      ~threads_under ~threads_over sched
+  with
+  | `Checked r -> r
+  | `Interrupted -> assert false (* no stop closure installed *)
+
+let check_sched_stop ?(max_steps = 200_000) ?(expect_all_done = true) ?stop
+    ~underlay ~impl ~overlay ~rel ~client ~tids sched =
+  let threads_under =
+    List.map (fun i -> i, Prog.Module.link impl (client i)) tids
+  in
+  let threads_over = List.map (fun i -> i, client i) tids in
+  check_one_gen ?stop ~max_steps ~expect_all_done ~underlay ~overlay ~rel
+    ~threads_under ~threads_over sched
 
 let check_sched ?(max_steps = 200_000) ?(expect_all_done = true) ~underlay
     ~impl ~overlay ~rel ~client ~tids sched =

@@ -45,6 +45,23 @@ val replay_multi :
     Exposed for the multicore/multithread linking checks (Thm 3.1,
     Thm 5.1). *)
 
+val check_sched_stop :
+  ?max_steps:int ->
+  ?expect_all_done:bool ->
+  ?stop:(unit -> bool) ->
+  underlay:Layer.t ->
+  impl:Prog.Module.t ->
+  overlay:Layer.t ->
+  rel:Sim_rel.t ->
+  client:(Event.tid -> Prog.t) ->
+  tids:Event.tid list ->
+  Sched.t ->
+  [ `Checked of (Log.t * Log.t, failure) result | `Interrupted ]
+(** {!check_sched} with a cooperative-cancellation closure threaded into
+    the underlay game: when [stop] trips mid-run the schedule reports
+    [`Interrupted] instead of a verdict, and the budgeted checkers count
+    it toward an [Exhausted] result (DESIGN.md S27). *)
+
 val check_sched :
   ?max_steps:int ->
   ?expect_all_done:bool ->

@@ -22,7 +22,7 @@ let check_multicore_linking_sched ?max_steps ~threads sched =
   match outcome.Game.status with
   | Game.Stuck (i, _, msg) ->
     Error (Printf.sprintf "Mx86 run stuck at CPU %d: %s" i msg)
-  | Game.Deadlock _ | Game.Out_of_fuel ->
+  | Game.Deadlock _ | Game.Out_of_fuel | Game.Cancelled ->
     Error
       (Printf.sprintf "Mx86 run did not complete under %s" sched.Sched.name)
   | Game.All_done -> (

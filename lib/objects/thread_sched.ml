@@ -273,6 +273,8 @@ let check_multithreaded_linking_sched ?max_steps ~placement ~layer ~threads
          (String.concat "," (List.map string_of_int ids))
          sched.Sched.name)
   | Game.Out_of_fuel -> Error "out of fuel"
+  | Game.Cancelled ->
+    Error (Printf.sprintf "run under %s was cancelled" sched.Sched.name)
   | Game.All_done -> (
     if not (turn_consistent placement outcome.Game.log) then
       Error (Printf.sprintf "log not turn-consistent under %s" sched.Sched.name)

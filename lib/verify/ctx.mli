@@ -1,0 +1,76 @@
+(** The unified checker context (DESIGN.md S27).
+
+    One record for every knob the checkers used to take as scattered
+    optional arguments — pool size, certificate cache, exploration
+    strategy — plus the budget/cancellation token and the fault plan
+    introduced with it.  Thread a context through the [*_ctx] entry
+    points ([Races.check_ctx], [Linearizability.refine_ctx],
+    [Progress.completes_within_ctx], [Dpor.explore_ctx],
+    [Explore.run_all_ctx], [Stack.verify_all_ctx]); the old signatures
+    remain for one release as [@deprecated] wrappers.
+
+    Nested checkers share the budget by sharing the context: a
+    [Stack.verify_all_ctx] call passes its own context to every edge's
+    races/linearizability scan, so one token covers the whole stack. *)
+
+type strategy = [ `Exhaustive of int | `Dpor of int | `Random of int ]
+(** Structurally identical to [Explore.strategy] (it must be — [Explore]
+    depends on this module's neighbours, not vice versa). *)
+
+type t = {
+  jobs : int;  (** domains for the pool; 1 = the sequential oracle *)
+  cache : Cache.t option;
+  strategy : strategy;  (** suite generator when no [?scheds] is given *)
+  budget : Budget.t;
+  token : Budget.token;  (** running token for [budget] *)
+  faults : Fault.plan;
+  stats : bool;  (** CLI toggle: print the telemetry table afterwards *)
+  trace : string option;  (** CLI toggle: write a Chrome trace here *)
+}
+
+val default : t
+(** Sequential, uncached, [`Dpor 4], unlimited budget, no faults. *)
+
+val make :
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?strategy:strategy ->
+  ?budget:Budget.t ->
+  ?faults:Fault.plan ->
+  ?stats:bool ->
+  ?trace:string ->
+  unit ->
+  t
+(** Build a context in one go; a non-unlimited [budget] starts its token
+    immediately (the deadline epoch is this call). *)
+
+(** {1 Builders} *)
+
+val with_jobs : int -> t -> t
+val with_cache : Cache.t -> t -> t
+val without_cache : t -> t
+val with_strategy : strategy -> t -> t
+
+val with_budget : Budget.t -> t -> t
+(** (Re)starts the token: the deadline epoch is the moment the budget is
+    attached, so attach it last, right before running the checker. *)
+
+val with_faults : Fault.plan -> t -> t
+val with_stats : bool -> t -> t
+val with_trace : string -> t -> t
+
+(** {1 Plumbing} *)
+
+val of_legacy : ?jobs:int -> ?cache:Cache.t -> ?strategy:strategy -> unit -> t
+(** The old optional arguments, verbatim, as a context — what the
+    [@deprecated] wrappers use. *)
+
+val jobs_opt : t -> int option
+(** [None] when sequential — the shape {!Parallel} and the legacy
+    internals expect. *)
+
+val arm : t -> (unit -> 'a) -> 'a
+(** Run a thunk with the context's fault plan armed ({!Fault.with_plan}).
+    Every [*_ctx] checker entry point wraps its body in this. *)
+
+val pp : Format.formatter -> t -> unit

@@ -337,3 +337,79 @@ let pp_stats fmt s =
     "@[<h>schedules: %d run / %d considered (%d pruned, %d sleep-set skips); %d distinct logs@]"
     s.schedules_run s.schedules_considered s.schedules_pruned
     s.sleep_set_prunes s.distinct_logs
+
+(* ------------------------------------------------------------------ *)
+(* unified-context entry points (DESIGN.md S27)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The DFS walk itself stays un-budgeted: it is depth-bounded and cheap
+   relative to replay, and keeping it whole means an [Exhausted] explore
+   still reports the complete schedule frontier — exactly what a resumed
+   run needs.  Only the replay phase, which runs full games, charges the
+   step budget. *)
+
+let prefixes_with_prunes_ctx ~ctx ?private_fuel ?independence ?reads ~depth
+    layer threads =
+  Ctx.arm ctx (fun () ->
+      prefixes_with_prunes ?private_fuel ?independence ?reads
+        ?jobs:(Ctx.jobs_opt ctx) ?cache:ctx.Ctx.cache ~depth layer threads)
+
+let prefixes_ctx ~ctx ?private_fuel ?independence ?reads ~depth layer threads =
+  fst
+    (prefixes_with_prunes_ctx ~ctx ?private_fuel ?independence ?reads ~depth
+       layer threads)
+
+let schedules_ctx ~ctx ?private_fuel ?independence ?reads ~depth layer threads =
+  List.map sched_of_prefix
+    (prefixes_ctx ~ctx ?private_fuel ?independence ?reads ~depth layer threads)
+
+let explore_ctx ~ctx ?max_steps ?private_fuel ?(independence = Exact) ?reads
+    ~depth layer threads =
+  Ctx.arm ctx @@ fun () ->
+  let prefixes, sleep_set_prunes =
+    Probe.span "dpor.prefixes" (fun () ->
+        prefixes_with_prunes ?private_fuel ~independence ?reads
+          ?jobs:(Ctx.jobs_opt ctx) ?cache:ctx.Ctx.cache ~depth layer threads)
+  in
+  let replay =
+    Probe.span "dpor.replay" (fun () ->
+        Parallel.budgeted_scan ?jobs:(Ctx.jobs_opt ctx) ~token:ctx.Ctx.token
+          ~cost:(fun o -> o.Game.steps)
+          ~interrupted:(fun o -> o.Game.status = Game.Cancelled)
+          ~cut:(fun _ -> false)
+          (fun ~stop p ->
+            Game.run
+              (Game.config ?max_steps ?stop layer threads (sched_of_prefix p)))
+          prefixes)
+  in
+  let outcomes = replay.Parallel.prefix in
+  let logs = List.map (fun o -> o.Game.log) outcomes in
+  let representative =
+    match independence with
+    | Exact -> logs
+    | Commuting_events -> List.map (canonical_log ?reads) logs
+  in
+  let schedules_considered = pow (List.length threads) depth in
+  let distinct_logs =
+    Probe.span "dpor.dedup" (fun () -> List.length (Log.dedup representative))
+  in
+  Probe.add Probe.sleep_set_prunes sleep_set_prunes;
+  Probe.add Probe.logs_distinct distinct_logs;
+  let result =
+    {
+      prefixes;
+      outcomes;
+      stats =
+        {
+          schedules_considered;
+          schedules_run = replay.Parallel.scanned;
+          schedules_pruned =
+            max 0 (schedules_considered - List.length prefixes);
+          sleep_set_prunes;
+          distinct_logs;
+        };
+    }
+  in
+  if replay.Parallel.ran_out then
+    Budget.Exhausted { spent = Budget.spent ctx.Ctx.token; partial = result }
+  else Budget.Complete result

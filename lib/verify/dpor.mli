@@ -62,6 +62,73 @@ val canonical_log : ?reads:string list -> Log.t -> Log.t
     trace: two logs are equal up to commuting independent events iff
     their canonical forms are equal. *)
 
+val explore_ctx :
+  ctx:Ctx.t ->
+  ?max_steps:int ->
+  ?private_fuel:int ->
+  ?independence:independence ->
+  ?reads:string list ->
+  depth:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  result Budget.outcome
+(** Explore the game to [depth] scheduling choices, pruning with sleep
+    sets, and replay every surviving prefix.  [independence] defaults to
+    {!Exact}.  [ctx.jobs] parallelises both phases over a {!Parallel}
+    domain pool: the DFS splits its frontier into independent subtrees (a
+    child's sleep set depends only on its parent and earlier siblings,
+    all known before descent), and the replays are a deterministic
+    parallel map — prefixes, outcomes, and stats are identical for every
+    jobs count.  [ctx.cache] memoizes the DFS walk (prefixes + sleep-set
+    prune count), keyed on the game identity and every DFS knob; the
+    replay phase always runs live, so failures reproduce from the real
+    game.
+
+    The walk itself is never budgeted (depth-bounded and cheap); the
+    replay phase charges [ctx.token] per game.  An [Exhausted] result
+    still carries the {e complete} prefix frontier with the outcomes of
+    the replayed prefix — [stats.schedules_run] says how far it got. *)
+
+val prefixes_ctx :
+  ctx:Ctx.t ->
+  ?private_fuel:int ->
+  ?independence:independence ->
+  ?reads:string list ->
+  depth:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Event.tid list list
+(** The surviving scheduling prefixes only (no replay). *)
+
+val schedules_ctx :
+  ctx:Ctx.t ->
+  ?private_fuel:int ->
+  ?independence:independence ->
+  ?reads:string list ->
+  depth:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Sched.t list
+(** The surviving prefixes as fresh trace schedulers — the drop-in
+    replacement for {!Explore.exhaustive_scheds} used by the checkers.
+    Schedulers are stateful; each is good for one run. *)
+
+val prefixes_with_prunes_ctx :
+  ctx:Ctx.t ->
+  ?private_fuel:int ->
+  ?independence:independence ->
+  ?reads:string list ->
+  depth:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Event.tid list list * int
+(** Prefixes plus the sleep-set prune count (what the walk cache
+    stores). *)
+
+(** {1 Deprecated entry points}
+
+    The pre-[Ctx] signatures, kept for one release. *)
+
 val explore :
   ?max_steps:int ->
   ?private_fuel:int ->
@@ -73,16 +140,7 @@ val explore :
   Layer.t ->
   (Event.tid * Prog.t) list ->
   result
-(** Explore the game to [depth] scheduling choices, pruning with sleep
-    sets, and replay every surviving prefix.  [independence] defaults to
-    {!Exact}.  [jobs] parallelises both phases over a {!Parallel} domain
-    pool: the DFS splits its frontier into independent subtrees (a child's
-    sleep set depends only on its parent and earlier siblings, all known
-    before descent), and the replays are a deterministic parallel map —
-    prefixes, outcomes, and stats are identical for every jobs count.
-    [cache] memoizes the DFS walk (prefixes + sleep-set prune count),
-    keyed on the game identity and every DFS knob; the replay phase
-    always runs live, so failures reproduce from the real game. *)
+[@@deprecated "use explore_ctx"]
 
 val prefixes :
   ?private_fuel:int ->
@@ -94,7 +152,7 @@ val prefixes :
   Layer.t ->
   (Event.tid * Prog.t) list ->
   Event.tid list list
-(** The surviving scheduling prefixes only (no replay). *)
+[@@deprecated "use prefixes_ctx"]
 
 val schedules :
   ?private_fuel:int ->
@@ -106,8 +164,6 @@ val schedules :
   Layer.t ->
   (Event.tid * Prog.t) list ->
   Sched.t list
-(** The surviving prefixes as fresh trace schedulers — the drop-in
-    replacement for {!Explore.exhaustive_scheds} used by the checkers.
-    Schedulers are stateful; each is good for one run. *)
+[@@deprecated "use schedules_ctx"]
 
 val pp_stats : Format.formatter -> stats -> unit

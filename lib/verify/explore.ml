@@ -37,12 +37,16 @@ let pp_strategy fmt = function
   | `Dpor d -> Format.fprintf fmt "dpor(depth=%d)" d
   | `Random n -> Format.fprintf fmt "random(count=%d)" n
 
-let scheds_of_strategy ?private_fuel ?jobs ?cache layer threads = function
-  | `Exhaustive depth ->
-    exhaustive_scheds ~tids:(List.map fst threads) ~depth
-  | `Dpor depth ->
-    Dpor.schedules ?private_fuel ?jobs ?cache ~depth layer threads
+let scheds_of_strategy_ctx ~ctx ?private_fuel layer threads =
+  match ctx.Ctx.strategy with
+  | `Exhaustive depth -> exhaustive_scheds ~tids:(List.map fst threads) ~depth
+  | `Dpor depth -> Dpor.schedules_ctx ~ctx ?private_fuel ~depth layer threads
   | `Random count -> random_scheds ~count
+
+let scheds_of_strategy ?private_fuel ?jobs ?cache layer threads strategy =
+  scheds_of_strategy_ctx
+    ~ctx:(Ctx.of_legacy ?jobs ?cache ~strategy ())
+    ?private_fuel layer threads
 
 (* Cache key of a [run_all] call: the complete game identity — layer,
    linked client programs, scheduler suite (by name), fuel.  [jobs] is
@@ -58,26 +62,48 @@ let runall_key ?max_steps layer threads scheds =
   let st = Fingerprint.scheds st scheds in
   Fingerprint.finish (Fingerprint.option Fingerprint.int st max_steps)
 
-let run_all ?max_steps ?jobs ?cache layer threads scheds =
+let run_all_ctx ~ctx ?max_steps layer threads scheds =
+  Ctx.arm ctx @@ fun () ->
   let body () =
     Probe.span "explore.run_all" (fun () ->
-        Parallel.map ?jobs
-          (fun sched -> Game.run (Game.config ?max_steps layer threads sched))
+        Parallel.budgeted_scan
+          ?jobs:(Ctx.jobs_opt ctx)
+          ~token:ctx.Ctx.token
+          ~cost:(fun o -> o.Game.steps)
+          ~interrupted:(fun o -> o.Game.status = Game.Cancelled)
+          ~cut:(fun _ -> false)
+          (fun ~stop sched ->
+            Game.run (Game.config ?max_steps ?stop layer threads sched))
           scheds)
   in
-  match cache with
-  | None -> body ()
+  let finish (b : Game.outcome Parallel.budgeted) =
+    if b.Parallel.ran_out then
+      Budget.Exhausted
+        { spent = Budget.spent ctx.Ctx.token; partial = b.Parallel.prefix }
+    else Budget.Complete b.Parallel.prefix
+  in
+  match ctx.Ctx.cache with
+  | None -> finish (body ())
   | Some c -> (
     let key = runall_key ?max_steps layer threads scheds in
     match Cache.find c ~kind:"runall" key with
-    | Some (outcomes : Game.outcome list) -> outcomes
-    | None ->
-      let outcomes = body () in
-      (* Only fully clean corpora are stored: any non-[All_done] status
-         is a (potential) failure and must always reproduce live. *)
-      if List.for_all (fun o -> o.Game.status = Game.All_done) outcomes then
-        Cache.store c ~kind:"runall" key outcomes;
-      outcomes)
+    | Some (outcomes : Game.outcome list) -> Budget.Complete outcomes
+    | None -> (
+      match finish (body ()) with
+      | Budget.Complete outcomes as r ->
+        (* Only fully clean, fully explored corpora are stored: any
+           non-[All_done] status is a (potential) failure and must always
+           reproduce live, and an exhausted prefix is not the corpus. *)
+        if List.for_all (fun o -> o.Game.status = Game.All_done) outcomes
+        then Cache.store c ~kind:"runall" key outcomes;
+        r
+      | Budget.Exhausted _ as r -> r))
+
+let run_all ?max_steps ?jobs ?cache layer threads scheds =
+  Budget.value
+    (run_all_ctx
+       ~ctx:(Ctx.of_legacy ?jobs ?cache ())
+       ?max_steps layer threads scheds)
 
 let all_logs outcomes = List.map (fun o -> o.Game.log) outcomes
 

@@ -38,6 +38,41 @@ val default_strategy : strategy
 
 val pp_strategy : Format.formatter -> strategy -> unit
 
+val scheds_of_strategy_ctx :
+  ctx:Ctx.t ->
+  ?private_fuel:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Sched.t list
+(** Materialize [ctx.strategy] into a scheduler suite for the given game.
+    [`Dpor] walks the game itself to find the non-redundant prefixes;
+    the layer and threads must therefore be the ones the returned
+    schedulers will drive.  [ctx.jobs] parallelises the DPOR walk
+    ({!Dpor.schedules_ctx}); the suite is identical for every jobs count.
+    [ctx.cache] memoizes the DPOR walk.  The walk is never budgeted
+    (see {!Dpor.explore_ctx}). *)
+
+val run_all_ctx :
+  ctx:Ctx.t ->
+  ?max_steps:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Sched.t list ->
+  Game.outcome list Budget.outcome
+(** Run the machine under every scheduler.  [ctx.jobs] spreads the runs
+    over a {!Parallel} domain pool; the outcome list keeps schedule
+    order.  [ctx.cache] memoizes the whole outcome list, keyed on the
+    game identity (layer, programs, scheduler names, fuel) — but only
+    when every outcome is [All_done] {e and} the scan completed: corpora
+    containing failures or cut short by the budget re-run live.
+    [ctx.token] is charged per game step; an [Exhausted] result carries
+    the outcome prefix that was fully evaluated before the budget
+    tripped, bit-identical for every jobs count under a step budget. *)
+
+(** {1 Deprecated entry points}
+
+    The pre-[Ctx] signatures, kept for one release. *)
+
 val scheds_of_strategy :
   ?private_fuel:int ->
   ?jobs:int ->
@@ -46,12 +81,7 @@ val scheds_of_strategy :
   (Event.tid * Prog.t) list ->
   strategy ->
   Sched.t list
-(** Materialize a strategy into a scheduler suite for the given game.
-    [`Dpor] walks the game itself to find the non-redundant prefixes;
-    the layer and threads must therefore be the ones the returned
-    schedulers will drive.  [jobs] parallelises the DPOR walk
-    ({!Dpor.schedules}); the suite is identical for every jobs count.
-    [cache] memoizes the DPOR walk ({!Dpor.prefixes}). *)
+[@@deprecated "use scheds_of_strategy_ctx"]
 
 val run_all :
   ?max_steps:int ->
@@ -61,11 +91,7 @@ val run_all :
   (Event.tid * Prog.t) list ->
   Sched.t list ->
   Game.outcome list
-(** Run the machine under every scheduler.  [jobs] spreads the runs over
-    a {!Parallel} domain pool; the outcome list keeps schedule order.
-    [cache] memoizes the whole outcome list, keyed on the game identity
-    (layer, programs, scheduler names, fuel) — but only when every
-    outcome is [All_done]: corpora containing failures re-run live. *)
+[@@deprecated "use run_all_ctx"]
 
 val all_logs : Game.outcome list -> Log.t list
 

@@ -10,13 +10,26 @@ type report = {
    body over the {!Parallel} pool, then fold the ordered results exactly as
    the sequential loop does — the reported failure (if any) is the
    lowest-indexed failing schedule, so the result is identical for every
-   jobs count. *)
-let refine_live ?max_steps ?expect_all_done ?jobs ~underlay ~impl ~overlay
+   jobs count.  The budget is charged the underlay event count of each
+   schedule (a deterministic proxy for its work); an interrupted underlay
+   game truncates the scan into an [Exhausted] outcome. *)
+let refine_live ~ctx ?max_steps ?expect_all_done ~underlay ~impl ~overlay
     ~rel ~client ~tids ~scheds () =
-  let results =
-    Parallel.scan ?jobs ~cut:Result.is_error
-      (Refinement.check_sched ?max_steps ?expect_all_done ~underlay ~impl
-         ~overlay ~rel ~client ~tids)
+  let cost = function
+    | `Checked (Ok (l, _)) -> Log.length l
+    | `Checked (Error (f : Refinement.failure)) ->
+      Log.length f.Refinement.under_log
+    | `Interrupted -> 0
+  in
+  let replay =
+    Parallel.budgeted_scan
+      ?jobs:(Ctx.jobs_opt ctx)
+      ~token:ctx.Ctx.token ~cost
+      ~interrupted:(fun r -> match r with `Interrupted -> true | _ -> false)
+      ~cut:(fun r -> match r with `Checked (Error _) -> true | _ -> false)
+      (fun ~stop sched ->
+        Refinement.check_sched_stop ?max_steps ?expect_all_done ?stop
+          ~underlay ~impl ~overlay ~rel ~client ~tids sched)
       scheds
   in
   let rec go scheds_checked logs translated = function
@@ -27,11 +40,17 @@ let refine_live ?max_steps ?expect_all_done ?jobs ~underlay ~impl ~overlay
           logs = List.rev logs;
           translated = List.rev translated;
         }
-    | Ok (l, lt) :: rest ->
+    | `Checked (Ok (l, lt)) :: rest ->
       go (scheds_checked + 1) (l :: logs) (lt :: translated) rest
-    | Error (f : Refinement.failure) :: _ -> Error f
+    | `Checked (Error (f : Refinement.failure)) :: _ -> Error f
+    | `Interrupted :: _ ->
+      (* excluded from the budgeted prefix by construction *)
+      assert false
   in
-  go 0 [] [] results
+  let report = go 0 [] [] replay.Parallel.prefix in
+  if replay.Parallel.ran_out then
+    Budget.Exhausted { spent = Budget.spent ctx.Ctx.token; partial = report }
+  else Budget.Complete report
 
 (* Cache key of a refinement scan: both machine interfaces, the
    implementation bodies, the relation (by name), the client workload on
@@ -63,46 +82,61 @@ let report_hash (r : Refinement.report) =
   let st = Fingerprint.list Fingerprint.log st r.Refinement.logs in
   Fingerprint.finish (Fingerprint.list Fingerprint.log st r.Refinement.translated)
 
-let refine ?max_steps ?expect_all_done ?jobs ?cache ~underlay ~impl ~overlay
+let refine_ctx ~ctx ?max_steps ?expect_all_done ~underlay ~impl ~overlay
     ~rel ~client ~tids ~scheds () =
+  Ctx.arm ctx @@ fun () ->
   let live () =
-    refine_live ?max_steps ?expect_all_done ?jobs ~underlay ~impl ~overlay
+    refine_live ~ctx ?max_steps ?expect_all_done ~underlay ~impl ~overlay
       ~rel ~client ~tids ~scheds ()
   in
-  match cache with
+  match ctx.Ctx.cache with
   | None -> live ()
   | Some c -> (
     let key =
       refine_key ?max_steps ?expect_all_done ~underlay ~impl ~overlay ~rel
         ~client ~tids ~scheds ()
     in
-    match Cache.find c ~kind:"refine" key with
-    | Some { report; log_hash }
-      when Fingerprint.equal (report_hash report) log_hash ->
-      Ok report
-    | Some _ ->
-      Cache.invalidate c ~kind:"refine" key;
-      live ()
-    | None -> (
+    let run_and_store () =
       match live () with
-      | Ok report as ok ->
+      | Budget.Complete (Ok report) as ok ->
         Cache.store c ~kind:"refine" key
           { report; log_hash = report_hash report };
         ok
-      (* Refinement failures always re-run live — never stored. *)
-      | Error _ as e -> e))
+      (* Refinement failures always re-run live, and an exhausted prefix
+         is not the report — neither is stored. *)
+      | (Budget.Complete (Error _) | Budget.Exhausted _) as r -> r
+    in
+    match Cache.find c ~kind:"refine" key with
+    | Some { report; log_hash }
+      when Fingerprint.equal (report_hash report) log_hash ->
+      Budget.Complete (Ok report)
+    | Some _ ->
+      Cache.invalidate c ~kind:"refine" key;
+      run_and_store ()
+    | None -> run_and_store ())
 
-let refine_cert ?max_steps ?expect_all_done ?jobs ?cache
-    (cert : Calculus.cert) ~client ~scheds =
-  refine ?max_steps ?expect_all_done ?jobs ?cache
+let refine_cert_ctx ~ctx ?max_steps ?expect_all_done (cert : Calculus.cert)
+    ~client ~scheds =
+  refine_ctx ~ctx ?max_steps ?expect_all_done
     ~underlay:cert.Calculus.judgment.Calculus.underlay
     ~impl:cert.Calculus.judgment.Calculus.impl
     ~overlay:cert.Calculus.judgment.Calculus.overlay
     ~rel:cert.Calculus.judgment.Calculus.rel ~client
     ~tids:cert.Calculus.judgment.Calculus.focus ~scheds ()
 
-let check ?max_steps ?strategy ?scheds ?jobs ~underlay ~impl ~overlay ~rel
-    ~client ~tids () =
+let summarize (r : Refinement.report) =
+  let logs = r.Refinement.logs in
+  let distinct_logs = List.length (Log.dedup logs) in
+  Probe.add Probe.logs_distinct distinct_logs;
+  {
+    runs = r.Refinement.scheds_checked;
+    distinct_logs;
+    events = List.fold_left (fun n l -> n + Log.length l) 0 logs;
+  }
+
+let check_ctx ~ctx ?max_steps ?scheds ~underlay ~impl ~overlay ~rel ~client
+    ~tids () =
+  Ctx.arm ctx @@ fun () ->
   let scheds =
     match scheds with
     | Some s -> s
@@ -112,30 +146,49 @@ let check ?max_steps ?strategy ?scheds ?jobs ~underlay ~impl ~overlay ~rel
       let threads_under =
         List.map (fun i -> i, Prog.Module.link impl (client i)) tids
       in
-      Explore.scheds_of_strategy ?jobs underlay threads_under
-        (Option.value strategy ~default:Explore.default_strategy)
+      Explore.scheds_of_strategy_ctx ~ctx underlay threads_under
   in
-  match
-    refine ?max_steps ?jobs ~underlay ~impl ~overlay ~rel ~client ~tids
-      ~scheds ()
-  with
-  | Error _ as e -> e
-  | Ok r ->
-    let logs = r.Refinement.logs in
-    let distinct_logs = List.length (Log.dedup logs) in
-    Probe.add Probe.logs_distinct distinct_logs;
-    Ok
-      {
-        runs = r.Refinement.scheds_checked;
-        distinct_logs;
-        events = List.fold_left (fun n l -> n + Log.length l) 0 logs;
-      }
+  Budget.map
+    (Result.map summarize)
+    (refine_ctx ~ctx ?max_steps ~underlay ~impl ~overlay ~rel ~client ~tids
+       ~scheds ())
 
-let check_cert ?max_steps ?strategy ?scheds ?jobs (cert : Calculus.cert)
-    ~client =
-  check ?max_steps ?strategy ?scheds ?jobs
+let check_cert_ctx ~ctx ?max_steps ?scheds (cert : Calculus.cert) ~client =
+  check_ctx ~ctx ?max_steps ?scheds
     ~underlay:cert.Calculus.judgment.Calculus.underlay
     ~impl:cert.Calculus.judgment.Calculus.impl
     ~overlay:cert.Calculus.judgment.Calculus.overlay
     ~rel:cert.Calculus.judgment.Calculus.rel ~client
     ~tids:cert.Calculus.judgment.Calculus.focus ()
+
+(* The pre-[Ctx] entry points, kept for one release; with an unlimited
+   budget the outcome is always [Complete]. *)
+
+let refine ?max_steps ?expect_all_done ?jobs ?cache ~underlay ~impl ~overlay
+    ~rel ~client ~tids ~scheds () =
+  Budget.value
+    (refine_ctx
+       ~ctx:(Ctx.of_legacy ?jobs ?cache ())
+       ?max_steps ?expect_all_done ~underlay ~impl ~overlay ~rel ~client
+       ~tids ~scheds ())
+
+let refine_cert ?max_steps ?expect_all_done ?jobs ?cache
+    (cert : Calculus.cert) ~client ~scheds =
+  Budget.value
+    (refine_cert_ctx
+       ~ctx:(Ctx.of_legacy ?jobs ?cache ())
+       ?max_steps ?expect_all_done cert ~client ~scheds)
+
+let check ?max_steps ?strategy ?scheds ?jobs ~underlay ~impl ~overlay ~rel
+    ~client ~tids () =
+  Budget.value
+    (check_ctx
+       ~ctx:(Ctx.of_legacy ?jobs ?strategy ())
+       ?max_steps ?scheds ~underlay ~impl ~overlay ~rel ~client ~tids ())
+
+let check_cert ?max_steps ?strategy ?scheds ?jobs (cert : Calculus.cert)
+    ~client =
+  Budget.value
+    (check_cert_ctx
+       ~ctx:(Ctx.of_legacy ?jobs ?strategy ())
+       ?max_steps ?scheds cert ~client)

@@ -17,6 +17,75 @@ type report = {
   events : int;  (** total underlay events observed *)
 }
 
+val refine_ctx :
+  ctx:Ctx.t ->
+  ?max_steps:int ->
+  ?expect_all_done:bool ->
+  underlay:Layer.t ->
+  impl:Prog.Module.t ->
+  overlay:Layer.t ->
+  rel:Sim_rel.t ->
+  client:(Event.tid -> Prog.t) ->
+  tids:Event.tid list ->
+  scheds:Sched.t list ->
+  unit ->
+  (Refinement.report, Refinement.failure) result Budget.outcome
+(** Drop-in parallel {!Refinement.check}: the per-schedule body
+    ({!Refinement.check_sched_stop}) is evaluated over a {!Parallel}
+    domain pool and the ordered results folded as the sequential loop
+    would — the report (or lowest-indexed failure) is structurally
+    identical for every [ctx.jobs] count, and [jobs = 1] (the default)
+    stays on the sequential path.  [ctx.cache] memoizes successful
+    reports, keyed on both interfaces, the implementation, the relation
+    name, the client workload, and the suite identity; the stored entry
+    records the hash of its logs and is invalidated (and re-run) if it
+    no longer matches.  Failures are never stored — a failing refinement
+    always reproduces live.  [ctx.token] is charged the underlay event
+    count per schedule; an [Exhausted] outcome carries the ([Ok]-shaped)
+    report over the schedules checked before the budget tripped. *)
+
+val refine_cert_ctx :
+  ctx:Ctx.t ->
+  ?max_steps:int ->
+  ?expect_all_done:bool ->
+  Calculus.cert ->
+  client:(Event.tid -> Prog.t) ->
+  scheds:Sched.t list ->
+  (Refinement.report, Refinement.failure) result Budget.outcome
+(** {!refine_ctx} with the components of a certificate — the parallel
+    counterpart of {!Refinement.check_cert}, used by the {!Stack}
+    soundness edges. *)
+
+val check_ctx :
+  ctx:Ctx.t ->
+  ?max_steps:int ->
+  ?scheds:Sched.t list ->
+  underlay:Layer.t ->
+  impl:Prog.Module.t ->
+  overlay:Layer.t ->
+  rel:Sim_rel.t ->
+  client:(Event.tid -> Prog.t) ->
+  tids:Event.tid list ->
+  unit ->
+  (report, Refinement.failure) result Budget.outcome
+(** When no explicit [scheds] are given, the suite is derived from
+    [ctx.strategy] (default DPOR) over the underlay game of the linked
+    client+implementation threads.  [ctx.jobs] parallelises both the
+    DPOR walk and the refinement scan; the verdict is identical for
+    every jobs count. *)
+
+val check_cert_ctx :
+  ctx:Ctx.t ->
+  ?max_steps:int ->
+  ?scheds:Sched.t list ->
+  Calculus.cert ->
+  client:(Event.tid -> Prog.t) ->
+  (report, Refinement.failure) result Budget.outcome
+
+(** {1 Deprecated entry points}
+
+    The pre-[Ctx] signatures, kept for one release. *)
+
 val refine :
   ?max_steps:int ->
   ?expect_all_done:bool ->
@@ -31,17 +100,7 @@ val refine :
   scheds:Sched.t list ->
   unit ->
   (Refinement.report, Refinement.failure) result
-(** Drop-in parallel {!Refinement.check}: the per-schedule body
-    ({!Refinement.check_sched}) is evaluated over a {!Parallel} domain
-    pool and the ordered results folded as the sequential loop would —
-    the report (or lowest-indexed failure) is structurally identical for
-    every [jobs] count, and [~jobs:1] (the default) stays on the
-    sequential path.  [cache] memoizes successful reports, keyed on both
-    interfaces, the implementation, the relation name, the client
-    workload, and the suite identity; the stored entry records the hash
-    of its logs and is invalidated (and re-run) if it no longer matches.
-    Failures are never stored — a failing refinement always reproduces
-    live. *)
+[@@deprecated "use refine_ctx"]
 
 val refine_cert :
   ?max_steps:int ->
@@ -52,9 +111,7 @@ val refine_cert :
   client:(Event.tid -> Prog.t) ->
   scheds:Sched.t list ->
   (Refinement.report, Refinement.failure) result
-(** {!refine} with the components of a certificate — the parallel
-    counterpart of {!Refinement.check_cert}, used by the {!Stack}
-    soundness edges. *)
+[@@deprecated "use refine_cert_ctx"]
 
 val check :
   ?max_steps:int ->
@@ -69,11 +126,7 @@ val check :
   tids:Event.tid list ->
   unit ->
   (report, Refinement.failure) result
-(** When no explicit [scheds] are given, the suite is derived from
-    [strategy] (default {!Explore.default_strategy}, i.e. DPOR) over the
-    underlay game of the linked client+implementation threads.  [jobs]
-    parallelises both the DPOR walk and the refinement scan; the verdict
-    is identical for every jobs count. *)
+[@@deprecated "use check_ctx"]
 
 val check_cert :
   ?max_steps:int ->
@@ -83,3 +136,4 @@ val check_cert :
   Calculus.cert ->
   client:(Event.tid -> Prog.t) ->
   (report, Refinement.failure) result
+[@@deprecated "use check_cert_ctx"]

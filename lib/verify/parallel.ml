@@ -63,11 +63,20 @@ let stats () =
 (* ------------------------------------------------------------------ *)
 
 type batch = {
-  run : int -> unit;  (** evaluate job [i] and store its cell; never raises *)
+  run : int -> attempt:int -> [ `Done | `Crashed ];
+      (** evaluate job [i] and store its cell; never raises.  [`Crashed]
+          means an injected fault ate the attempt before evaluation — the
+          claim loop requeues the index with the next attempt number. *)
   next : int Atomic.t;  (** next unclaimed index *)
   chunk : int;
   limit : int;
   cut : int Atomic.t;  (** least index that ended the scan; [max_int] if none *)
+  retry : (int * int) list Atomic.t;
+      (** requeued (index, attempt) pairs from crashed workers; drained
+          before fresh chunks are claimed *)
+  give_up : unit -> bool;
+      (** budget heuristic: when true, workers stop claiming (the
+          budgeted merge recomputes the deterministic truncation) *)
 }
 
 type pool = {
@@ -88,33 +97,82 @@ let atomic_min a i =
   in
   go ()
 
+(* The retry queue is a Treiber-style atomic list; contention is rare
+   (only crashed workers push). *)
+let pop_retry (b : batch) =
+  let rec go () =
+    match Atomic.get b.retry with
+    | [] -> None
+    | (x :: rest) as cur ->
+      if Atomic.compare_and_set b.retry cur rest then Some x else go ()
+  in
+  go ()
+
+let push_retry (b : batch) items =
+  if items <> [] then begin
+    let rec go () =
+      let cur = Atomic.get b.retry in
+      if not (Atomic.compare_and_set b.retry cur (items @ cur)) then go ()
+    in
+    go ()
+  end
+
 (* Claim and evaluate chunks until the counter runs past the limit or the
-   cut mark.  Called by spawned workers and by the submitting domain. *)
+   cut mark.  Called by spawned workers and by the submitting domain.
+
+   Crash-injection contract (DESIGN.md S27): a [`Crashed] attempt at
+   index [i] requeues [(i, attempt + 1)] — and, when it happens mid-chunk,
+   the abandoned remainder of the chunk — onto [b.retry]; the crashing
+   worker then goes straight back to claiming, so the queue is always
+   drained before the batch completes.  Attempts per index are strictly
+   sequential (0, 1, ...), matching the inline attempt chain of the
+   sequential path, so the evaluation that finally lands is the same one
+   on every jobs count. *)
 let run_chunks (b : batch) =
   let rec claim () =
-    let start = Atomic.fetch_and_add b.next b.chunk in
-    if start < b.limit && start <= Atomic.get b.cut then (
-      let t0 = Verify_clock.now_ns () in
-      let stop = min b.limit (start + b.chunk) in
-      let i = ref start in
-      (* A span, not a counter: which chunks each worker claims is
-         timing-dependent, so it may only show up in the (inherently
-         run-specific) trace, never in the jobs-deterministic totals. *)
-      Ccal_core.Probe.span "pool.chunk" (fun () ->
-          let live = ref true in
-          while !live && !i < stop do
-            (* indices above the cut can no longer influence the merged
-               result: skip the rest of the chunk *)
-            if !i <= Atomic.get b.cut then (
-              b.run !i;
-              incr i)
-            else live := false
-          done);
-      ignore (Atomic.fetch_and_add stat_jobs (!i - start));
-      ignore
-        (Atomic.fetch_and_add stat_busy_ns
-           (Int64.to_int (Int64.sub (Verify_clock.now_ns ()) t0)));
-      claim ())
+    if b.give_up () then ()
+    else
+      match pop_retry b with
+      | Some (i, attempt) ->
+        if i <= Atomic.get b.cut then begin
+          match b.run i ~attempt with
+          | `Done -> ignore (Atomic.fetch_and_add stat_jobs 1)
+          | `Crashed -> push_retry b [ (i, attempt + 1) ]
+        end;
+        claim ()
+      | None ->
+        let start = Atomic.fetch_and_add b.next b.chunk in
+        if start < b.limit && start <= Atomic.get b.cut then (
+          let t0 = Verify_clock.now_ns () in
+          let stop = min b.limit (start + b.chunk) in
+          let i = ref start in
+          (* A span, not a counter: which chunks each worker claims is
+             timing-dependent, so it may only show up in the (inherently
+             run-specific) trace, never in the jobs-deterministic totals. *)
+          Ccal_core.Probe.span "pool.chunk" (fun () ->
+              let live = ref true in
+              while !live && !i < stop do
+                (* indices above the cut can no longer influence the
+                   merged result: skip the rest of the chunk *)
+                if !i <= Atomic.get b.cut then
+                  match b.run !i ~attempt:0 with
+                  | `Done -> incr i
+                  | `Crashed ->
+                    (* the crashed worker abandons its chunk; the failed
+                       index and the untouched remainder are requeued *)
+                    let rest = ref [ (!i, 1) ] in
+                    for j = stop - 1 downto !i + 1 do
+                      rest := (j, 0) :: !rest
+                    done;
+                    push_retry b !rest;
+                    live := false
+                else live := false
+              done);
+          ignore (Atomic.fetch_and_add stat_jobs (!i - start));
+          ignore
+            (Atomic.fetch_and_add stat_busy_ns
+               (Int64.to_int (Int64.sub (Verify_clock.now_ns ()) t0)));
+          claim ())
   in
   claim ()
 
@@ -237,14 +295,26 @@ type 'b cell =
   | Value of 'b
   | Raised of exn * Printexc.raw_backtrace
 
+(* Evaluate one job under the armed fault plan: the inline attempt chain
+   (0, 1, ...) mirrors the pool's requeue path exactly, so the attempt
+   that finally evaluates [f] is the same one the pool lands on. *)
+let eval_faulted i f x =
+  if not (Fault.armed ()) then f x
+  else begin
+    let rec go attempt =
+      if Fault.crash ~index:i ~attempt then go (attempt + 1) else f x
+    in
+    go 0
+  end
+
 let sequential_scan ~cut f xs =
-  let rec go acc = function
+  let rec go i acc = function
     | [] -> List.rev acc
     | x :: rest ->
-      let y = f x in
-      if cut y then List.rev (y :: acc) else go (y :: acc) rest
+      let y = eval_faulted i f x in
+      if cut y then List.rev (y :: acc) else go (i + 1) (y :: acc) rest
   in
-  go [] xs
+  go 0 [] xs
 
 let scan ?jobs ~cut f xs =
   let jobs = match jobs with Some j -> max 1 j | None -> 1 in
@@ -264,26 +334,41 @@ let scan ?jobs ~cut f xs =
          order, keeping every counter total bit-identical to [~jobs:1]. *)
       let deltas = Array.make n None in
       let cut_mark = Atomic.make max_int in
-      let run i =
-        deltas.(i) <-
-          Ccal_core.Probe.captured (fun () ->
-              match f arr.(i) with
-              | v ->
-                cells.(i) <- Value v;
-                if cut v then atomic_min cut_mark i
-              | exception e ->
-                cells.(i) <- Raised (e, Printexc.get_raw_backtrace ());
-                atomic_min cut_mark i)
+      let run i ~attempt =
+        if Fault.crash ~index:i ~attempt then `Crashed
+        else begin
+          deltas.(i) <-
+            Ccal_core.Probe.captured (fun () ->
+                match f arr.(i) with
+                | v ->
+                  cells.(i) <- Value v;
+                  if cut v then atomic_min cut_mark i
+                | exception e ->
+                  cells.(i) <- Raised (e, Printexc.get_raw_backtrace ());
+                  atomic_min cut_mark i);
+          `Done
+        end
       in
       let chunk = max 1 (min 32 (n / (pool.size * 4))) in
-      let b = { run; next = Atomic.make 0; chunk; limit = n; cut = cut_mark } in
+      let b =
+        {
+          run;
+          next = Atomic.make 0;
+          chunk;
+          limit = n;
+          cut = cut_mark;
+          retry = Atomic.make [];
+          give_up = (fun () -> false);
+        }
+      in
       Fun.protect
         ~finally:(fun () -> release busy)
         (fun () -> Ccal_core.Probe.span "pool.batch" (fun () -> run_batch pool b));
       (* Merge: walk the prefix up to and including the least cut index.
          Every slot in that prefix was evaluated (workers only skip
-         indices strictly above the low-water mark), so the result is the
-         sequential scan's, independent of completion order. *)
+         indices strictly above the low-water mark, and crashed attempts
+         are requeued until one lands), so the result is the sequential
+         scan's, independent of completion order. *)
       let last = min (n - 1) (Atomic.get cut_mark) in
       for i = 0 to last do
         Ccal_core.Probe.commit deltas.(i)
@@ -299,3 +384,136 @@ let scan ?jobs ~cut f xs =
       collect 0 []
 
 let map ?jobs f xs = scan ?jobs ~cut:(fun _ -> false) f xs
+
+(* ------------------------------------------------------------------ *)
+(* budgeted scan                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type 'b budgeted = {
+  prefix : 'b list;  (** surviving outcomes, in index order *)
+  scanned : int;  (** [List.length prefix] *)
+  total : int;  (** number of jobs submitted *)
+  steps_counted : int;  (** deterministic cumulative cost over the prefix *)
+  ran_out : bool;  (** the scan stopped because the budget ran out *)
+}
+
+(* The deterministic truncation rules, shared verbatim by the sequential
+   oracle and the pool's merge pass (DESIGN.md S27).  Walking indices in
+   order with the cumulative cost [cum] of the included prefix:
+
+   - stop (exhausted) before index [i] once [cum >= allowance], where
+     [allowance] is the token's remaining step budget captured at scan
+     entry — a pure function of the inputs, since every earlier scan
+     [settle]d the token;
+   - stop (exhausted) at [i] when its outcome is [interrupted] — with a
+     step budget this means the game alone overran the allowance, which
+     is deterministic; a deadline or cancellation can also interrupt,
+     and those are wall-clock events allowed to move the prefix;
+   - stop (complete) at [i] including the outcome when [cut] fires;
+   - otherwise include the outcome, add its cost, continue.
+
+   The shared token is charged live by workers purely as an early-stop
+   heuristic ([give_up]); [Budget.settle] overwrites it with the
+   deterministic total afterwards. *)
+let budgeted_scan ?jobs ~token ~cost ~interrupted ~cut f xs =
+  let n = List.length xs in
+  let base = Budget.steps_used token in
+  let allowance = Budget.steps_remaining token in
+  let jobs = match jobs with Some j -> max 1 j | None -> 1 in
+  let arr = Array.of_list xs in
+  let eval_raw i = f ~stop:(Budget.game_stop token ~allowance) arr.(i) in
+  let eval i = eval_faulted i (fun _ -> eval_raw i) arr.(i) in
+  let finish ~ran_out prefix scanned cum =
+    Budget.settle token (base + cum);
+    if ran_out then Budget.note_ran_out token;
+    { prefix = List.rev prefix; scanned; total = n; steps_counted = cum; ran_out }
+  in
+  let sequential () =
+    let rec go i cum acc =
+      if i >= n then finish ~ran_out:false acc i cum
+      else if cum >= allowance then finish ~ran_out:true acc i cum
+      else if Budget.poll_wall token then finish ~ran_out:true acc i cum
+      else begin
+        let v = eval i in
+        Budget.charge token (cost v);
+        if interrupted v then finish ~ran_out:true acc i cum
+        else if cut v then finish ~ran_out:false (v :: acc) (i + 1) (cum + cost v)
+        else go (i + 1) (cum + cost v) (v :: acc)
+      end
+    in
+    go 0 0 []
+  in
+  if n = 0 then finish ~ran_out:false [] 0 0
+  else if jobs <= 1 || n <= 1 then sequential ()
+  else
+    match acquire (min jobs n) with
+    | None -> sequential ()
+    | Some (pool, busy) ->
+      let cells = Array.make n Empty in
+      let deltas = Array.make n None in
+      let cut_mark = Atomic.make max_int in
+      (* [body] evaluates uninjected: in the pool path the crash decision
+         is made per claim (below), driving the requeue machinery; only
+         the merge's hole-filling replays the inline attempt chain. *)
+      let body ~faulted i () =
+        match (if faulted then eval i else eval_raw i) with
+        | v ->
+          cells.(i) <- Value v;
+          Budget.charge token (cost v);
+          if cut v || interrupted v then atomic_min cut_mark i
+        | exception e ->
+          cells.(i) <- Raised (e, Printexc.get_raw_backtrace ());
+          atomic_min cut_mark i
+      in
+      let run i ~attempt =
+        if Fault.crash ~index:i ~attempt then `Crashed
+        else begin
+          deltas.(i) <- Ccal_core.Probe.captured (body ~faulted:false i);
+          `Done
+        end
+      in
+      let chunk = max 1 (min 32 (n / (pool.size * 4))) in
+      let b =
+        {
+          run;
+          next = Atomic.make 0;
+          chunk;
+          limit = n;
+          cut = cut_mark;
+          retry = Atomic.make [];
+          give_up = (fun () -> Budget.poll token);
+        }
+      in
+      Fun.protect
+        ~finally:(fun () -> release busy)
+        (fun () ->
+          Ccal_core.Probe.span "pool.batch" (fun () -> run_batch pool b));
+      (* Deterministic merge: same walk as [sequential], over the cells.
+         Holes — indices skipped because a worker gave up on the racy
+         heuristic — are filled by evaluating inline, capture and all, so
+         the committed counter stream is identical to the oracle's. *)
+      let fill i = deltas.(i) <- Ccal_core.Probe.captured (body ~faulted:true i) in
+      let rec walk i cum acc =
+        if i >= n then finish ~ran_out:false acc i cum
+        else if cum >= allowance then finish ~ran_out:true acc i cum
+        else begin
+          (match cells.(i) with
+          | Empty ->
+            (* don't start new work past a tripped deadline; an
+               already-evaluated cell still gets included below *)
+            if not (Budget.poll_wall token) then fill i
+          | Value _ | Raised _ -> ());
+          match cells.(i) with
+          | Empty -> finish ~ran_out:true acc i cum
+          | Raised (e, bt) ->
+            Ccal_core.Probe.commit deltas.(i);
+            Printexc.raise_with_backtrace e bt
+          | Value v ->
+            Ccal_core.Probe.commit deltas.(i);
+            if interrupted v then finish ~ran_out:true acc i cum
+            else if cut v then
+              finish ~ran_out:false (v :: acc) (i + 1) (cum + cost v)
+            else walk (i + 1) (cum + cost v) (v :: acc)
+        end
+      in
+      walk 0 0 []

@@ -39,6 +39,42 @@ val scan : ?jobs:int -> cut:('b -> bool) -> ('a -> 'b) -> 'a list -> 'b list
     evaluated.  This is how every checker reports the failure of the
     lowest-indexed schedule, identical to the sequential fold. *)
 
+(** {1 Budgeted scan} *)
+
+type 'b budgeted = {
+  prefix : 'b list;  (** surviving outcomes, in index order *)
+  scanned : int;  (** [List.length prefix] *)
+  total : int;  (** number of jobs submitted *)
+  steps_counted : int;  (** deterministic cumulative cost over the prefix *)
+  ran_out : bool;  (** the scan stopped because the budget ran out *)
+}
+
+val budgeted_scan :
+  ?jobs:int ->
+  token:Budget.token ->
+  cost:('b -> int) ->
+  interrupted:('b -> bool) ->
+  cut:('b -> bool) ->
+  (stop:(unit -> bool) option -> 'a -> 'b) ->
+  'a list ->
+  'b budgeted
+(** {!scan} under a {!Budget.token} (DESIGN.md S27).  The body receives a
+    per-job stop closure to thread into [Game.config]; [cost] extracts a
+    job's step cost from its outcome and [interrupted] recognises an
+    outcome cut short by the stop closure (e.g. [Game.Cancelled]).
+
+    Determinism: with a {e step} budget, the returned prefix is a pure
+    function of the inputs — every job gets the same private step
+    allowance (the token's remaining budget at scan entry), and the
+    merge re-truncates the prefix sequentially at the first job whose
+    cumulative cost exceeds the allowance, evaluating inline any job the
+    racy early-stop heuristic skipped.  Deadline and cancellation are
+    wall-clock events and may move the truncation point, never a
+    completed outcome.  On return the token is {!Budget.settle}d with the
+    deterministic total, so stacked scans compose.  Injected worker
+    crashes (see {!Fault}) are absorbed by the pool's requeue path in
+    this scan and in {!scan}/{!map}. *)
+
 type stats = {
   batches : int;  (** batches submitted to any pool *)
   jobs_run : int;  (** jobs actually evaluated (cancelled ones excluded) *)

@@ -7,41 +7,67 @@ type bound_report = {
 }
 
 (* Per-schedule body, handed to the {!Parallel} pool: the completed run's
-   step count, or the failure message. *)
-let check_sched ~bound layer threads sched =
-  let outcome = Game.run (Game.config ~max_steps:bound layer threads sched) in
-  match outcome.Game.status with
-  | Game.All_done -> Ok outcome.Game.steps
-  | Game.Deadlock ids ->
-    Error
-      (Printf.sprintf "deadlock among threads %s under %s"
-         (String.concat "," (List.map string_of_int ids))
-         sched.Sched.name)
-  | Game.Stuck (i, _, msg) ->
-    Error (Printf.sprintf "thread %d stuck under %s: %s" i sched.Sched.name msg)
-  | Game.Out_of_fuel ->
-    Error
-      (Printf.sprintf "run under %s exceeded the progress bound of %d moves"
-         sched.Sched.name bound)
+   step count, the failure message, or the mark that the budget's stop
+   closure interrupted the game mid-run.  Paired with the raw step count
+   so the budgeted scan can charge actual game cost. *)
+let check_sched ~bound layer threads ~stop sched =
+  let outcome =
+    Game.run (Game.config ~max_steps:bound ?stop layer threads sched)
+  in
+  let r =
+    match outcome.Game.status with
+    | Game.All_done -> `Done outcome.Game.steps
+    | Game.Cancelled -> `Interrupted
+    | Game.Deadlock ids ->
+      `Failed
+        (Printf.sprintf "deadlock among threads %s under %s"
+           (String.concat "," (List.map string_of_int ids))
+           sched.Sched.name)
+    | Game.Stuck (i, _, msg) ->
+      `Failed
+        (Printf.sprintf "thread %d stuck under %s: %s" i sched.Sched.name msg)
+    | Game.Out_of_fuel ->
+      `Failed
+        (Printf.sprintf "run under %s exceeded the progress bound of %d moves"
+           sched.Sched.name bound)
+  in
+  (outcome.Game.steps, r)
 
-let completes_within ?strategy ?scheds ?jobs ~bound layer threads =
+let completes_within_ctx ~ctx ?scheds ~bound layer threads =
+  Ctx.arm ctx @@ fun () ->
   let scheds =
     match scheds with
     | Some s -> s
-    | None ->
-      Explore.scheds_of_strategy ?jobs layer threads
-        (Option.value strategy ~default:Explore.default_strategy)
+    | None -> Explore.scheds_of_strategy_ctx ~ctx layer threads
   in
-  let results =
-    Parallel.scan ?jobs ~cut:Result.is_error (check_sched ~bound layer threads)
+  let replay =
+    Parallel.budgeted_scan
+      ?jobs:(Ctx.jobs_opt ctx)
+      ~token:ctx.Ctx.token ~cost:fst
+      ~interrupted:(fun (_, r) ->
+        match r with `Interrupted -> true | _ -> false)
+      ~cut:(fun (_, r) -> match r with `Failed _ -> true | _ -> false)
+      (check_sched ~bound layer threads)
       scheds
   in
   let rec go runs worst = function
     | [] -> Ok { runs; max_steps_used = worst; bound }
-    | Ok steps :: rest -> go (runs + 1) (max worst steps) rest
-    | Error msg :: _ -> Error msg
+    | (_, `Done steps) :: rest -> go (runs + 1) (max worst steps) rest
+    | (_, `Failed msg) :: _ -> Error msg
+    | (_, `Interrupted) :: _ ->
+      (* excluded from the budgeted prefix by construction *)
+      assert false
   in
-  go 0 0 results
+  let report = go 0 0 replay.Parallel.prefix in
+  if replay.Parallel.ran_out then
+    Budget.Exhausted { spent = Budget.spent ctx.Ctx.token; partial = report }
+  else Budget.Complete report
+
+let completes_within ?strategy ?scheds ?jobs ~bound layer threads =
+  Budget.value
+    (completes_within_ctx
+       ~ctx:(Ctx.of_legacy ?jobs ?strategy ())
+       ?scheds ~bound layer threads)
 
 let lock_of (e : Event.t) =
   match e.args with

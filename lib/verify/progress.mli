@@ -14,6 +14,24 @@ type bound_report = {
   bound : int;
 }
 
+val completes_within_ctx :
+  ctx:Ctx.t ->
+  ?scheds:Sched.t list ->
+  bound:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  (bound_report, string) result Budget.outcome
+(** Every run under (fair) schedulers finishes — no deadlock, no stuck
+    thread — within [bound] moves.  The scheduler suite is [scheds] when
+    given, otherwise derived from [ctx.strategy] (default DPOR).
+    [ctx.jobs] spreads the scan over a {!Parallel} domain pool; the
+    reported failure is always the lowest-indexed failing schedule,
+    identical to the sequential scan.  [ctx.token] is charged one step
+    per game move; an [Exhausted] outcome carries the report over the
+    schedule prefix evaluated before the budget tripped ([Ok]-shaped: a
+    failing schedule cuts the scan and completes with [Error]
+    immediately). *)
+
 val completes_within :
   ?strategy:Explore.strategy ->
   ?scheds:Sched.t list ->
@@ -22,13 +40,7 @@ val completes_within :
   Layer.t ->
   (Event.tid * Prog.t) list ->
   (bound_report, string) result
-(** Every run under (fair) schedulers finishes — no deadlock, no stuck
-    thread — within [bound] moves.  The scheduler suite is [scheds] when
-    given, otherwise derived from [strategy]
-    (default {!Explore.default_strategy}, i.e. DPOR).  [jobs] spreads the
-    scan over a {!Parallel} domain pool; the reported failure is always
-    the lowest-indexed failing schedule, identical to the sequential
-    scan. *)
+[@@deprecated "use completes_within_ctx"]
 
 val fifo_order :
   ticket_tag:string ->

@@ -1,9 +1,18 @@
 open Ccal_core
 
+(* What a budget-exhausted scan has established so far — enough to
+   resume without redoing work and to reproduce the eventual verdict
+   bit-identically: the count of schedules fully evaluated (the resume
+   point), the clean-run count, and the non-race failure messages in
+   schedule order.  Racy outcomes never appear here: a race cuts the
+   scan and wins immediately. *)
+type partial = { scanned : int; clean : int; others : string list }
+
 type verdict =
   | Race_free of { runs : int }
   | Race of { sched_name : string; detail : string; log : Log.t }
   | Other_failure of string
+  | Exhausted of { spent : Budget.spent; partial : partial }
 
 (* The per-schedule body: pure in the sense that it touches only its own
    game state, so the pool can evaluate schedules on any domain. *)
@@ -11,10 +20,9 @@ type sched_outcome =
   | Clean
   | Racy of { sched_name : string; detail : string; log : Log.t }
   | Other of string
+  | Interrupted  (** the game hit the budget's stop closure mid-run *)
 
-let check_sched ?max_steps layer threads sched =
-  Probe.incr Probe.race_checks;
-  let outcome = Game.run (Game.config ?max_steps layer threads sched) in
+let classify sched outcome =
   match outcome.Game.status with
   | Game.Stuck (_, Layer.Data_race, msg) ->
     Racy { sched_name = sched.Sched.name; detail = msg; log = outcome.Game.log }
@@ -25,6 +33,7 @@ let check_sched ?max_steps layer threads sched =
       (Printf.sprintf "deadlock among threads %s"
          (String.concat "," (List.map string_of_int ids)))
   | Game.Out_of_fuel -> Other "out of fuel"
+  | Game.Cancelled -> Interrupted
   | Game.All_done ->
     if Ccal_machine.Pushpull.race_free outcome.Game.log then Clean
     else
@@ -35,16 +44,25 @@ let check_sched ?max_steps layer threads sched =
           log = outcome.Game.log;
         }
 
+let eval ?max_steps layer threads ~stop sched =
+  Probe.incr Probe.race_checks;
+  let outcome = Game.run (Game.config ?max_steps ?stop layer threads sched) in
+  (outcome.Game.steps, classify sched outcome)
+
 (* Deterministic merge.  A race anywhere wins (the lowest-indexed one —
-   [Parallel.scan] guarantees the outcome list is the sequential prefix up
-   to and including the first [Racy]); non-race failures such as one
-   adversarial schedule running out of fuel no longer abort the scan, they
-   are collected and reported only when no schedule exposes a race. *)
+   [Parallel.budgeted_scan] guarantees the outcome list is the sequential
+   prefix up to and including the first [Racy]); non-race failures such as
+   one adversarial schedule running out of fuel no longer abort the scan,
+   they are collected and reported only when no schedule exposes a race. *)
 let merge outcomes =
   let rec go runs others = function
     | Racy { sched_name; detail; log } :: _ -> Race { sched_name; detail; log }
     | Other msg :: rest -> go runs (msg :: others) rest
     | Clean :: rest -> go (runs + 1) others rest
+    | Interrupted :: _ ->
+      (* never merged: an interrupted outcome is excluded from the
+         budgeted prefix and reported as [Exhausted] instead *)
+      assert false
     | [] -> (
       match List.rev others with
       | [] -> Race_free { runs }
@@ -77,38 +95,95 @@ let check_key ?max_steps ~suite layer threads =
   in
   Fingerprint.finish (Fingerprint.option Fingerprint.int st max_steps)
 
-let check ?max_steps ?strategy ?scheds ?jobs ?cache layer threads =
-  let run () =
-    let scheds =
+(* A resumed scan replays what the partial already knows as synthetic
+   outcomes before merging the new ones; the merge only counts cleans and
+   collects others in order, so the final verdict — message included — is
+   byte-identical to a from-scratch run. *)
+let synthetic (p : partial) =
+  List.init p.clean (fun _ -> Clean) @ List.map (fun m -> Other m) p.others
+
+let check_ctx ~ctx ?max_steps ?scheds ?resume layer threads =
+  Ctx.arm ctx @@ fun () ->
+  let run resume =
+    let all_scheds =
       match scheds with
       | Some s -> s
-      | None ->
-        Explore.scheds_of_strategy ?jobs ?cache layer threads
-          (Option.value strategy ~default:Explore.default_strategy)
+      | None -> Explore.scheds_of_strategy_ctx ~ctx layer threads
     in
-    merge
-      (Parallel.scan ?jobs
-         ~cut:(function Racy _ -> true | Clean | Other _ -> false)
-         (check_sched ?max_steps layer threads)
-         scheds)
+    let skip, syn =
+      match resume with
+      | None -> (0, [])
+      | Some p -> (p.scanned, synthetic p)
+    in
+    let todo = List.filteri (fun i _ -> i >= skip) all_scheds in
+    let replay =
+      Parallel.budgeted_scan
+        ?jobs:(Ctx.jobs_opt ctx)
+        ~token:ctx.Ctx.token ~cost:fst
+        ~interrupted:(fun (_, o) ->
+          match o with Interrupted -> true | _ -> false)
+        ~cut:(fun (_, o) -> match o with Racy _ -> true | _ -> false)
+        (fun ~stop sched -> eval ?max_steps layer threads ~stop sched)
+        todo
+    in
+    let outcomes = List.map snd replay.Parallel.prefix in
+    if replay.Parallel.ran_out then begin
+      let clean0, others0 =
+        match resume with None -> (0, []) | Some p -> (p.clean, p.others)
+      in
+      let partial =
+        {
+          scanned = skip + replay.Parallel.scanned;
+          clean =
+            clean0
+            + List.length
+                (List.filter (function Clean -> true | _ -> false) outcomes);
+          others =
+            others0
+            @ List.filter_map
+                (function Other m -> Some m | _ -> None)
+                outcomes;
+        }
+      in
+      Exhausted { spent = Budget.spent ctx.Ctx.token; partial }
+    end
+    else merge (syn @ outcomes)
   in
-  match cache with
-  | None -> run ()
+  match ctx.Ctx.cache with
+  | None -> run resume
   | Some c -> (
     let suite =
       match scheds with
       | Some ss -> `Scheds ss
-      | None ->
-        `Strategy (Option.value strategy ~default:Explore.default_strategy)
+      | None -> `Strategy ctx.Ctx.strategy
     in
     let key = check_key ?max_steps ~suite layer threads in
     match Cache.find c ~kind:"races" key with
     | Some (runs : int) -> Race_free { runs }
     | None -> (
-      match run () with
+      (* No full verdict cached: a stashed partial from an earlier
+         exhausted run is the implicit resume point. *)
+      let resume =
+        match resume with
+        | Some _ -> resume
+        | None -> (Cache.find c ~kind:"races.partial" key : partial option)
+      in
+      match run resume with
       | Race_free { runs } as v ->
         Cache.store c ~kind:"races" key runs;
+        Cache.invalidate c ~kind:"races.partial" key;
         v
       (* Races and other failures are never stored: they must always
-         reproduce live, counterexample log and all. *)
-      | (Race _ | Other_failure _) as v -> v))
+         reproduce live, counterexample log and all.  Their partial is
+         stale once the full scan finished, so it goes too. *)
+      | (Race _ | Other_failure _) as v ->
+        Cache.invalidate c ~kind:"races.partial" key;
+        v
+      | Exhausted { partial; _ } as v ->
+        Cache.store c ~kind:"races.partial" key partial;
+        v))
+
+let check ?max_steps ?strategy ?scheds ?jobs ?cache layer threads =
+  check_ctx
+    ~ctx:(Ctx.of_legacy ?jobs ?cache ?strategy ())
+    ?max_steps ?scheds layer threads

@@ -9,17 +9,27 @@
 
 open Ccal_core
 
+type partial = {
+  scanned : int;  (** schedules fully evaluated — the resume point *)
+  clean : int;  (** clean runs among them *)
+  others : string list;  (** non-race failure messages, schedule order *)
+}
+(** What a budget-exhausted scan established before the budget tripped.
+    Racy outcomes never appear: a race cuts the scan and wins as a full
+    [Race] verdict immediately. *)
+
 type verdict =
   | Race_free of { runs : int }  (** [runs] counts the clean runs *)
   | Race of { sched_name : string; detail : string; log : Log.t }
   | Other_failure of string
+  | Exhausted of { spent : Budget.spent; partial : partial }
+      (** the budget ran out mid-scan; [partial] resumes it *)
 
-val check :
+val check_ctx :
+  ctx:Ctx.t ->
   ?max_steps:int ->
-  ?strategy:Explore.strategy ->
   ?scheds:Sched.t list ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
+  ?resume:partial ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   verdict
@@ -31,13 +41,38 @@ val check :
     non-race failure: it is {e collected without aborting the scan}, so a
     genuine race on a later schedule is still found; only when no schedule
     races is [Other_failure] reported (the first failure, annotated with
-    the count of further ones).  When no explicit [scheds] are given the
-    suite comes from [strategy] (default {!Explore.default_strategy},
-    i.e. DPOR).  [jobs] spreads the scan over a {!Parallel} domain pool;
-    the verdict is bit-identical for every jobs count — a reported [Race]
-    is always the lowest-indexed racing schedule — and [~jobs:1] (the
-    default) keeps the sequential path.  [cache] memoizes [Race_free]
-    verdicts only, keyed on the game and suite identity (never [jobs]):
-    a racing or otherwise failing game always re-runs live, so its
-    counterexample is reproduced from the real machine, never replayed
-    from disk. *)
+    the count of further ones).
+
+    When no explicit [scheds] are given the suite comes from
+    [ctx.strategy] (default DPOR).  [ctx.jobs] spreads the scan over a
+    {!Parallel} domain pool; the verdict is bit-identical for every jobs
+    count — a reported [Race] is always the lowest-indexed racing
+    schedule.  [ctx.cache] memoizes [Race_free] verdicts only, keyed on
+    the game and suite identity (never jobs): a racing or otherwise
+    failing game always re-runs live, so its counterexample is reproduced
+    from the real machine, never replayed from disk.
+
+    [ctx.token] is charged one step per game move.  When the budget runs
+    out mid-scan the verdict is [Exhausted] carrying a {!partial}; pass
+    it back as [?resume] (schedulers are regenerated — they are stateful)
+    to continue where the scan stopped, with a final verdict byte-equal
+    to a from-scratch run.  With [ctx.cache] the partial is also stashed
+    under its own ["races.partial"] kind and picked up automatically on
+    the next identically-keyed call; it is invalidated exactly when the
+    full verdict lands.  Under a pure step budget the partial is
+    bit-identical for every jobs count. *)
+
+(** {1 Deprecated entry points}
+
+    The pre-[Ctx] signature, kept for one release. *)
+
+val check :
+  ?max_steps:int ->
+  ?strategy:Explore.strategy ->
+  ?scheds:Sched.t list ->
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  verdict
+[@@deprecated "use check_ctx"]

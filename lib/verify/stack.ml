@@ -3,7 +3,7 @@ open Ccal_objects
 
 type edge = {
   edge_name : string;
-  kind : [ `Cert of Calculus.rule_name | `Linking | `Soundness ];
+  kind : [ `Cert of Calculus.rule_name | `Linking | `Soundness | `Adversarial ];
   checks : int;
   millis : float;
   counters : (string * int) list;
@@ -16,6 +16,8 @@ type report = {
   total_millis : float;
 }
 
+type progress = { completed : report; next_edge : string option }
+
 let kind_label = function
   | `Cert rule ->
     (match rule with
@@ -27,6 +29,7 @@ let kind_label = function
     | Calculus.Pcomp -> "Pcomp")
   | `Linking -> "Link"
   | `Soundness -> "Sound"
+  | `Adversarial -> "Adv"
 
 let pp_counters fmt counters =
   if counters <> [] then
@@ -265,22 +268,36 @@ let edge_keys ~lock ~seeds ~strategy =
 let edge_fingerprints ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
   edge_keys ~lock ~seeds ~strategy
 
-let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs ?cache () =
+(* Budgeted sub-checkers inside an edge body signal exhaustion by
+   exception; the edge loop catches it and reports the stack-level
+   [Exhausted] with that edge as the frontier. *)
+exception Ran_out_of_budget
+
+let value_or_raise = function
+  | Budget.Complete v -> v
+  | Budget.Exhausted _ -> raise Ran_out_of_budget
+
+let adversarial_edge_name =
+  "Lrwlock spin suite under adversarial schedules (livelock)"
+
+let verify_all_ctx ~ctx ?(lock = `Ticket) ?(seeds = 4) ?strategy
+    ?(adversarial = false) () =
+  Ctx.arm ctx @@ fun () ->
+  let jobs = Ctx.jobs_opt ctx in
+  let cache = ctx.Ctx.cache in
   let keys = edge_keys ~lock ~seeds ~strategy in
-  let key_of name = List.assoc name keys in
-  let edges = ref [] in
-  let push edge = edges := edge :: !edges in
   (* Per-edge memoization.  The cache probe and store sit OUTSIDE the
      [timed] window of the edge body, so a cold run's per-edge counters
      are unaffected by caching and a warm hit reproduces the stored
      edge verbatim (timing aside: a hit's [millis] is the lookup time).
      Only successful edges are stored — a failing edge aborts the stack
-     and always re-runs live. *)
+     and always re-runs live.  Edges without a fingerprint (the
+     adversarial one: its verdict is a budget demonstration, not a
+     cacheable fact) always run live. *)
   let edge_cached name (run : unit -> (edge, string) result) =
-    match cache with
-    | None -> run ()
-    | Some c -> (
-      let key = key_of name in
+    match cache, List.assoc_opt name keys with
+    | None, _ | _, None -> run ()
+    | Some c, Some key -> (
       let found, lookup_ms =
         Verify_clock.timed (fun () -> Cache.find c ~kind:"edge" key)
       in
@@ -296,11 +313,15 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs ?cache () =
   let scheds () = Sched.default_suite ~seeds in
   (* With an explicit strategy, every game-driving edge derives its
      scheduler suite from the edge's own game (DPOR must walk the game it
-     will replay); without one, the seeded default suite is used. *)
+     will replay); without one, the seeded default suite is used.  The
+     strategy-carrying context shares this call's token and cache, so the
+     walk stays under the same budget. *)
   let scheds_for layer threads =
     match strategy with
     | None -> scheds ()
-    | Some s -> Explore.scheds_of_strategy ?jobs ?cache layer threads s
+    | Some s ->
+      Explore.scheds_of_strategy_ctx ~ctx:(Ctx.with_strategy s ctx) layer
+        threads
   in
   let cert_scheds_for (cert : Calculus.cert) client =
     match strategy with
@@ -312,99 +333,15 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs ?cache () =
           (fun i -> i, Prog.Module.link j.Calculus.impl (client i))
           j.Calculus.focus
       in
-      Explore.scheds_of_strategy ?jobs ?cache j.Calculus.underlay threads s
+      Explore.scheds_of_strategy_ctx
+        ~ctx:(Ctx.with_strategy s ctx)
+        j.Calculus.underlay threads
   in
   let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
 
-  (* 1. multicore linking over the hardware machine *)
-  let* e =
-    edge_cached "Mx86 refines Lx86[D] (Thm 3.1)" (fun () ->
-        let link_result, ms, cs =
-          timed (fun () ->
-              let threads = [ 1, faa_round 1; 2, faa_round 2 ] in
-              fold_linking
-                (Parallel.scan ?jobs ~cut:Result.is_error
-                   (Ccal_machine.Mx86.check_multicore_linking_sched ~threads)
-                   (scheds_for (Ccal_machine.Mx86.layer ()) threads)))
-        in
-        let* n = link_result in
-        Ok
-          { edge_name = "Mx86 refines Lx86[D] (Thm 3.1)"; kind = `Linking;
-            checks = n; millis = ms; counters = cs })
-  in
-  push e;
-
-  (* 2. spinlock certificate *)
-  let lock_name, certify_lock =
-    match lock with
-    | `Ticket -> "ticket", fun () -> Ticket_lock.certify ~focus:[ 1; 2 ] ()
-    | `Mcs -> "mcs", fun () -> Mcs_lock.certify ~focus:[ 1; 2 ] ()
-  in
-  let lock_edge_name = Printf.sprintf "L0 |- M_%s : Llock (Fun)" lock_name in
-  let* e =
-    edge_cached lock_edge_name (fun () ->
-        let lock_cert, ms, cs = timed certify_lock in
-        let* lock_cert =
-          Result.map_error (Format.asprintf "%a" Calculus.pp_error) lock_cert
-        in
-        Ok
-          { edge_name = lock_edge_name; kind = `Cert lock_cert.Calculus.rule;
-            checks = Calculus.count_checks lock_cert; millis = ms;
-            counters = cs })
-  in
-  push e;
-
-  (* 3. parallel composition of per-thread lock certificates *)
-  let* e =
-    edge_cached "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)" (fun () ->
-        let pcomp_result, ms, cs =
-          timed (fun () ->
-              let mk focus =
-                match lock with
-                | `Ticket -> Ticket_lock.certify ~focus ()
-                | `Mcs -> Mcs_lock.certify ~focus ()
-              in
-              let* c1 =
-                Result.map_error (Format.asprintf "%a" Calculus.pp_error)
-                  (mk [ 1 ])
-              in
-              let* c2 =
-                Result.map_error (Format.asprintf "%a" Calculus.pp_error)
-                  (mk [ 2 ])
-              in
-              (* the compat corpus: logs from contention games *)
-              let layer =
-                match lock with
-                | `Ticket -> Ticket_lock.l0 ()
-                | `Mcs -> Mcs_lock.l0 ()
-              in
-              let m =
-                match lock with
-                | `Ticket -> Ticket_lock.c_module ()
-                | `Mcs -> Mcs_lock.c_module ()
-              in
-              let threads = [ 1, lock_client m 1; 2, lock_client m 2 ] in
-              let logs =
-                List.map
-                  (fun o -> o.Game.log)
-                  (Explore.run_all ?jobs ?cache layer threads
-                     (scheds_for layer threads))
-              in
-              Result.map_error (Format.asprintf "%a" Calculus.pp_error)
-                (Calculus.pcomp c1 c2 ~compat_logs:logs))
-        in
-        let* pcert = pcomp_result in
-        Ok
-          { edge_name = "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)";
-            kind = `Cert pcert.Calculus.rule;
-            checks = Calculus.count_checks pcert; millis = ms; counters = cs })
-  in
-  push e;
-
-  (* 4. shared queue over the lock: vertical composition.  The
-     certificate value is also an input of edge 5; it is memoized outside
-     the cache so a cache hit on edge 4 does not force edge 5 to rebuild
-     it inside its own timed window. *)
+  (* Certificate memo shared by edges 4 and 5, outside the cache, so a
+     cache hit on edge 4 does not force edge 5 to rebuild the
+     certificate inside its own timed window. *)
   let stack_cert_memo = ref None in
   let build_stack_cert () =
     match !stack_cert_memo with
@@ -417,134 +354,291 @@ let verify_all ?(lock = `Ticket) ?(seeds = 4) ?strategy ?jobs ?cache () =
         (Result.map_error (Format.asprintf "%a" Calculus.pp_error)
            (Queue_shared.full_stack_certify ()))
   in
-  let* e =
-    edge_cached "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)" (fun () ->
-        let stack_cert, ms, cs = timed build_stack_cert in
-        let* stack_cert = stack_cert in
-        Ok
-          { edge_name = "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)";
-            kind = `Cert stack_cert.Calculus.rule;
-            checks = Calculus.count_checks stack_cert; millis = ms;
-            counters = cs })
-  in
-  push e;
 
-  (* 5. queue soundness game.  The certificate comes from the memo (or a
-     rebuild, outside the timed window, when edge 4 was a cache hit); the
-     edge's timing and counters cover the soundness game only, exactly as
-     they always did. *)
-  let* e =
-    edge_cached "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)" (fun () ->
-        let* stack_cert = build_stack_cert () in
-        let sound, ms, cs =
-          timed (fun () ->
-              Result.map_error (Format.asprintf "%a" Refinement.pp_failure)
-                (Linearizability.refine_cert ?jobs ?cache stack_cert
-                   ~client:queue_client
-                   ~scheds:(cert_scheds_for stack_cert queue_client)))
-        in
-        let* sound_report = sound in
-        Ok
-          { edge_name = "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)";
-            kind = `Soundness;
-            checks = sound_report.Refinement.scheds_checked; millis = ms;
-            counters = cs })
+  let lock_name, certify_lock =
+    match lock with
+    | `Ticket -> "ticket", fun () -> Ticket_lock.certify ~focus:[ 1; 2 ] ()
+    | `Mcs -> "mcs", fun () -> Mcs_lock.certify ~focus:[ 1; 2 ] ()
   in
-  push e;
+  let lock_edge_name = Printf.sprintf "L0 |- M_%s : Llock (Fun)" lock_name in
 
-  (* 6. multithreaded linking over the scheduler *)
-  let* e =
-    edge_cached "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)" (fun () ->
-        let mtl, ms, cs =
-          timed (fun () ->
-              let layer =
-                Thread_sched.mt_layer mt_placement (Lock_intf.layer "Llock")
-              in
-              let threads = [ 1, mt_prog 1; 2, mt_prog 2; 3, mt_prog 3 ] in
-              fold_linking
-                (Parallel.scan ?jobs ~cut:Result.is_error
-                   (Thread_sched.check_multithreaded_linking_sched
-                      ~placement:mt_placement ~layer ~threads)
-                   (scheds_for layer threads)))
-        in
-        let* n = mtl in
-        Ok
-          { edge_name = "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)"; kind = `Linking;
-            checks = n; millis = ms; counters = cs })
-  in
-  push e;
-
-  (* 7. queuing lock *)
-  let* e =
-    edge_cached "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)" (fun () ->
-        let ql, ms, cs = timed (fun () -> Qlock.certify ()) in
-        let* ql =
-          Result.map_error (Format.asprintf "%a" Calculus.pp_error) ql
-        in
-        Ok
-          { edge_name = "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)";
-            kind = `Cert ql.Calculus.rule; checks = Calculus.count_checks ql;
-            millis = ms; counters = cs })
-  in
-  push e;
-
-  (* 8. IPC channel over condition variables *)
-  let* e =
-    edge_cached "Lmt(spin+cv) |- M_ipc : Lipc (Fun)" (fun () ->
-        let ipc, ms, cs = timed (fun () -> Ipc.certify ()) in
-        let* ipc_cert =
-          Result.map_error (Format.asprintf "%a" Calculus.pp_error) ipc
-        in
-        Ok
-          { edge_name = "Lmt(spin+cv) |- M_ipc : Lipc (Fun)";
-            kind = `Cert ipc_cert.Calculus.rule;
-            checks = Calculus.count_checks ipc_cert; millis = ms;
-            counters = cs })
-  in
-  push e;
-
-  (* 9. IPC producer/consumer soundness including the blocking paths *)
-  let* e =
-    edge_cached "[[producer|consumer]] refines Lipc (blocking paths)"
-      (fun () ->
-        let ipc_sound, ms, cs =
-          timed (fun () ->
-              let* cert =
+  (* The stack as data: each edge is a named thunk, run in order with the
+     budget polled between edges — the frontier of an [Exhausted] stack
+     is the first edge that did not complete. *)
+  let edge_thunks =
+    [
+      (* 1. multicore linking over the hardware machine *)
+      ( "Mx86 refines Lx86[D] (Thm 3.1)",
+        fun () ->
+          let link_result, ms, cs =
+            timed (fun () ->
+                let threads = [ 1, faa_round 1; 2, faa_round 2 ] in
+                fold_linking
+                  (Parallel.scan ?jobs ~cut:Result.is_error
+                     (Ccal_machine.Mx86.check_multicore_linking_sched ~threads)
+                     (scheds_for (Ccal_machine.Mx86.layer ()) threads)))
+          in
+          let* n = link_result in
+          Ok
+            { edge_name = "Mx86 refines Lx86[D] (Thm 3.1)"; kind = `Linking;
+              checks = n; millis = ms; counters = cs } );
+      (* 2. spinlock certificate *)
+      ( lock_edge_name,
+        fun () ->
+          let lock_cert, ms, cs = timed certify_lock in
+          let* lock_cert =
+            Result.map_error (Format.asprintf "%a" Calculus.pp_error) lock_cert
+          in
+          Ok
+            { edge_name = lock_edge_name; kind = `Cert lock_cert.Calculus.rule;
+              checks = Calculus.count_checks lock_cert; millis = ms;
+              counters = cs } );
+      (* 3. parallel composition of per-thread lock certificates *)
+      ( "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)",
+        fun () ->
+          let pcomp_result, ms, cs =
+            timed (fun () ->
+                let mk focus =
+                  match lock with
+                  | `Ticket -> Ticket_lock.certify ~focus ()
+                  | `Mcs -> Mcs_lock.certify ~focus ()
+                in
+                let* c1 =
+                  Result.map_error (Format.asprintf "%a" Calculus.pp_error)
+                    (mk [ 1 ])
+                in
+                let* c2 =
+                  Result.map_error (Format.asprintf "%a" Calculus.pp_error)
+                    (mk [ 2 ])
+                in
+                (* the compat corpus: logs from contention games *)
+                let layer =
+                  match lock with
+                  | `Ticket -> Ticket_lock.l0 ()
+                  | `Mcs -> Mcs_lock.l0 ()
+                in
+                let m =
+                  match lock with
+                  | `Ticket -> Ticket_lock.c_module ()
+                  | `Mcs -> Mcs_lock.c_module ()
+                in
+                let threads = [ 1, lock_client m 1; 2, lock_client m 2 ] in
+                let logs =
+                  List.map
+                    (fun o -> o.Game.log)
+                    (value_or_raise
+                       (Explore.run_all_ctx ~ctx layer threads
+                          (scheds_for layer threads)))
+                in
                 Result.map_error (Format.asprintf "%a" Calculus.pp_error)
-                  (Ipc.certify ~placement:ipc_placement ~focus:[ 1; 2 ] ())
-              in
-              Result.map_error (Format.asprintf "%a" Refinement.pp_failure)
-                (Linearizability.refine_cert ?jobs ?cache cert
-                   ~client:ipc_client
-                   ~scheds:(cert_scheds_for cert ipc_client)))
-        in
-        let* r = ipc_sound in
-        Ok
-          { edge_name = "[[producer|consumer]] refines Lipc (blocking paths)";
-            kind = `Soundness; checks = r.Refinement.scheds_checked;
-            millis = ms; counters = cs })
+                  (Calculus.pcomp c1 c2 ~compat_logs:logs))
+          in
+          let* pcert = pcomp_result in
+          Ok
+            { edge_name = "Llock[1] x Llock[2] => Llock[{1,2}] (Pcomp)";
+              kind = `Cert pcert.Calculus.rule;
+              checks = Calculus.count_checks pcert; millis = ms;
+              counters = cs } );
+      (* 4. shared queue over the lock: vertical composition *)
+      ( "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)",
+        fun () ->
+          let stack_cert, ms, cs = timed build_stack_cert in
+          let* stack_cert = stack_cert in
+          Ok
+            { edge_name = "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)";
+              kind = `Cert stack_cert.Calculus.rule;
+              checks = Calculus.count_checks stack_cert; millis = ms;
+              counters = cs } );
+      (* 5. queue soundness game.  The certificate comes from the memo
+         (or a rebuild, outside the timed window, when edge 4 was a cache
+         hit); the edge's timing and counters cover the soundness game
+         only, exactly as they always did. *)
+      ( "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)",
+        fun () ->
+          let* stack_cert = build_stack_cert () in
+          let sound, ms, cs =
+            timed (fun () ->
+                Result.map_error (Format.asprintf "%a" Refinement.pp_failure)
+                  (value_or_raise
+                     (Linearizability.refine_cert_ctx ~ctx stack_cert
+                        ~client:queue_client
+                        ~scheds:(cert_scheds_for stack_cert queue_client))))
+          in
+          let* sound_report = sound in
+          Ok
+            { edge_name = "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)";
+              kind = `Soundness;
+              checks = sound_report.Refinement.scheds_checked; millis = ms;
+              counters = cs } );
+      (* 6. multithreaded linking over the scheduler *)
+      ( "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)",
+        fun () ->
+          let mtl, ms, cs =
+            timed (fun () ->
+                let layer =
+                  Thread_sched.mt_layer mt_placement (Lock_intf.layer "Llock")
+                in
+                let threads = [ 1, mt_prog 1; 2, mt_prog 2; 3, mt_prog 3 ] in
+                fold_linking
+                  (Parallel.scan ?jobs ~cut:Result.is_error
+                     (Thread_sched.check_multithreaded_linking_sched
+                        ~placement:mt_placement ~layer ~threads)
+                     (scheds_for layer threads)))
+          in
+          let* n = mtl in
+          Ok
+            { edge_name = "Lbtd[c] = Lhtd[c][Tc] (Thm 5.1)"; kind = `Linking;
+              checks = n; millis = ms; counters = cs } );
+      (* 7. queuing lock *)
+      ( "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)",
+        fun () ->
+          let ql, ms, cs = timed (fun () -> Qlock.certify ()) in
+          let* ql =
+            Result.map_error (Format.asprintf "%a" Calculus.pp_error) ql
+          in
+          Ok
+            { edge_name = "Lmt(Llock) |- M_qlock : Lqlock (Fun, Fig. 11)";
+              kind = `Cert ql.Calculus.rule; checks = Calculus.count_checks ql;
+              millis = ms; counters = cs } );
+      (* 8. IPC channel over condition variables *)
+      ( "Lmt(spin+cv) |- M_ipc : Lipc (Fun)",
+        fun () ->
+          let ipc, ms, cs = timed (fun () -> Ipc.certify ()) in
+          let* ipc_cert =
+            Result.map_error (Format.asprintf "%a" Calculus.pp_error) ipc
+          in
+          Ok
+            { edge_name = "Lmt(spin+cv) |- M_ipc : Lipc (Fun)";
+              kind = `Cert ipc_cert.Calculus.rule;
+              checks = Calculus.count_checks ipc_cert; millis = ms;
+              counters = cs } );
+      (* 9. IPC producer/consumer soundness including the blocking paths *)
+      ( "[[producer|consumer]] refines Lipc (blocking paths)",
+        fun () ->
+          let ipc_sound, ms, cs =
+            timed (fun () ->
+                let* cert =
+                  Result.map_error (Format.asprintf "%a" Calculus.pp_error)
+                    (Ipc.certify ~placement:ipc_placement ~focus:[ 1; 2 ] ())
+                in
+                Result.map_error (Format.asprintf "%a" Refinement.pp_failure)
+                  (value_or_raise
+                     (Linearizability.refine_cert_ctx ~ctx cert
+                        ~client:ipc_client
+                        ~scheds:(cert_scheds_for cert ipc_client))))
+          in
+          let* r = ipc_sound in
+          Ok
+            { edge_name = "[[producer|consumer]] refines Lipc (blocking paths)";
+              kind = `Soundness; checks = r.Refinement.scheds_checked;
+              millis = ms; counters = cs } );
+      (* 10. reader-writer lock: a synchronization library added on top of
+         the existing lock layer without touching it *)
+      ( "Llock |- M_rwlock : Lrwlock (Fun, extension)",
+        fun () ->
+          let rw, ms, cs = timed (fun () -> Rwlock.certify ()) in
+          let* rw =
+            Result.map_error (Format.asprintf "%a" Calculus.pp_error) rw
+          in
+          Ok
+            { edge_name = "Llock |- M_rwlock : Lrwlock (Fun, extension)";
+              kind = `Cert rw.Calculus.rule; checks = Calculus.count_checks rw;
+              millis = ms; counters = cs } );
+    ]
+    @
+    if not adversarial then []
+    else
+      [
+        (* 11 (opt-in). the spinning rwlock implementation under the
+           trace-prefix suite: the spin retry loop phase-locks with
+           [of_trace]'s round-robin degradation (the writer's turn always
+           lands while a reader holds the underlay lock), so these games
+           livelock to the fuel limit — the workload that demonstrates
+           budgets turning a hang into an [Exhausted] report.  Stuckness
+           and deadlock still fail the edge; burning all fuel does not. *)
+        ( adversarial_edge_name,
+          fun () ->
+            let result, ms, cs =
+              timed (fun () ->
+                  let layer = Rwlock.underlay () in
+                  let m = Rwlock.c_module () in
+                  let spin p = Prog.Module.link m p in
+                  let reader =
+                    spin
+                      (Prog.seq
+                         (Prog.call "acq_r" [ vi 4 ])
+                         (Prog.call "rel_r" [ vi 4 ]))
+                  in
+                  let writer =
+                    spin
+                      (Prog.seq
+                         (Prog.call "acq_w" [ vi 4 ])
+                         (Prog.call "rel_w" [ vi 4 ]))
+                  in
+                  let threads = [ 1, reader; 2, reader; 3, writer ] in
+                  let scheds =
+                    Explore.exhaustive_scheds ~tids:[ 1; 2; 3 ] ~depth:3
+                  in
+                  let outcomes =
+                    value_or_raise
+                      (Explore.run_all_ctx ~ctx ~max_steps:200_000 layer
+                         threads scheds)
+                  in
+                  match
+                    List.find_opt
+                      (fun o ->
+                        match o.Game.status with
+                        | Game.Stuck _ | Game.Deadlock _ -> true
+                        | Game.All_done | Game.Out_of_fuel | Game.Cancelled ->
+                          false)
+                      outcomes
+                  with
+                  | Some o ->
+                    Error
+                      (Format.asprintf "adversarial rwlock game failed: %a"
+                         Game.pp_status o.Game.status)
+                  | None -> Ok (List.length outcomes))
+            in
+            let* n = result in
+            Ok
+              { edge_name = adversarial_edge_name; kind = `Adversarial;
+                checks = n; millis = ms; counters = cs } );
+      ]
   in
-  push e;
 
-  (* 10. reader-writer lock: a synchronization library added on top of the
-     existing lock layer without touching it *)
-  let* e =
-    edge_cached "Llock |- M_rwlock : Lrwlock (Fun, extension)" (fun () ->
-        let rw, ms, cs = timed (fun () -> Rwlock.certify ()) in
-        let* rw =
-          Result.map_error (Format.asprintf "%a" Calculus.pp_error) rw
-        in
-        Ok
-          { edge_name = "Llock |- M_rwlock : Lrwlock (Fun, extension)";
-            kind = `Cert rw.Calculus.rule; checks = Calculus.count_checks rw;
-            millis = ms; counters = cs })
-  in
-  push e;
-
-  let edges = List.rev !edges in
-  Ok
+  let mk_report acc =
+    let edges = List.rev acc in
     {
       edges;
       total_checks = List.fold_left (fun n e -> n + e.checks) 0 edges;
       total_millis = List.fold_left (fun t e -> t +. e.millis) 0. edges;
     }
+  in
+  let exhausted_at acc name =
+    Budget.Exhausted
+      {
+        spent = Budget.spent ctx.Ctx.token;
+        partial = Ok { completed = mk_report acc; next_edge = Some name };
+      }
+  in
+  let rec go acc = function
+    | [] -> Budget.Complete (Ok { completed = mk_report acc; next_edge = None })
+    | (name, thunk) :: rest ->
+      if Budget.poll ctx.Ctx.token then exhausted_at acc name
+      else (
+        match edge_cached name thunk with
+        | exception Ran_out_of_budget -> exhausted_at acc name
+        | Error e -> Budget.Complete (Error e)
+        | Ok edge -> go (edge :: acc) rest)
+  in
+  go [] edge_thunks
+
+let verify_all ?lock ?seeds ?strategy ?jobs ?cache () =
+  match
+    Budget.value
+      (verify_all_ctx
+         ~ctx:(Ctx.of_legacy ?jobs ?cache ())
+         ?lock ?seeds ?strategy ())
+  with
+  | Ok p -> Ok p.completed
+  | Error msg -> Error msg

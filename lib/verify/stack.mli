@@ -12,7 +12,8 @@ open Ccal_core
 
 type edge = {
   edge_name : string;  (** e.g. ["L0 |- M_ticket : Llock"] *)
-  kind : [ `Cert of Calculus.rule_name | `Linking | `Soundness ];
+  kind :
+    [ `Cert of Calculus.rule_name | `Linking | `Soundness | `Adversarial ];
   checks : int;  (** evidence entries / schedules discharged *)
   millis : float;
   counters : (string * int) list;
@@ -26,6 +27,11 @@ type report = {
   total_checks : int;
   total_millis : float;
 }
+
+type progress = { completed : report; next_edge : string option }
+(** How far a (possibly budgeted) stack verification got: the report over
+    the completed edges, and — when the budget ran out — the first edge
+    that did not complete. *)
 
 val pp_report : Format.formatter -> report -> unit
 
@@ -47,23 +53,28 @@ val edge_fingerprints :
     strategy) must change exactly the keys of the edges that depend on
     it.  [jobs] takes no part in any key. *)
 
-val verify_all :
+val adversarial_edge_name : string
+(** Name of the opt-in spinning-rwlock edge, for CLI/report plumbing. *)
+
+val verify_all_ctx :
+  ctx:Ctx.t ->
   ?lock:[ `Ticket | `Mcs ] ->
   ?seeds:int ->
   ?strategy:Explore.strategy ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
+  ?adversarial:bool ->
   unit ->
-  (report, string) result
+  (progress, string) result Budget.outcome
 (** Certify and link the whole stack.  When [strategy] is given, every
     game-driving edge (the linking theorems, the Pcomp compatibility
     corpus and the soundness games) derives its scheduler suite from that
     strategy over the edge's own game — [`Dpor] walks each game and
     replays only non-redundant prefixes; otherwise the seeded default
-    suite ([seeds], default 4) is used.  [jobs] spreads every
-    game-driving edge's schedule scan over a {!Parallel} domain pool; the
-    report differs only in the timing fields — failures and check counts
-    are identical for every jobs count.  The edges:
+    suite ([seeds], default 4) is used.  ([ctx.strategy] is {e not} used:
+    the stack's historical default is the seeded suite, so the strategy
+    stays an explicit argument.)  [ctx.jobs] spreads every game-driving
+    edge's schedule scan over a {!Parallel} domain pool; the report
+    differs only in the timing fields — failures and check counts are
+    identical for every jobs count.  The edges:
     {ol
     {- multicore linking (Thm 3.1) over the hardware machine;}
     {- the spinlock certificate ([`Ticket] by default; [`Mcs] drops in the
@@ -75,11 +86,38 @@ val verify_all :
     {- the queuing-lock and IPC certificates;}
     {- whole-machine soundness games for the lock, queue and IPC layers.}}
 
-    [cache] memoizes each edge's verdict on disk under its
+    [adversarial] (default false) appends the spinning-rwlock livelock
+    edge ({!adversarial_edge_name}): the C spin loops phase-lock with the
+    trace-prefix schedulers and burn their whole fuel allowance, so the
+    edge is effectively a hang without a budget and the canonical
+    demonstration that one turns it into an [Exhausted] report.
+
+    [ctx.budget] is polled between edges and inside every budgeted inner
+    checker; an [Exhausted] outcome carries the {!progress} frontier —
+    the report over completed edges plus the name of the first edge that
+    did not complete.  Completed edges are never re-verified on resume
+    when [ctx.cache] is set (their verdicts were stored).
+
+    [ctx.cache] memoizes each edge's verdict on disk under its
     {!edge_fingerprints} key: a hit pushes the stored edge (verdict,
     [checks], [counters]) with the lookup time as [millis] and skips the
     edge's game entirely; a miss runs the edge and stores it on success.
     Failing edges are never stored, so failures always reproduce live.
     The cache handle is also threaded into the edges' inner checkers
-    ({!Explore.run_all}, {!Dpor}, {!Linearizability.refine_cert}), which
-    keep their own finer-grained entries. *)
+    ({!Explore.run_all_ctx}, {!Dpor}, {!Linearizability.refine_cert_ctx}),
+    which keep their own finer-grained entries.  The adversarial edge is
+    never cached. *)
+
+(** {1 Deprecated entry points}
+
+    The pre-[Ctx] signature, kept for one release. *)
+
+val verify_all :
+  ?lock:[ `Ticket | `Mcs ] ->
+  ?seeds:int ->
+  ?strategy:Explore.strategy ->
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  unit ->
+  (report, string) result
+[@@deprecated "use verify_all_ctx"]

@@ -9,7 +9,9 @@
     differences. *)
 
 val now_ns : unit -> int64
-(** Nanoseconds on the monotonic clock (arbitrary epoch). *)
+(** Nanoseconds on the monotonic clock (arbitrary epoch).  Under an
+    armed {!Fault} plan this includes the injected skew offset, which
+    only grows — readings stay monotonic. *)
 
 val ns_to_ms : int64 -> float
 

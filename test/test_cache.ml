@@ -171,7 +171,9 @@ let test_races_failure_never_stored () =
       | V.Races.Race _ -> ()
       | _ -> Alcotest.fail "expected the race again");
       let s = V.Cache.session_stats c in
-      check_int "re-ran live both times" 2 s.misses;
+      (* two lookups per run: the full verdict and the "races.partial"
+         auto-resume entry — four misses, zero hits, zero stores *)
+      check_int "re-ran live both times" 4 s.misses;
       check_int "no hits" 0 s.hits)
 
 let test_races_clean_verdict_cached () =
@@ -195,6 +197,7 @@ let test_races_clean_verdict_cached () =
         | V.Races.Race_free { runs } -> runs
         | V.Races.Race { detail; _ } -> Alcotest.failf "false positive: %s" detail
         | V.Races.Other_failure msg -> Alcotest.fail msg
+        | V.Races.Exhausted _ -> Alcotest.fail "unlimited budget exhausted"
       in
       let cold = runs_of (run ()) in
       check_int "stored once" 1 (V.Cache.session_stats c).stores;

@@ -262,6 +262,7 @@ let test_stuck_message_mentioning_race_is_not_a_race () =
       (String.length msg > 0)
   | V.Races.Race _ -> Alcotest.fail "Invalid_transition misreported as race"
   | V.Races.Race_free _ -> Alcotest.fail "stuck run reported race-free"
+  | V.Races.Exhausted _ -> Alcotest.fail "unlimited budget exhausted"
 
 let test_structured_race_is_still_a_race () =
   (* the positive control: a primitive that witnesses a genuine data race
@@ -281,6 +282,7 @@ let test_structured_race_is_still_a_race () =
     check_bool "detail kept" true (String.length detail > 0)
   | V.Races.Other_failure msg -> Alcotest.failf "race demoted: %s" msg
   | V.Races.Race_free _ -> Alcotest.fail "racy run reported race-free"
+  | V.Races.Exhausted _ -> Alcotest.fail "unlimited budget exhausted"
 
 let test_pushpull_race_detected_end_to_end () =
   (* the real thing: two CPUs pulling the same location through the
@@ -299,6 +301,7 @@ let test_pushpull_race_detected_end_to_end () =
       && String.exists (fun c -> c = '7') detail)
   | V.Races.Other_failure msg -> Alcotest.failf "race demoted: %s" msg
   | V.Races.Race_free _ -> Alcotest.fail "racing pulls reported race-free"
+  | V.Races.Exhausted _ -> Alcotest.fail "unlimited budget exhausted"
 
 let suite =
   [

@@ -19,4 +19,5 @@ let () =
       "cross-cutting-invariants", Test_invariants.suite;
       "telemetry (S25)", Test_telemetry.suite;
       "certificate-cache (S26)", Test_cache.suite;
+      "robustness (S27)", Test_robust.suite;
     ]

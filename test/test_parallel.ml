@@ -102,6 +102,7 @@ let test_race_found_after_other_failure () =
   | Races.Other_failure msg ->
     Alcotest.failf "non-race failure aborted the scan: %s" msg
   | Races.Race_free _ -> Alcotest.fail "race missed"
+  | Races.Exhausted _ -> Alcotest.fail "unlimited budget exhausted"
 
 let test_other_failures_collected () =
   (* no race anywhere: the first failure is reported, annotated with the
@@ -117,6 +118,7 @@ let test_other_failures_collected () =
       && String.length msg > String.length "ordinary failure")
   | Races.Race _ -> Alcotest.fail "misclassified as race"
   | Races.Race_free _ -> Alcotest.fail "failures dropped"
+  | Races.Exhausted _ -> Alcotest.fail "unlimited budget exhausted"
 
 let test_races_verdict_jobs_invariant () =
   check_jobs_invariant "races mixed" (fun jobs ->

@@ -1,0 +1,293 @@
+(* Tests for the robustness layer (S27): budgets, cooperative
+   cancellation, resumable partial results, and deterministic fault
+   injection — the [Ctx]-threaded API.
+
+   The contract under test: a budget never changes a completed verdict
+   (it only truncates how much gets established), a {e step} budget
+   truncates at the same schedule prefix for every jobs count, a partial
+   result resumed equals the from-scratch verdict byte for byte, and an
+   armed fault plan (worker crashes, cache corruption, clock skew,
+   oversized entries) leaves every verdict bit-identical to the
+   fault-free run. *)
+open Ccal_core
+open Ccal_objects
+open Ccal_verify
+open Util
+
+let jobs_grid = [ 1; 2; 4; 7 ]
+
+(* The race-free workhorse game: two ticket-lock clients over L0. *)
+let game () =
+  let layer = Ticket_lock.l0 () in
+  let m = Ticket_lock.c_module () in
+  let client i =
+    Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ -> Prog.call "rel" [ vi 0; vi i ])
+  in
+  ( layer,
+    [ 1, Prog.Module.link m (client 1); 2, Prog.Module.link m (client 2) ] )
+
+(* trace/random schedulers are single-use: regenerate per run; the suite
+   identity (the names) is what cache keys and resume points see *)
+let suite () = Sched.default_suite ~seeds:4
+
+let suite_size = List.length (Sched.default_suite ~seeds:4)
+
+let races_check ctx =
+  let layer, threads = game () in
+  Races.check_ctx ~ctx ~scheds:(suite ()) layer threads
+
+(* The step cost of the suite's first schedule, measured on the real
+   game: a budget of [first + 1] lets exactly one schedule through the
+   deterministic re-truncation (the second overshoots the allowance). *)
+let first_sched_steps () =
+  let layer, threads = game () in
+  let o = Game.run (Game.config layer threads (List.hd (suite ()))) in
+  o.Game.steps
+
+let fresh_ctx budget = Ctx.with_budget budget Ctx.default
+
+(* ---- Budget plumbing ---- *)
+
+let test_budget_outcome_helpers () =
+  let spent =
+    { Budget.elapsed_ms = 1.0; steps_used = 9; reason = `Steps }
+  in
+  check_int "value of Complete" 3 (Budget.value (Budget.Complete 3));
+  check_int "value of Exhausted" 4
+    (Budget.value (Budget.Exhausted { spent; partial = 4 }));
+  check_bool "Complete is complete" true (Budget.is_complete (Budget.Complete 3));
+  check_bool "Exhausted is not" false
+    (Budget.is_complete (Budget.Exhausted { spent; partial = 4 }));
+  check_int "map reaches the partial" 8
+    (Budget.value (Budget.map (( * ) 2) (Budget.Exhausted { spent; partial = 4 })));
+  check_bool "make () is unlimited" true (Budget.is_unlimited (Budget.make ()));
+  check_bool "negative steps clamp to instantly exhausted" true
+    (Budget.poll (Budget.start (Budget.make ~steps:(-1) ())));
+  check_bool "the shared no_token never trips" false (Budget.poll Budget.no_token)
+
+let test_fault_parse () =
+  (match Fault.parse "crash:0.1,corrupt-cache:0.05,seed:7" with
+  | Ok p ->
+    check_int "seed" 7 p.Fault.seed;
+    check_bool "crash rate" true (p.Fault.crash = 0.1);
+    check_bool "corrupt rate" true (p.Fault.corrupt = 0.05);
+    check_bool "not none" false (Fault.is_none p)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  check_bool "unknown kind rejected" true
+    (Result.is_error (Fault.parse "explode:0.5"));
+  check_bool "bad rate rejected" true (Result.is_error (Fault.parse "crash:lots"));
+  check_bool "none is none" true (Fault.is_none Fault.none)
+
+(* ---- cancellation ---- *)
+
+let test_cancellation_preempts_scan () =
+  let ctx = fresh_ctx (Budget.make ~ms:1e9 ()) in
+  Budget.cancel ctx.Ctx.token;
+  match races_check ctx with
+  | Races.Exhausted { spent; partial } ->
+    check_bool "reason is cancellation" true (spent.Budget.reason = `Cancelled);
+    check_int "nothing scanned after cancel" 0 partial.Races.scanned
+  | _ -> Alcotest.fail "cancelled scan still produced a full verdict"
+
+(* ---- step-budget determinism ---- *)
+
+let test_step_budget_truncates_deterministically () =
+  (* budget = exactly the first schedule's cost: the scan admits games
+     until the cumulative cost reaches the allowance, so the second
+     schedule is cut before it runs *)
+  let b = Budget.make ~steps:(first_sched_steps ()) () in
+  let partial_at jobs =
+    match races_check (Ctx.with_jobs jobs (fresh_ctx b)) with
+    | Races.Exhausted { spent; partial } ->
+      check_bool "reason is the step budget" true (spent.Budget.reason = `Steps);
+      partial
+    | _ -> Alcotest.fail "step budget did not trip"
+  in
+  let oracle = partial_at 1 in
+  check_int "exactly the first schedule fits" 1 oracle.Races.scanned;
+  check_int "and it was clean" 1 oracle.Races.clean;
+  List.iter
+    (fun jobs ->
+      check_bool (Printf.sprintf "partial at jobs=%d = sequential" jobs) true
+        (partial_at jobs = oracle))
+    jobs_grid
+
+let test_resume_equals_from_scratch () =
+  let scratch = races_check Ctx.default in
+  (match scratch with
+  | Races.Race_free { runs } -> check_int "scratch covers the suite" suite_size runs
+  | _ -> Alcotest.fail "workhorse game should be race-free");
+  match races_check (fresh_ctx (Budget.make ~steps:(first_sched_steps () + 1) ())) with
+  | Races.Exhausted { partial; _ } ->
+    let layer, threads = game () in
+    let resumed =
+      Races.check_ctx ~ctx:Ctx.default ~scheds:(suite ()) ~resume:partial
+        layer threads
+    in
+    check_bool "resumed verdict = from-scratch verdict" true (resumed = scratch)
+  | _ -> Alcotest.fail "step budget did not trip"
+
+(* ---- partial results in the cache ---- *)
+
+let with_cache f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccal-test-robust-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  let c = Cache.create ~dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Cache.clear c);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f c)
+
+let test_partial_cached_then_invalidated () =
+  with_cache (fun c ->
+      let budgeted =
+        Ctx.with_cache c (fresh_ctx (Budget.make ~steps:(first_sched_steps () + 1) ()))
+      in
+      (match races_check budgeted with
+      | Races.Exhausted _ -> ()
+      | _ -> Alcotest.fail "step budget did not trip");
+      check_bool "partial stashed on disk" true ((Cache.disk_stats c).entries >= 1);
+      (* an identically-keyed unlimited run picks the partial up, finishes
+         the scan, stores the full verdict and invalidates the partial *)
+      (match races_check (Ctx.with_cache c Ctx.default) with
+      | Races.Race_free { runs } -> check_int "auto-resume completed" suite_size runs
+      | _ -> Alcotest.fail "auto-resumed run should be race-free");
+      check_bool "partial picked up" true ((Cache.session_stats c).hits >= 1);
+      check_bool "full verdict invalidates the partial" true
+        ((Cache.session_stats c).invalidations >= 1);
+      (* third run: served from the full-verdict entry *)
+      let hits_before = (Cache.session_stats c).hits in
+      (match races_check (Ctx.with_cache c Ctx.default) with
+      | Races.Race_free { runs } -> check_int "warm verdict" suite_size runs
+      | _ -> Alcotest.fail "warm run should be race-free");
+      check_bool "full verdict hit" true ((Cache.session_stats c).hits > hits_before))
+
+(* ---- fault injection: verdicts bit-identical to the fault-free run ---- *)
+
+let fault_free () = races_check Ctx.default
+
+let test_crash_faults_keep_verdict () =
+  let plan = Fault.make ~seed:3 ~crash:0.5 () in
+  let oracle = fault_free () in
+  List.iter
+    (fun jobs ->
+      let v = races_check (Ctx.with_faults plan (Ctx.with_jobs jobs Ctx.default)) in
+      check_bool
+        (Printf.sprintf "crash-injected verdict at jobs=%d = fault-free" jobs)
+        true (v = oracle))
+    jobs_grid
+
+let test_skew_faults_keep_verdict () =
+  let plan = Fault.make ~seed:5 ~skew:0.5 () in
+  let oracle = fault_free () in
+  let v = races_check (Ctx.with_faults plan Ctx.default) in
+  check_bool "skewed-clock verdict = fault-free" true (v = oracle)
+
+let test_corrupt_cache_faults_keep_verdict () =
+  with_cache (fun c ->
+      let plan = Fault.make ~seed:11 ~corrupt:1.0 () in
+      let oracle = fault_free () in
+      let ctx = Ctx.with_faults plan (Ctx.with_cache c Ctx.default) in
+      (* first run stores a corrupted entry; the second finds it
+         undeserializable, invalidates and re-runs live *)
+      check_bool "cold corrupted run = fault-free" true (races_check ctx = oracle);
+      check_bool "warm-over-corruption run = fault-free" true
+        (races_check ctx = oracle))
+
+let test_oversize_cache_faults_keep_verdict () =
+  with_cache (fun c ->
+      let plan = Fault.make ~seed:13 ~oversize:1.0 () in
+      let oracle = fault_free () in
+      let ctx = Ctx.with_faults plan (Ctx.with_cache c Ctx.default) in
+      check_bool "cold oversized run = fault-free" true (races_check ctx = oracle);
+      (* oversized payloads still deserialize: the warm run may hit *)
+      check_bool "warm oversized run = fault-free" true (races_check ctx = oracle))
+
+(* ---- the other budgeted checkers ---- *)
+
+let test_linearizability_budget_exhausts () =
+  match Ticket_lock.certify ~focus:[ 1; 2 ] () with
+  | Error e ->
+    Alcotest.failf "certify failed: %s" (Format.asprintf "%a" Calculus.pp_error e)
+  | Ok cert -> (
+    let client i =
+      Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
+          Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
+    in
+    let ctx = fresh_ctx (Budget.make ~steps:1 ()) in
+    match
+      Linearizability.refine_cert_ctx ~ctx cert ~client
+        ~scheds:(Sched.default_suite ~seeds:2)
+    with
+    | Budget.Exhausted { spent; partial = Ok r } ->
+      check_bool "reason is the step budget" true (spent.Budget.reason = `Steps);
+      check_int "no schedule fit the one-step budget" 0
+        r.Refinement.scheds_checked
+    | Budget.Exhausted { partial = Error _; _ } ->
+      Alcotest.fail "an exhausted prefix is Ok-shaped by construction"
+    | Budget.Complete _ -> Alcotest.fail "one-step budget did not trip")
+
+let test_stack_zero_budget_reports_first_edge () =
+  let ctx = fresh_ctx (Budget.make ~steps:0 ()) in
+  match Stack.verify_all_ctx ~ctx ~seeds:1 () with
+  | Budget.Exhausted { partial = Ok p; _ } ->
+    check_int "no edge completed" 0 (List.length p.Stack.completed.Stack.edges);
+    check_bool "the frontier names the first edge" true
+      (p.Stack.next_edge <> None)
+  | Budget.Exhausted { partial = Error msg; _ } ->
+    Alcotest.failf "partial progress is Ok-shaped: %s" msg
+  | Budget.Complete _ -> Alcotest.fail "zero budget did not trip"
+
+(* The ISSUE acceptance criterion: the deliberately livelocking rwlock
+   edge — the spinning C loops phase-lock with the trace-prefix
+   schedulers and burn the whole fuel allowance — must come back as an
+   [Exhausted] report well under 5 s once a deadline budget is set. *)
+let test_stack_livelock_bounded_by_budget () =
+  let ctx = fresh_ctx (Budget.make ~ms:1500. ()) in
+  let outcome, ms =
+    Verify_clock.timed (fun () ->
+        Stack.verify_all_ctx ~ctx ~seeds:2 ~adversarial:true ())
+  in
+  check_bool
+    (Printf.sprintf "budgeted livelock run returned in %.0f ms (< 5000)" ms)
+    true (ms < 5000.);
+  match outcome with
+  | Budget.Exhausted { spent; partial = Ok p } ->
+    check_bool "reason is the deadline" true (spent.Budget.reason = `Deadline);
+    check_bool "the completed edges made progress" true
+      (List.length p.Stack.completed.Stack.edges >= 1);
+    check_bool "the frontier is the adversarial edge" true
+      (p.Stack.next_edge = Some Stack.adversarial_edge_name)
+  | Budget.Exhausted { partial = Error msg; _ } ->
+    Alcotest.failf "partial progress is Ok-shaped: %s" msg
+  | Budget.Complete _ ->
+    Alcotest.fail "the livelocking edge completed under a 1.5 s budget?"
+
+let suite =
+  [
+    tc "budget: outcome helpers and clamping" test_budget_outcome_helpers;
+    tc "fault: --inject spec parsing" test_fault_parse;
+    tc "cancellation preempts the scan" test_cancellation_preempts_scan;
+    tc "step budget truncates identically on the jobs grid"
+      test_step_budget_truncates_deterministically;
+    tc "resumed partial = from-scratch verdict" test_resume_equals_from_scratch;
+    tc "partial cached, auto-resumed, then invalidated"
+      test_partial_cached_then_invalidated;
+    tc "crash injection keeps the verdict (jobs grid)"
+      test_crash_faults_keep_verdict;
+    tc "clock-skew injection keeps the verdict" test_skew_faults_keep_verdict;
+    tc "cache-corruption injection keeps the verdict"
+      test_corrupt_cache_faults_keep_verdict;
+    tc "oversized-entry injection keeps the verdict"
+      test_oversize_cache_faults_keep_verdict;
+    tc "linearizability budget exhausts Ok-shaped"
+      test_linearizability_budget_exhausts;
+    tc "stack: zero budget reports the first edge"
+      test_stack_zero_budget_reports_first_edge;
+    tc "stack: rwlock livelock bounded by --budget-ms"
+      test_stack_livelock_bounded_by_budget;
+  ]

@@ -109,6 +109,7 @@ let test_races_clean_program () =
   | Races.Race_free { runs } -> check_int "runs" 7 runs
   | Races.Race { detail; _ } -> Alcotest.failf "false positive: %s" detail
   | Races.Other_failure msg -> Alcotest.fail msg
+  | Races.Exhausted _ -> Alcotest.fail "unlimited budget exhausted"
 
 let test_races_detects_unlocked_access () =
   (* two threads pull the same location without any lock *)
