@@ -128,6 +128,171 @@ let run cfg =
   in
   observe (loop Log.empty 0 0 None [])
 
+(* ------------------------------------------------------------------ *)
+(* allocation-light replay (DESIGN.md S24)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Reusable per-domain working state for {!replay_into}.  [run] rebuilds
+   a [(tid, ref slot) list] association per schedule and re-filters it
+   into [pending]/[candidates] lists on every move; over ~10⁵ replayed
+   schedules that churn is what made the minor GC the bottleneck of the
+   parallel checkers.  The scratch keeps the thread table in three
+   parallel arrays, resized only when the thread count changes, so a
+   domain replaying a suite reuses the same words for every schedule. *)
+type scratch = {
+  mutable ids : Event.tid array;  (* thread ids, in [threads] order *)
+  mutable slots : slot array;  (* parallel to [ids] *)
+  mutable blocked : bool array;  (* threads found blocked this move *)
+}
+
+let make_scratch () = { ids = [||]; slots = [||]; blocked = [||] }
+
+(* Bit-identical to {!run} — pinned by the QCheck equivalence properties
+   in test/test_parallel.ml.  The loop below mirrors [run] clause for
+   clause; only the bookkeeping containers differ. *)
+let replay_into scratch cfg =
+  let n = List.length cfg.threads in
+  if Array.length scratch.ids <> n then begin
+    scratch.ids <- Array.make n 0;
+    scratch.slots <- Array.make n (Finished Value.unit);
+    scratch.blocked <- Array.make n false
+  end;
+  let ids = scratch.ids
+  and slots = scratch.slots
+  and blocked = scratch.blocked in
+  List.iteri
+    (fun k (i, p) ->
+      ids.(k) <- i;
+      slots.(k) <- Running (Machine.initial cfg.layer i p))
+    cfg.threads;
+  let results () =
+    let rec go k acc =
+      if k < 0 then acc
+      else
+        match slots.(k) with
+        | Finished v -> go (k - 1) ((ids.(k), v) :: acc)
+        | Running _ -> go (k - 1) acc
+    in
+    go (n - 1) []
+  in
+  let pending_ids () =
+    let rec go k acc =
+      if k < 0 then acc
+      else
+        match slots.(k) with
+        | Running _ -> go (k - 1) (ids.(k) :: acc)
+        | Finished _ -> go (k - 1) acc
+    in
+    go (n - 1) []
+  in
+  let index_of i =
+    let rec go k = if ids.(k) = i then k else go (k + 1) in
+    go 0
+  in
+  let rec loop log steps silent last_mover violations =
+    if steps >= cfg.max_steps then
+      { log; results = results (); status = Out_of_fuel; steps; silent_steps = silent; guar_violations = List.rev violations }
+    else begin
+      let npending = ref 0 in
+      for k = 0 to n - 1 do
+        match slots.(k) with
+        | Running _ -> incr npending
+        | Finished _ -> ()
+      done;
+      if !npending = 0 then
+        { log; results = results (); status = All_done; steps; silent_steps = silent; guar_violations = List.rev violations }
+      else if match cfg.stop with Some s -> s () | None -> false then
+        { log; results = results (); status = Cancelled; steps; silent_steps = silent; guar_violations = List.rev violations }
+      else begin
+        for k = 0 to n - 1 do
+          blocked.(k) <- false
+        done;
+        let rec attempt () =
+          (* runnable = still-running threads not yet found blocked this
+             move, in [threads] order — exactly [run]'s candidate list *)
+          let rec build k acc =
+            if k < 0 then acc
+            else
+              build (k - 1)
+                (match slots.(k) with
+                | Running _ when not blocked.(k) -> ids.(k) :: acc
+                | Running _ | Finished _ -> acc)
+          in
+          match build (n - 1) [] with
+          | [] -> `Deadlock (pending_ids ())
+          | runnable ->
+            let chosen =
+              match cfg.sched.Sched.pick ~step:steps log ~runnable with
+              | Some i when List.mem i runnable -> i
+              | Some _ | None -> List.hd runnable
+            in
+            let k = index_of chosen in
+            let st =
+              match slots.(k) with
+              | Running st -> st
+              | Finished _ -> assert false
+            in
+            let move_log =
+              if cfg.log_switches && last_mover <> Some chosen then
+                Log.append (Event.switch chosen) log
+              else log
+            in
+            let result, cost =
+              Machine.step_move_counted cfg.layer chosen st move_log
+            in
+            (match result with
+            | Machine.Moved (evs, st') ->
+              slots.(k) <- Running st';
+              `Moved (chosen, move_log, evs, cost)
+            | Machine.Finished (v, _) ->
+              slots.(k) <- Finished v;
+              `Moved (chosen, move_log, [], cost)
+            | Machine.Blocked_at (st', _) ->
+              slots.(k) <- Running st';
+              blocked.(k) <- true;
+              attempt ()
+            | Machine.Stuck (kind, msg) -> `Stuck (chosen, kind, msg))
+        in
+        match attempt () with
+        | `Deadlock ids ->
+          { log; results = results (); status = Deadlock ids; steps; silent_steps = silent; guar_violations = List.rev violations }
+        | `Stuck (i, kind, msg) ->
+          { log; results = results (); status = Stuck (i, kind, msg); steps; silent_steps = silent; guar_violations = List.rev violations }
+        | `Moved (i, move_log, evs, cost) ->
+          let log' = Log.append_all evs move_log in
+          let violations =
+            if
+              cfg.check_guar && evs <> []
+              && not (cfg.layer.Layer.guar.Rely_guarantee.holds i log')
+            then (i, log') :: violations
+            else violations
+          in
+          loop log' (steps + 1) (silent + cost) (Some i) violations
+      end
+    end
+  in
+  observe (loop Log.empty 0 0 None [])
+
+(* A lock-free freelist of scratches: the checkers call {!replay} from
+   arbitrary pool domains, and a Treiber stack keeps the live scratch
+   count bounded by the number of concurrent games without a domain-local
+   key per call site. *)
+let scratch_pool : scratch list Atomic.t = Atomic.make []
+
+let rec pool_get () =
+  match Atomic.get scratch_pool with
+  | [] -> make_scratch ()
+  | (s :: rest) as cur ->
+    if Atomic.compare_and_set scratch_pool cur rest then s else pool_get ()
+
+let rec pool_put s =
+  let cur = Atomic.get scratch_pool in
+  if not (Atomic.compare_and_set scratch_pool cur (s :: cur)) then pool_put s
+
+let replay cfg =
+  let s = pool_get () in
+  Fun.protect ~finally:(fun () -> pool_put s) (fun () -> replay_into s cfg)
+
 let behaviors ?max_steps ?log_switches ?check_guar layer threads scheds =
   List.map
     (fun sched -> run (config ?max_steps ?log_switches ?check_guar layer threads sched))

@@ -56,6 +56,30 @@ type outcome = {
 
 val run : config -> outcome
 
+(** {1 Allocation-light replay}
+
+    The parallel checkers replay on the order of 10⁵ schedules per
+    verdict; {!run}'s per-move list rebuilds and per-schedule slot
+    reconstruction made the minor GC — a stop-the-world rendezvous across
+    every domain on OCaml 5 — the bottleneck of the whole pool
+    (DESIGN.md S24).  {!replay_into} plays the identical game over a
+    reusable scratch, and is pinned bit-identical to {!run} by the
+    equivalence properties in test/test_parallel.ml. *)
+
+type scratch
+(** Reusable per-domain working state: the thread table as parallel
+    arrays, resized only when the thread count changes.  A scratch must
+    not be shared between concurrently running games. *)
+
+val make_scratch : unit -> scratch
+
+val replay_into : scratch -> config -> outcome
+(** [replay_into s cfg] = [run cfg], reusing [s]'s storage. *)
+
+val replay : config -> outcome
+(** Like {!run}, borrowing a scratch from a lock-free freelist — the
+    entry point the checkers use for their per-schedule bodies. *)
+
 val behaviors :
   ?max_steps:int ->
   ?log_switches:bool ->

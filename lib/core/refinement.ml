@@ -140,7 +140,7 @@ let replay_multi ?(max_steps = 200_000) ?(allow_blocked_at_end = false) overlay
 let check_one_gen ?stop ~max_steps ~expect_all_done ~underlay ~overlay ~rel
     ~threads_under ~threads_over sched =
   let outcome =
-    Game.run (Game.config ~max_steps ?stop underlay threads_under sched)
+    Game.replay (Game.config ~max_steps ?stop underlay threads_under sched)
   in
   match outcome.Game.status with
   | Game.Cancelled ->

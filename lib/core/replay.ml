@@ -1,15 +1,40 @@
 type 'a t = Log.t -> ('a, string) result
 
+(* Replay functions run once per shared-primitive call, so this fold is
+   the hottest loop of the whole checker: materializing the reversed
+   (chronological) list on every call used to dominate the per-schedule
+   allocation profile.  Instead, recurse right-to-left over the
+   newest-first spine — the older suffix is folded before [step] sees the
+   newer head, so the order (and the first-error-wins semantics: the
+   oldest failing event reports) is exactly that of the chronological
+   fold, with zero allocation beyond [step]'s own.
+
+   The recursion depth is the log length.  Logs are bounded by the game
+   fuel, which stress tests push to a few hundred thousand moves; beyond a
+   conservative depth the fold falls back to the allocating reversal
+   rather than risk the native stack. *)
+let deep = 16_384
+
 let fold ~init ~step : 'a t =
  fun l ->
-  let rec go acc = function
-    | [] -> Ok acc
-    | e :: rest -> (
-      match step acc e with
-      | Ok acc' -> go acc' rest
-      | Error _ as err -> err)
-  in
-  go init (Log.chronological l)
+  if Log.length l <= deep then
+    let rec go = function
+      | [] -> Ok init
+      | e :: older -> (
+        match go older with
+        | Ok acc -> step acc e
+        | Error _ as err -> err)
+    in
+    go (Log.newest_first l)
+  else
+    let rec go acc = function
+      | [] -> Ok acc
+      | e :: rest -> (
+        match step acc e with
+        | Ok acc' -> go acc' rest
+        | Error _ as err -> err)
+    in
+    go init (Log.chronological l)
 
 let pure x : 'a t = fun _ -> Ok x
 

@@ -6,26 +6,29 @@ let cas_tag = "cas"
 let aload_tag = "aload"
 let astore_tag = "astore"
 
-module Imap = Map.Make (Int)
-
-let replay_cells : int Imap.t Replay.t =
-  Replay.fold ~init:Imap.empty ~step:(fun m (e : Event.t) ->
-      let get b = Option.value ~default:0 (Imap.find_opt b m) in
-      match e.tag, e.args with
-      | tag, [ Value.Vint b; Value.Vint d ] when String.equal tag faa_tag ->
-        Ok (Imap.add b (get b + d) m)
-      | tag, [ Value.Vint b; Value.Vint v ] when String.equal tag xchg_tag ->
-        Ok (Imap.add b v m)
-      | tag, [ Value.Vint b; Value.Vint expected; Value.Vint v ]
-        when String.equal tag cas_tag ->
-        if get b = expected then Ok (Imap.add b v m) else Ok m
-      | tag, [ Value.Vint b; Value.Vint v ] when String.equal tag astore_tag ->
-        Ok (Imap.add b v m)
-      | _ -> Ok m)
-
+(* Specialized single-cell replay: the map-per-call fold this replaces
+   never errors and events
+   on other cells cannot change cell [b], so folding one integer through
+   only the matching events yields the same value as building the whole
+   map — without allocating it.  Every atomic primitive calls this once
+   per move, so the map-free fold is the difference between ~100 KB and a
+   few words of allocation per replayed schedule. *)
 let replay_cell b : int Replay.t =
- fun l ->
-  Result.map (fun m -> Option.value ~default:0 (Imap.find_opt b m)) (replay_cells l)
+  Replay.fold ~init:0 ~step:(fun v (e : Event.t) ->
+      match e.tag, e.args with
+      | tag, [ Value.Vint b'; Value.Vint d ]
+        when b' = b && String.equal tag faa_tag ->
+        Ok (v + d)
+      | tag, [ Value.Vint b'; Value.Vint x ]
+        when b' = b && String.equal tag xchg_tag ->
+        Ok x
+      | tag, [ Value.Vint b'; Value.Vint expected; Value.Vint x ]
+        when b' = b && String.equal tag cas_tag ->
+        if v = expected then Ok x else Ok v
+      | tag, [ Value.Vint b'; Value.Vint x ]
+        when b' = b && String.equal tag astore_tag ->
+        Ok x
+      | _ -> Ok v)
 
 (* An atomic operation computes its return value from the replayed state of
    the log it extends. *)

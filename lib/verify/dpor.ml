@@ -223,8 +223,16 @@ let prefixes_with_prunes_live ?private_fuel ?(independence = Exact)
   else begin
     (* Grow the frontier breadth-first until it can feed the pool.  Each
        round replaces every subtree root by its expansion, in place, so
-       fringe order stays pre-order. *)
-    let target = jobs * 4 in
+       fringe order stays pre-order.
+
+       The split depth is calibrated, not fixed: each round descends one
+       level, and growth stops at the shallowest depth whose frontier
+       holds [jobs * 8] subtrees — enough outstanding subtrees that an
+       uneven one (sleep sets prune subtrees very unevenly) can be
+       absorbed by work stealing, while keeping each subtree a full
+       domain-local DFS: sleep sets never cross a domain boundary, and
+       no two domains ever touch the same prefix. *)
+    let target = jobs * 8 in
     let count_subtrees fringe =
       List.length
         (List.filter (function Subtree _ -> true | Leaf _ -> false) fringe)
@@ -303,7 +311,8 @@ let explore ?max_steps ?private_fuel ?(independence = Exact) ?reads ?jobs
     Probe.span "dpor.replay" (fun () ->
         Parallel.map ?jobs
           (fun p ->
-            Game.run (Game.config ?max_steps layer threads (sched_of_prefix p)))
+            Game.replay
+              (Game.config ?max_steps layer threads (sched_of_prefix p)))
           prefixes)
   in
   let logs = List.map (fun o -> o.Game.log) outcomes in
@@ -378,7 +387,7 @@ let explore_ctx ~ctx ?max_steps ?private_fuel ?(independence = Exact) ?reads
           ~interrupted:(fun o -> o.Game.status = Game.Cancelled)
           ~cut:(fun _ -> false)
           (fun ~stop p ->
-            Game.run
+            Game.replay
               (Game.config ?max_steps ?stop layer threads (sched_of_prefix p)))
           prefixes)
   in

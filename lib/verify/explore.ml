@@ -73,7 +73,7 @@ let run_all_ctx ~ctx ?max_steps layer threads scheds =
           ~interrupted:(fun o -> o.Game.status = Game.Cancelled)
           ~cut:(fun _ -> false)
           (fun ~stop sched ->
-            Game.run (Game.config ?max_steps ?stop layer threads sched))
+            Game.replay (Game.config ?max_steps ?stop layer threads sched))
           scheds)
   in
   let finish (b : Game.outcome Parallel.budgeted) =

@@ -68,7 +68,9 @@ type batch = {
           means an injected fault ate the attempt before evaluation — the
           claim loop requeues the index with the next attempt number. *)
   next : int Atomic.t;  (** next unclaimed index *)
-  chunk : int;
+  mutable chunk : int;
+      (** indices per claim; the submitting domain recalibrates it after
+          the warm-up prefix, before workers are woken *)
   limit : int;
   cut : int Atomic.t;  (** least index that ended the scan; [max_int] if none *)
   retry : (int * int) list Atomic.t;
@@ -128,6 +130,41 @@ let push_retry (b : batch) items =
    sequential (0, 1, ...), matching the inline attempt chain of the
    sequential path, so the evaluation that finally lands is the same one
    on every jobs count. *)
+(* Evaluate the claimed index range [start, stop); returns how many
+   indices were evaluated.  On an injected crash the failed index and the
+   untouched remainder of the range are requeued and the range is
+   abandoned. *)
+let eval_chunk (b : batch) start stop =
+  let t0 = Verify_clock.now_ns () in
+  let i = ref start in
+  (* A span, not a counter: which chunks each worker claims is
+     timing-dependent, so it may only show up in the (inherently
+     run-specific) trace, never in the jobs-deterministic totals. *)
+  Ccal_core.Probe.span "pool.chunk" (fun () ->
+      let live = ref true in
+      while !live && !i < stop do
+        (* indices above the cut can no longer influence the
+           merged result: skip the rest of the chunk *)
+        if !i <= Atomic.get b.cut then
+          match b.run !i ~attempt:0 with
+          | `Done -> incr i
+          | `Crashed ->
+            (* the crashed worker abandons its chunk; the failed
+               index and the untouched remainder are requeued *)
+            let rest = ref [ (!i, 1) ] in
+            for j = stop - 1 downto !i + 1 do
+              rest := (j, 0) :: !rest
+            done;
+            push_retry b !rest;
+            live := false
+        else live := false
+      done);
+  ignore (Atomic.fetch_and_add stat_jobs (!i - start));
+  ignore
+    (Atomic.fetch_and_add stat_busy_ns
+       (Int64.to_int (Int64.sub (Verify_clock.now_ns ()) t0)));
+  !i - start
+
 let run_chunks (b : batch) =
   let rec claim () =
     if b.give_up () then ()
@@ -141,38 +178,14 @@ let run_chunks (b : batch) =
         end;
         claim ()
       | None ->
-        let start = Atomic.fetch_and_add b.next b.chunk in
-        if start < b.limit && start <= Atomic.get b.cut then (
-          let t0 = Verify_clock.now_ns () in
-          let stop = min b.limit (start + b.chunk) in
-          let i = ref start in
-          (* A span, not a counter: which chunks each worker claims is
-             timing-dependent, so it may only show up in the (inherently
-             run-specific) trace, never in the jobs-deterministic totals. *)
-          Ccal_core.Probe.span "pool.chunk" (fun () ->
-              let live = ref true in
-              while !live && !i < stop do
-                (* indices above the cut can no longer influence the
-                   merged result: skip the rest of the chunk *)
-                if !i <= Atomic.get b.cut then
-                  match b.run !i ~attempt:0 with
-                  | `Done -> incr i
-                  | `Crashed ->
-                    (* the crashed worker abandons its chunk; the failed
-                       index and the untouched remainder are requeued *)
-                    let rest = ref [ (!i, 1) ] in
-                    for j = stop - 1 downto !i + 1 do
-                      rest := (j, 0) :: !rest
-                    done;
-                    push_retry b !rest;
-                    live := false
-                else live := false
-              done);
-          ignore (Atomic.fetch_and_add stat_jobs (!i - start));
-          ignore
-            (Atomic.fetch_and_add stat_busy_ns
-               (Int64.to_int (Int64.sub (Verify_clock.now_ns ()) t0)));
-          claim ())
+        (* capture the chunk size once so the reserved range matches the
+           counter increment even if a recalibration lands in between *)
+        let c = b.chunk in
+        let start = Atomic.fetch_and_add b.next c in
+        if start < b.limit && start <= Atomic.get b.cut then begin
+          ignore (eval_chunk b start (min b.limit (start + c)));
+          claim ()
+        end
   in
   claim ()
 
@@ -240,6 +253,41 @@ let run_batch p b =
   done;
   p.job <- None;
   Mutex.unlock p.mutex
+
+(* Cost-calibrated claim sizing (DESIGN.md S24).  Per-schedule bodies
+   range from ~1µs (a shallow lock game) to milliseconds (a C-interpreted
+   layer); any fixed chunk constant is wrong for most of that range —
+   too small and claim traffic plus chunk bookkeeping dominate, too large
+   and the tail imbalances.  Before waking the workers, the submitting
+   domain evaluates a short warm-up prefix through the normal claim
+   protocol (so injected crashes still requeue), measures the per-item
+   cost, and sizes every subsequent claim to about [target_claim_ns] of
+   work, capped so at least [4 * size] claims remain for balance. *)
+let target_claim_ns = 1_000_000
+let warmup_items = 8
+
+let calibrate_chunk pool (b : batch) =
+  let warm = min warmup_items b.limit in
+  if warm > 0 then begin
+    let t0 = Verify_clock.now_ns () in
+    let start = Atomic.fetch_and_add b.next warm in
+    let got = eval_chunk b start (min b.limit (start + warm)) in
+    let dt = Int64.to_int (Int64.sub (Verify_clock.now_ns ()) t0) in
+    if got > 0 then begin
+      let per_item = max 1 (dt / got) in
+      let balance_cap = max 1 ((b.limit - warm) / (pool.size * 4)) in
+      b.chunk <- max 1 (min (target_claim_ns / per_item) balance_cap)
+    end
+  end
+
+(* Submit one batch with a calibrated chunk size.  The warm-up runs
+   before workers are woken, so the recalibration is unobservable to
+   them; results are unaffected either way — chunking changes wall-clock
+   only, and test_telemetry.ml pins that the jobs-deterministic counters
+   survive any chunk policy. *)
+let run_calibrated p b =
+  calibrate_chunk p b;
+  run_batch p b
 
 (* ------------------------------------------------------------------ *)
 (* pool registry: one persistent pool per requested size               *)
@@ -349,12 +397,11 @@ let scan ?jobs ~cut f xs =
           `Done
         end
       in
-      let chunk = max 1 (min 32 (n / (pool.size * 4))) in
       let b =
         {
           run;
           next = Atomic.make 0;
-          chunk;
+          chunk = max 1 (min 32 (n / (pool.size * 4)));
           limit = n;
           cut = cut_mark;
           retry = Atomic.make [];
@@ -363,7 +410,8 @@ let scan ?jobs ~cut f xs =
       in
       Fun.protect
         ~finally:(fun () -> release busy)
-        (fun () -> Ccal_core.Probe.span "pool.batch" (fun () -> run_batch pool b));
+        (fun () ->
+          Ccal_core.Probe.span "pool.batch" (fun () -> run_calibrated pool b));
       (* Merge: walk the prefix up to and including the least cut index.
          Every slot in that prefix was evaluated (workers only skip
          indices strictly above the low-water mark, and crashed attempts
@@ -384,6 +432,21 @@ let scan ?jobs ~cut f xs =
       collect 0 []
 
 let map ?jobs f xs = scan ?jobs ~cut:(fun _ -> false) f xs
+
+(* The recommended jobs count, derived from a measured scaling curve
+   rather than [Domain.recommended_domain_count] (which reflects the host,
+   not the workload): the jobs value with the highest measured speedup,
+   ties broken toward fewer domains — a tie means the extra domains buy
+   nothing, so don't spawn them. *)
+let recommend_domains curve =
+  match curve with
+  | [] -> 1
+  | (j0, s0) :: rest ->
+    fst
+      (List.fold_left
+         (fun (bj, bs) (j, s) ->
+           if s > bs || (s = bs && j < bj) then (j, s) else (bj, bs))
+         (j0, s0) rest)
 
 (* ------------------------------------------------------------------ *)
 (* budgeted scan                                                       *)
@@ -472,12 +535,11 @@ let budgeted_scan ?jobs ~token ~cost ~interrupted ~cut f xs =
           `Done
         end
       in
-      let chunk = max 1 (min 32 (n / (pool.size * 4))) in
       let b =
         {
           run;
           next = Atomic.make 0;
-          chunk;
+          chunk = max 1 (min 32 (n / (pool.size * 4)));
           limit = n;
           cut = cut_mark;
           retry = Atomic.make [];
@@ -487,7 +549,7 @@ let budgeted_scan ?jobs ~token ~cost ~interrupted ~cut f xs =
       Fun.protect
         ~finally:(fun () -> release busy)
         (fun () ->
-          Ccal_core.Probe.span "pool.batch" (fun () -> run_batch pool b));
+          Ccal_core.Probe.span "pool.batch" (fun () -> run_calibrated pool b));
       (* Deterministic merge: same walk as [sequential], over the cells.
          Holes — indices skipped because a worker gave up on the racy
          heuristic — are filled by evaluating inline, capture and all, so

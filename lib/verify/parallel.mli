@@ -39,6 +39,14 @@ val scan : ?jobs:int -> cut:('b -> bool) -> ('a -> 'b) -> 'a list -> 'b list
     evaluated.  This is how every checker reports the failure of the
     lowest-indexed schedule, identical to the sequential fold. *)
 
+val recommend_domains : (int * float) list -> int
+(** [recommend_domains curve] derives the jobs count to recommend from a
+    measured [(jobs, speedup)] scaling curve: the entry with the highest
+    speedup, ties broken toward fewer domains.  [1] on an empty curve.
+    This is what the benchmark writes into [BENCH_parallel.json]'s
+    [recommended_domains] — a measurement, not
+    [Domain.recommended_domain_count]. *)
+
 (** {1 Budgeted scan} *)
 
 type 'b budgeted = {

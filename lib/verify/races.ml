@@ -46,7 +46,7 @@ let classify sched outcome =
 
 let eval ?max_steps layer threads ~stop sched =
   Probe.incr Probe.race_checks;
-  let outcome = Game.run (Game.config ?max_steps ?stop layer threads sched) in
+  let outcome = Game.replay (Game.config ?max_steps ?stop layer threads sched) in
   (outcome.Game.steps, classify sched outcome)
 
 (* Deterministic merge.  A race anywhere wins (the lowest-indexed one —

@@ -193,6 +193,85 @@ let test_ipc_producer_consumer () =
   in
   ignore (check_equiv layer [ 1, producer; 2, consumer ] 3)
 
+(* ---- frontier subtree splitting across the jobs grid ----
+
+   [Dpor.explore ~jobs] splits the DFS frontier into independent subtrees
+   (sleep sets stay domain-local); the whole result — the exact prefix
+   list in order, every prune counter, the distinct-log count, and each
+   replayed outcome — must be bit-identical to the sequential walk for
+   every jobs count, including the oversubscribed ones. *)
+
+let explore_fingerprint ~jobs ~depth layer threads =
+  let r = V.Dpor.explore ~jobs ~depth layer threads in
+  ( r.V.Dpor.prefixes,
+    r.V.Dpor.stats,
+    List.map (fun (o : Game.outcome) -> o.Game.log, o.Game.status) r.V.Dpor.outcomes )
+
+let check_split_equiv name layer threads depth =
+  let ((_, stats, _) as seq) = explore_fingerprint ~jobs:1 ~depth layer threads in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "%s: split jobs=%d = sequential" name jobs)
+        true
+        (explore_fingerprint ~jobs ~depth layer threads = seq))
+    [ 2; 4; 7 ];
+  check_bool (name ^ ": pruned + run = considered") true
+    (stats.V.Dpor.schedules_pruned + stats.V.Dpor.schedules_run
+    = stats.V.Dpor.schedules_considered);
+  stats
+
+let test_split_ticket () =
+  ignore (check_split_equiv "ticket" (Ticket_lock.l0 ()) (ticket_threads 2) 4)
+
+let test_split_mcs () =
+  ignore (check_split_equiv "mcs" (Mcs_lock.l0 ()) (mcs_threads 2) 4)
+
+let test_split_queue () =
+  ignore
+    (check_split_equiv "queue" (Queue_shared.underlay ()) (queue_threads 2) 4)
+
+let test_split_rwlock () =
+  let reader =
+    Prog.seq (Prog.call "acq_r" [ vi 4 ]) (Prog.call "rel_r" [ vi 4 ])
+  in
+  let writer =
+    Prog.seq (Prog.call "acq_w" [ vi 4 ]) (Prog.call "rel_w" [ vi 4 ])
+  in
+  ignore
+    (check_split_equiv "rwlock" (Rwlock.overlay ())
+       [ 1, reader; 2, reader; 3, writer ] 4)
+
+let test_split_condvar () =
+  let placement = [ 1, 0; 2, 2 ] in
+  let layer = Thread_sched.mt_layer placement (Lock_intf.layer "Llock") in
+  let m = Condvar.c_module () in
+  let sleeper =
+    Prog.seq
+      (Prog.call "acq" [ vi 0 ])
+      (Prog.seq
+         (Prog.Module.link m (Prog.call "cv_wait" [ vi 9; vi 0; vi 0 ]))
+         (Prog.call Thread_sched.exit_tag []))
+  in
+  let waker =
+    Prog.seq
+      (Prog.Module.link m (Prog.call "cv_signal" [ vi 9 ]))
+      (Prog.call Thread_sched.exit_tag [])
+  in
+  ignore (check_split_equiv "condvar" layer [ 2, sleeper; 1, waker ] 4)
+
+let test_split_llock_6t_depth7 () =
+  (* the headline scale point: 6^7 = 279,936 schedules considered — well
+     past 10^5 — with the lock interface collapsing the real frontier to
+     a sliver the split walk must still cover exactly *)
+  let threads = List.init 6 (fun k -> k + 1, lock_client (k + 1)) in
+  let stats = check_split_equiv "llock-6t" (Lock_intf.layer "Llock") threads 7 in
+  check_int "considered = 6^7" 279_936 stats.V.Dpor.schedules_considered;
+  check_bool "considered >= 10^5" true
+    (stats.V.Dpor.schedules_considered >= 100_000);
+  check_bool "DPOR pruned the bulk of the tree" true
+    (2 * stats.V.Dpor.schedules_run <= stats.V.Dpor.schedules_considered)
+
 (* ---- scheduler coverage properties ---- *)
 
 let test_splitmix_corner_cases () =
@@ -321,6 +400,13 @@ let suite =
     tc "equiv: rwlock reader vs writer, depth 4" test_rwlock_readers_writer;
     tc "equiv: condvar sleep/wake, depth 4" test_condvar_sleep_wake;
     tc "equiv: IPC producer/consumer, depth 3" test_ipc_producer_consumer;
+    tc "split: ticket across jobs grid" test_split_ticket;
+    tc "split: MCS across jobs grid" test_split_mcs;
+    tc "split: shared queue across jobs grid" test_split_queue;
+    tc "split: rwlock across jobs grid" test_split_rwlock;
+    tc "split: condvar across jobs grid" test_split_condvar;
+    tc "split: Llock 6 threads depth 7 (279,936 considered)"
+      test_split_llock_6t_depth7;
     tc "splitmix corner cases" test_splitmix_corner_cases;
     prop_splitmix_nonneg;
     prop_of_trace_follows_then_round_robin;

@@ -16,6 +16,7 @@ let () =
       "liveness-and-deadlock", Test_liveness.suite;
       "dpor-exploration (S23)", Test_dpor.suite;
       "parallel-checking (S24)", Test_parallel.suite;
+      "perf-gate (S24)", Test_perf_gate.suite;
       "cross-cutting-invariants", Test_invariants.suite;
       "telemetry (S25)", Test_telemetry.suite;
       "certificate-cache (S26)", Test_cache.suite;

@@ -261,6 +261,113 @@ let test_stack_report_jobs_invariant () =
       | Ok r -> Ok (strip r)
       | Error _ as e -> e)
 
+(* ---- Game.replay_into: the allocation-free replay hot path (S24) ----
+
+   The scratch-reusing replay is the engine under every parallel checker;
+   these properties pin it bit-identical to [Game.run] over random games,
+   schedules, fuel bounds and stop-closure truncation points.  One scratch
+   is shared across every property iteration on purpose: staleness from a
+   previous game (different thread count included — the resize path) must
+   never leak into the next outcome. *)
+
+let shared_scratch = Game.make_scratch ()
+
+let replay_game kind n =
+  match kind with
+  | 0 ->
+    (* event-emitting counters: every move appends to the log *)
+    let tick i =
+      Prog.seq
+        (Prog.call "tick" [ vi 1 ])
+        (Prog.bind (Prog.call "read" [ vi 1 ]) (fun _ -> Prog.ret (vi i)))
+    in
+    counter_layer (), List.init n (fun k -> k + 1, tick (k + 1))
+  | 1 ->
+    (* blocking: contending threads hit [Layer.Block], deadlock possible *)
+    Lock_intf.layer "Llock", List.init n (fun k -> k + 1, lock_client (k + 1))
+  | _ ->
+    (* racing: concurrent pulls of one location get structurally stuck *)
+    let grab i = Prog.seq (Prog.call "pull" [ vi 7 ]) (Prog.ret (vi i)) in
+    ( Layer.make "Lpp" Ccal_machine.Pushpull.prims,
+      List.init n (fun k -> k + 1, grab (k + 1)) )
+
+(* Build a fresh config per run: trace schedulers and stop closures are
+   single-use state. *)
+let replay_config ?stop_after ~max_steps ~check_guar kind n trace =
+  let layer, threads = replay_game kind n in
+  let stop =
+    Option.map
+      (fun k ->
+        let polls = ref 0 in
+        fun () ->
+          incr polls;
+          !polls > k)
+      stop_after
+  in
+  Game.config ~max_steps ~check_guar ?stop layer threads (Sched.of_trace trace)
+
+let gen_replay_case =
+  QCheck.(
+    quad (int_range 0 2) (int_range 1 4)
+      (list_of_size Gen.(0 -- 12) (int_range 0 5))
+      (int_range 1 40))
+
+let prop_replay_into_equals_run =
+  qtc "Game.replay_into (reused scratch) = Game.run" gen_replay_case
+    (fun (kind, n, trace, max_steps) ->
+      let mk () = replay_config ~max_steps ~check_guar:true kind n trace in
+      Game.run (mk ()) = Game.replay_into shared_scratch (mk ()))
+
+let prop_replay_into_truncation_equals_run =
+  (* the stop closure trips after a random number of polls: Cancelled
+     prefixes — the budgeted scan's per-schedule truncation — must be
+     identical too, at every truncation point *)
+  qtc "Game.replay_into = Game.run at every stop-closure truncation"
+    QCheck.(pair gen_replay_case (int_range 0 20))
+    (fun ((kind, n, trace, max_steps), stop_after) ->
+      let mk () =
+        replay_config ~stop_after ~max_steps ~check_guar:false kind n trace
+      in
+      Game.run (mk ()) = Game.replay_into shared_scratch (mk ()))
+
+let prop_replay_freelist_equals_run =
+  (* the checkers' entry point: a scratch borrowed from the freelist *)
+  qtc "Game.replay (freelist) = Game.run" gen_replay_case
+    (fun (kind, n, trace, max_steps) ->
+      let mk () = replay_config ~max_steps ~check_guar:true kind n trace in
+      Game.run (mk ()) = Game.replay (mk ()))
+
+let test_replay_into_scratch_resize () =
+  (* deterministic staleness probe: grow, shrink, regrow the thread table
+     through one scratch, interleaving game families *)
+  List.iter
+    (fun (kind, n) ->
+      let trace = List.init 10 (fun s -> (s mod n) + 1) in
+      let mk () = replay_config ~max_steps:60 ~check_guar:true kind n trace in
+      check_bool
+        (Printf.sprintf "kind=%d n=%d after resize" kind n)
+        true
+        (Game.run (mk ()) = Game.replay_into shared_scratch (mk ())))
+    [ 1, 4; 0, 1; 2, 3; 1, 1; 0, 4; 2, 1; 1, 3 ]
+
+let test_budgeted_races_exhausted_jobs_invariant () =
+  (* a step budget that trips mid-scan: the Exhausted partial (resume
+     point, clean count, failure list) and the deterministic spent fields
+     must be identical for every jobs count; elapsed_ms is wall-clock and
+     excluded by construction *)
+  let layer = Lock_intf.layer "Llock" in
+  let threads = List.init 3 (fun k -> k + 1, lock_client (k + 1)) in
+  check_jobs_invariant "races Exhausted partial" (fun jobs ->
+      let ctx = Ctx.make ~jobs ~budget:(Budget.make ~steps:400 ()) () in
+      match
+        Races.check_ctx ~ctx
+          ~scheds:(Explore.exhaustive_scheds ~tids:[ 1; 2; 3 ] ~depth:4)
+          layer threads
+      with
+      | Races.Exhausted { spent; partial } ->
+        `Exhausted (spent.Budget.reason, spent.Budget.steps_used, partial)
+      | v -> `Verdict v)
+
 let suite =
   [
     prop_map_is_list_map;
@@ -280,4 +387,11 @@ let suite =
     tc "dpor: explore jobs-invariant" test_dpor_explore_jobs_invariant;
     tc "explore: run_all jobs-invariant" test_explore_run_all_jobs_invariant;
     tc "stack: report jobs-invariant" test_stack_report_jobs_invariant;
+    prop_replay_into_equals_run;
+    prop_replay_into_truncation_equals_run;
+    prop_replay_freelist_equals_run;
+    tc "replay_into: scratch resize never leaks state"
+      test_replay_into_scratch_resize;
+    tc "races: Exhausted partial jobs-invariant"
+      test_budgeted_races_exhausted_jobs_invariant;
   ]

@@ -90,6 +90,30 @@ let test_failing_scan_counters_jobs_invariant () =
       | Races.Race _ -> ()
       | _ -> Alcotest.fail "expected the race verdict")
 
+let test_chunk_calibration_counters_jobs_invariant () =
+  (* cost-calibrated claiming (S24) resizes the batch's chunk after a
+     sequential warm-up prefix; chunk geometry must stay invisible to the
+     committed counters — only the pool.chunk spans (wall-clock trace
+     material) may differ across jobs.  The suite is big enough (243
+     schedules) that the calibrated path, not the fallback chunk size,
+     does the claiming. *)
+  let layer = Lock_intf.layer "Llock" in
+  let threads = List.init 3 (fun k -> k + 1, lock_client (k + 1)) in
+  let run jobs =
+    let scheds = Explore.exhaustive_scheds ~tids:[ 1; 2; 3 ] ~depth:5 in
+    match Races.check layer threads ~jobs ~scheds with
+    | Races.Race_free { runs } -> check_int "covered the suite" 243 runs
+    | _ -> Alcotest.fail "expected race-free"
+  in
+  check_counters_jobs_invariant "calibrated races llock" (fun jobs ->
+      run jobs);
+  with_telemetry (fun () ->
+      run 4;
+      check_bool "calibrated chunks appear as pool.chunk spans" true
+        (List.exists
+           (fun (s : Telemetry.span_ev) -> s.Telemetry.name = "pool.chunk")
+           (Telemetry.spans ())))
+
 let test_stack_edge_counters_jobs_invariant () =
   (* the per-edge counter column of the stack report: nonempty under
      telemetry, and — like the check counts — identical across jobs *)
@@ -414,6 +438,8 @@ let suite =
       test_races_counters_jobs_invariant;
     tc "failing-scan counters identical across jobs"
       test_failing_scan_counters_jobs_invariant;
+    tc "chunk calibration invisible to counters"
+      test_chunk_calibration_counters_jobs_invariant;
     tc "stack per-edge counters identical across jobs"
       test_stack_edge_counters_jobs_invariant;
     tc "scan commits exactly the merged prefix"
