@@ -1,4 +1,4 @@
-.PHONY: all build test check check-test-count check-parallel check-cache check-robust check-speedup examples explore bench clean
+.PHONY: all build test check check-test-count check-parallel check-cache check-robust check-speedup check-kv examples explore bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # Regression guard: the suite must never silently shrink — a dune or
 # module-wiring mistake can drop a whole test file from the runner while
 # everything still "passes".  Bump the floor when tests are added.
-TEST_COUNT_FLOOR := 383
+TEST_COUNT_FLOOR := 405
 
 check-test-count:
 	@out=$$(dune runtest --force 2>&1); status=$$?; \
@@ -29,7 +29,7 @@ check-test-count:
 # Runs the full suite (with the test-count floor), the DPOR-vs-exhaustive
 # agreement check on the headline game, and the certificate-cache and
 # robustness gates.
-check: build check-test-count check-cache check-robust check-speedup
+check: build check-test-count check-cache check-robust check-speedup check-kv
 	dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
 
 # The speedup gate (DESIGN.md S24): the perf-gate alcotest section runs
@@ -66,6 +66,27 @@ check-cache: build
 	  echo "check-cache: REGRESSION - warm run not >= 2x faster"; exit 1; fi; \
 	echo "check-cache: OK (reports identical, >= 2x speedup)"
 	@$(CCAL_BIN) cache stats --cache-dir $(CACHE_CHECK_DIR)
+
+# The kv-stack gate (DESIGN.md S28): all three kv edges (hash table over
+# its shards, block cache over the disk, composed service over the map
+# spec) must certify, and a warm run over a populated store must print a
+# bit-identical canonical report at least 2x faster than the cold run.
+KV_CHECK_DIR := _build/ccal-kv-cache-check
+
+check-kv: build
+	@rm -rf $(KV_CHECK_DIR); \
+	t0=$$(date +%s%N); \
+	$(CCAL_BIN) kv --threads 4 --cache-dir $(KV_CHECK_DIR) --report _build/kv-cold.txt || exit 1; \
+	t1=$$(date +%s%N); \
+	$(CCAL_BIN) kv --threads 4 --cache-dir $(KV_CHECK_DIR) --report _build/kv-warm.txt || exit 1; \
+	t2=$$(date +%s%N); \
+	cmp _build/kv-cold.txt _build/kv-warm.txt || { \
+	  echo "check-kv: REGRESSION - warm report differs from cold"; exit 1; }; \
+	cold=$$(( (t1 - t0) / 1000000 )); warm=$$(( (t2 - t1) / 1000000 )); \
+	echo "check-kv: cold $${cold}ms, warm $${warm}ms"; \
+	if [ $$(( warm * 2 )) -gt $$cold ]; then \
+	  echo "check-kv: REGRESSION - warm run not >= 2x faster"; exit 1; fi; \
+	echo "check-kv: OK (3 edges certified, reports identical, >= 2x speedup)"
 
 # The robustness gate (DESIGN.md S27).  Two legs:
 #   1. the adversarial rwlock spin suite livelocks under the trace-prefix

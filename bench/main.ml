@@ -993,6 +993,123 @@ let write_robust_json path (r : robust_bench) =
   Format.printf "@.  wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* kv — YCSB-style throughput over the certified kv stack (S28)         *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving-stack bench: each thread runs a seeded read/write mix over
+   the sharded hash table (the certified implementation, interpreted over
+   the lock layer), under round-robin and random schedules.  Reported
+   ops/sec is end-to-end interpreter throughput — what certification
+   itself pays per replayed schedule — so the thread axis shows how the
+   per-op cost grows with the log (replay functions are O(|log|)), not
+   hardware parallelism: the game interpreter is sequential by design. *)
+
+type kv_run = {
+  kv_threads : int;
+  kv_ms : float;
+  kv_ops_per_sec : float;
+  kv_events : int;
+}
+
+type kv_mix = { read_pct : int; kv_runs : kv_run list }
+
+let kv_shards = 4
+let kv_ops_per_thread = 50
+let kv_keyspace = 16
+let kv_thread_counts = [ 1; 2; 4; 8 ]
+
+let run_kv_mix ~read_pct =
+  let module K = Ccal_kv.Kv_stack in
+  let one threads =
+    let game () =
+      K.ycsb_game ~shards:kv_shards ~threads ~read_pct ~ops:kv_ops_per_thread
+        ~keyspace:kv_keyspace ()
+    in
+    let play sched =
+      let layer, ts = game () in
+      Game.run (Game.config ~max_steps:5_000_000 layer ts sched)
+    in
+    ignore (play Sched.round_robin) (* warm-up *);
+    let outcomes, ms =
+      Ccal_verify.Verify_clock.timed (fun () ->
+          [ play Sched.round_robin; play (Sched.random ~seed:7) ])
+    in
+    List.iter
+      (fun (o : Game.outcome) ->
+        match o.Game.status with
+        | Game.All_done -> ()
+        | s ->
+          Format.printf "  kv game did not finish: %a@." Game.pp_status s)
+      outcomes;
+    let total_ops = 2 * threads * kv_ops_per_thread in
+    let events =
+      List.fold_left (fun n (o : Game.outcome) -> n + Log.length o.Game.log) 0
+        outcomes
+    in
+    {
+      kv_threads = threads;
+      kv_ms = ms;
+      kv_ops_per_sec = float_of_int total_ops /. (ms /. 1000.);
+      kv_events = events;
+    }
+  in
+  { read_pct; kv_runs = List.map one kv_thread_counts }
+
+let run_kv_bench () = List.map (fun p -> run_kv_mix ~read_pct:p) [ 95; 50 ]
+
+let print_kv_bench mixes =
+  Format.printf
+    "@.== kv: YCSB-style throughput over the certified kv stack (S28) ==@.@.";
+  Format.printf
+    "  shards %d, %d ops/thread, keyspace %d; round-robin + random schedules@.@."
+    kv_shards kv_ops_per_thread kv_keyspace;
+  Format.printf "  %-10s %-9s %-10s %-12s %-8s@." "mix" "threads" "ms"
+    "ops/sec" "events";
+  List.iter
+    (fun m ->
+      List.iter
+        (fun r ->
+          Format.printf "  %2d/%-7d %-9d %-10.1f %-12.0f %-8d@." m.read_pct
+            (100 - m.read_pct) r.kv_threads r.kv_ms r.kv_ops_per_sec
+            r.kv_events)
+        m.kv_runs)
+    mixes;
+  Format.printf
+    "@.  shape: ops/sec falls as threads grow — the log lengthens and every \
+     replayed@.  primitive rescans it (the Sec. 7 replay-cost story at the \
+     service level)@."
+
+let write_kv_json path mixes =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"kv-ycsb\",\n";
+  out "  \"shards\": %d,\n" kv_shards;
+  out "  \"ops_per_thread\": %d,\n" kv_ops_per_thread;
+  out "  \"keyspace\": %d,\n" kv_keyspace;
+  out "  \"mixes\": [\n";
+  List.iteri
+    (fun mi m ->
+      out "    {\n";
+      out "      \"read_pct\": %d,\n" m.read_pct;
+      out "      \"runs\": [\n";
+      List.iteri
+        (fun ri r ->
+          out
+            "        {\"threads\": %d, \"ms\": %.3f, \"ops_per_sec\": %.1f, \
+             \"events\": %d}%s\n"
+            r.kv_threads r.kv_ms r.kv_ops_per_sec r.kv_events
+            (if ri = List.length m.kv_runs - 1 then "" else ","))
+        m.kv_runs;
+      out "      ]\n";
+      out "    }%s\n" (if mi = List.length mixes - 1 then "" else ","))
+    mixes;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Format.printf "@.  wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro/macro benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1078,7 +1195,19 @@ let robust_only = Array.exists (String.equal "--robust-only") Sys.argv
    scaling curve without the full sweep. *)
 let parallel_only = Array.exists (String.equal "--parallel-only") Sys.argv
 
+(* `--kv-only` runs just the S28 kv serving-stack section and writes
+   BENCH_kv.json — the CI kv leg uses it. *)
+let kv_only = Array.exists (String.equal "--kv-only") Sys.argv
+
 let () =
+  if kv_only then begin
+    Format.printf "=== CCAL kv serving-stack benchmark (DESIGN.md S28) ===@.";
+    let mixes = run_kv_bench () in
+    print_kv_bench mixes;
+    write_kv_json "BENCH_kv.json" mixes;
+    Format.printf "@.done.@.";
+    exit 0
+  end;
   if parallel_only then begin
     Format.printf "=== CCAL parallel scaling benchmark (DESIGN.md S24) ===@.";
     let scaling = run_parallel_scaling () in
@@ -1114,6 +1243,9 @@ let () =
   let robust = run_robust_bench () in
   print_robust_bench robust;
   write_robust_json "BENCH_robust.json" robust;
+  let kv = run_kv_bench () in
+  print_kv_bench kv;
+  write_kv_json "BENCH_kv.json" kv;
   let bench_rows = run_benchmarks (make_tests perf) in
   (* headline ratio, from wall-clock *)
   (match

@@ -2,6 +2,7 @@
 
    Subcommands:
      ccal stack     verify the whole Fig. 1 layer stack
+     ccal kv        certify the kv serving stack (DESIGN.md S28)
      ccal verify    certify one object (ticket, mcs, local-queue,
                     shared-queue, qlock, ipc, all)
      ccal pipeline  run the Fig. 5 ticket-lock pipeline with soundness
@@ -315,6 +316,74 @@ let stack_cmd =
     (Cmd.info "stack" ~doc:"Certify and link the whole Fig. 1 layer stack")
     Term.(const run $ common_term $ lock $ seeds $ livelock $ report_file)
 
+(* ---------------- kv ---------------- *)
+
+let kv_cmd =
+  let run common threads shards entries report_file =
+    match common with
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      2
+    | Ok c ->
+      run_with_common c @@ fun ctx ->
+      let module V = Ccal_verify in
+      let module K = Ccal_kv.Kv_stack in
+      let write_report report =
+        match report_file with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          let fmt = Format.formatter_of_out_channel oc in
+          Format.fprintf fmt "%a@." K.pp_report_canonical report;
+          Format.pp_print_flush fmt ();
+          close_out oc;
+          Format.printf "canonical report written to %s@." path
+      in
+      (match K.verify_ctx ~ctx ~threads ~shards ~entries () with
+      | V.Budget.Complete (Ok report) ->
+        Format.printf "%a" K.pp_report report;
+        write_report report;
+        0
+      | V.Budget.Exhausted { spent; partial = Ok report } ->
+        Format.printf "%a" K.pp_report report;
+        Format.printf "budget exhausted (%a) after %d of 3 edges@."
+          V.Budget.pp_spent spent
+          (List.length report.K.edges);
+        write_report report;
+        0
+      | V.Budget.Complete (Error msg)
+      | V.Budget.Exhausted { partial = Error msg; _ } ->
+        Format.eprintf "kv verification failed: %s@." msg;
+        1)
+  in
+  let threads =
+    Arg.(value & opt int 3
+         & info [ "threads" ] ~docv:"N"
+             ~doc:"Client threads per edge game.  More threads explore more \
+                   interleavings (and cost exponentially more schedules).")
+  in
+  let shards =
+    Arg.(value & opt int 2
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Hash-table bucket count (each bucket gets its own lock).")
+  in
+  let entries =
+    Arg.(value & opt int 2
+         & info [ "entries" ] ~docv:"N"
+             ~doc:"Block-cache capacity in direct-mapped entries.")
+  in
+  let report_file =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Also write the canonical (timing-free) report to $(docv).  \
+                   The file is bit-identical between cold and warm cached \
+                   runs and across $(b,--jobs) counts — made for $(b,cmp).")
+  in
+  Cmd.v
+    (Cmd.info "kv"
+       ~doc:"Certify the kv serving stack (sharded hash table + block cache)")
+    Term.(const run $ common_term $ threads $ shards $ entries $ report_file)
+
 (* ---------------- verify ---------------- *)
 
 let verify_one name =
@@ -492,6 +561,11 @@ let explore_game name nthreads =
       (Queue_shared.underlay (), spawn (fun i -> Prog.Module.link m (queue_client i)))
   | "queue-atomic" ->
     Some (Queue_shared.overlay (), spawn queue_client)
+  | "kv-ht" -> Some (Ccal_kv.Kv_stack.ht_game ~shards:2 ~threads:nthreads ())
+  | "kv-cache" ->
+    Some (Ccal_kv.Kv_stack.cache_game ~entries:2 ~threads:nthreads ())
+  | "kv-composed" ->
+    Some (Ccal_kv.Kv_stack.composed_game ~shards:2 ~entries:2 ~threads:nthreads ())
   | _ -> None
 
 let explore_cmd =
@@ -508,7 +582,8 @@ let explore_cmd =
       2
     | _, None, _ ->
       Format.eprintf
-        "unknown game %S (expected lock, ticket, mcs, queue or queue-atomic)@."
+        "unknown game %S (expected lock, ticket, mcs, queue, queue-atomic, \
+         kv-ht, kv-cache or kv-composed)@."
         obj;
       2
     | _, _, None ->
@@ -577,8 +652,10 @@ let explore_cmd =
          & info [] ~docv:"GAME"
              ~doc:"Benchmark game: lock (atomic Llock interface), ticket or \
                    mcs (concrete spinlock implementations over L0), queue \
-                   (lock-based shared queue) or queue-atomic (the Lq_high \
-                   overlay).")
+                   (lock-based shared queue), queue-atomic (the Lq_high \
+                   overlay), kv-ht (sharded hash table over bucket locks), \
+                   kv-cache (block cache over the flat disk) or kv-composed \
+                   (cache stacked on the hash table).")
   in
   let nthreads =
     Arg.(value & opt int 3
@@ -629,5 +706,5 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "ccal" ~version:"1.0.0" ~doc)
-          [ stack_cmd; verify_cmd; pipeline_cmd; explore_cmd; inventory_cmd;
-            cache_cmd ]))
+          [ stack_cmd; kv_cmd; verify_cmd; pipeline_cmd; explore_cmd;
+            inventory_cmd; cache_cmd ]))

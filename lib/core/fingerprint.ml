@@ -100,3 +100,5 @@ let layer st (l : Layer.t) =
     st l.prims
 
 let scheds st ss = list (fun st (s : Sched.t) -> string st s.name) st ss
+
+let rel st (r : Sim_rel.t) = string (int st 0x52454C (* "REL" *)) r.Sim_rel.name

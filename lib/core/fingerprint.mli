@@ -96,3 +96,10 @@ val scheds : state -> Sched.t list -> state
     Anonymous schedulers (the default ["trace"] name of
     {!Sched.of_trace}) make suites indistinguishable — give them
     content-bearing names before fingerprinting. *)
+
+val rel : state -> Sim_rel.t -> state
+(** Simulation-relation identity: the relation name (relations are
+    closures, like layer primitives — a relation's fingerprint is its
+    name, so two relations with the same name must translate
+    identically; true throughout this codebase, where relations are
+    built by named constructors). *)

@@ -1,0 +1,95 @@
+(** The kv serving stack, certified end-to-end (DESIGN.md S28).
+
+    Three edges, mirroring {!Ccal_verify.Stack} for the Fig. 1 stack:
+    {ol
+    {- the sharded hash table refines the atomic map
+       ([Llock |- M_kv : Lmap]);}
+    {- the block cache over the modeled flat disk refines the map
+       restricted to [get]/[put];}
+    {- the composed service — block cache stacked on the hash table as
+       its backing store — refines the same restricted map.}}
+
+    Every edge is checked as contextual refinement
+    ({!Ccal_verify.Linearizability.check_ctx}), so linearizability,
+    budgets, certificate caching, fault plans, telemetry and [?jobs] all
+    apply for free; verdicts are bit-identical across jobs counts. *)
+
+open Ccal_core
+open Ccal_verify
+
+type edge = {
+  edge_name : string;
+  checks : int;  (** schedules discharged (jobs-independent) *)
+  distinct_logs : int;
+  millis : float;
+}
+
+type report = {
+  edges : edge list;
+  total_checks : int;
+  total_millis : float;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val pp_report_canonical : Format.formatter -> report -> unit
+(** Verdict-stable projection (no timing fields) — bit-identical between
+    cold and warm cached runs and across jobs counts; the [make check-kv]
+    gate compares it byte for byte. *)
+
+val fingerprints :
+  ?threads:int -> ?shards:int -> ?entries:int ->
+  ?strategy:Explore.strategy -> unit -> (string * Fingerprint.t) list
+(** The cache key of every edge {!verify_ctx} would check, in order, for
+    the invalidation tests ([jobs] takes no part in any key). *)
+
+val verify_ctx :
+  ctx:Ctx.t ->
+  ?threads:int ->
+  ?shards:int ->
+  ?entries:int ->
+  unit ->
+  (report, string) result Budget.outcome
+(** Verify all three edges.  [threads] (default 3) is the client thread
+    count, [shards] (default 2) the hash-table bucket count, [entries]
+    (default 2) the cache capacity.  Scheduler suites derive from
+    [ctx.strategy] per edge game; [ctx.cache] memoizes whole edges under
+    the ["kvedge"] kind (failures always re-run live) as well as the
+    inner DPOR walks and refinement reports; [ctx.budget] is polled
+    between edges. *)
+
+(** {1 Whole-machine games} (the explore corpus and the bench) *)
+
+val ht_game :
+  shards:int -> threads:int -> unit -> Layer.t * (Event.tid * Prog.t) list
+(** The hash-table contention game: each thread puts then gets on a
+    2-key working set (thread 1 also deletes), linked down to the lock
+    layer. *)
+
+val cache_game :
+  entries:int -> threads:int -> unit -> Layer.t * (Event.tid * Prog.t) list
+(** The block-cache game over the flat disk: a 3-key working set over
+    [entries] direct-mapped slots, so eviction and write-back paths are
+    in play. *)
+
+val composed_game :
+  shards:int ->
+  entries:int ->
+  threads:int ->
+  unit ->
+  Layer.t * (Event.tid * Prog.t) list
+(** The full service: cache over hash table over locks. *)
+
+val ycsb_game :
+  ?seed:int ->
+  shards:int ->
+  threads:int ->
+  read_pct:int ->
+  ops:int ->
+  keyspace:int ->
+  unit ->
+  Layer.t * (Event.tid * Prog.t) list
+(** A YCSB-style workload over the sharded table: each thread runs [ops]
+    operations, reads with probability [read_pct]% (the 95/5 and 50/50
+    mixes of the bench), keys drawn uniformly from [keyspace].  The op
+    streams are seeded and deterministic. *)

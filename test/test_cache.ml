@@ -161,7 +161,8 @@ let test_races_failure_never_stored () =
       let layer = racy_layer () in
       let threads = [ 1, Prog.call "collide" [] ] in
       let run () =
-        V.Races.check ~cache:c layer threads ~scheds:[ Sched.round_robin ]
+        V.Races.check_ctx ~ctx:(V.Ctx.make ~cache:c ())
+          ~scheds:[ Sched.round_robin ] layer threads
       in
       (match run () with
       | V.Races.Race _ -> ()
@@ -190,8 +191,8 @@ let test_races_clean_verdict_cached () =
       (* trace/random schedulers are single-use: regenerate per run; the
          suite identity (the names) is what the key sees *)
       let run () =
-        V.Races.check ~cache:c layer threads
-          ~scheds:(Sched.default_suite ~seeds:6)
+        V.Races.check_ctx ~ctx:(V.Ctx.make ~cache:c ())
+          ~scheds:(Sched.default_suite ~seeds:6) layer threads
       in
       let runs_of = function
         | V.Races.Race_free { runs } -> runs
@@ -218,9 +219,17 @@ let lock_threads () =
 let test_dpor_walk_cached () =
   with_cache (fun c ->
       let layer = Ticket_lock.l0 () in
-      let r1 = V.Dpor.explore ~cache:c ~depth:4 layer (lock_threads ()) in
+      let r1 =
+        V.Budget.value
+          (V.Dpor.explore_ctx ~ctx:(V.Ctx.make ~cache:c ()) ~depth:4 layer
+             (lock_threads ()))
+      in
       check_int "first walk missed" 1 (V.Cache.session_stats c).misses;
-      let r2 = V.Dpor.explore ~cache:c ~depth:4 layer (lock_threads ()) in
+      let r2 =
+        V.Budget.value
+          (V.Dpor.explore_ctx ~ctx:(V.Ctx.make ~cache:c ()) ~depth:4 layer
+             (lock_threads ()))
+      in
       check_int "second walk hit" 1 (V.Cache.session_stats c).hits;
       check_bool "same prefixes" true (r1.V.Dpor.prefixes = r2.V.Dpor.prefixes);
       check_bool "same stats" true (r1.V.Dpor.stats = r2.V.Dpor.stats);
@@ -232,13 +241,17 @@ let test_run_all_cached_only_when_all_done () =
   with_cache (fun c ->
       let layer = Ticket_lock.l0 () in
       let out1 =
-        V.Explore.run_all ~cache:c layer (lock_threads ())
-          (Sched.default_suite ~seeds:3)
+        V.Budget.value
+          (V.Explore.run_all_ctx ~ctx:(V.Ctx.make ~cache:c ()) layer
+             (lock_threads ())
+             (Sched.default_suite ~seeds:3))
       in
       check_int "clean corpus stored" 1 (V.Cache.disk_stats c).entries;
       let out2 =
-        V.Explore.run_all ~cache:c layer (lock_threads ())
-          (Sched.default_suite ~seeds:3)
+        V.Budget.value
+          (V.Explore.run_all_ctx ~ctx:(V.Ctx.make ~cache:c ()) layer
+             (lock_threads ())
+             (Sched.default_suite ~seeds:3))
       in
       check_int "served from the store" 1 (V.Cache.session_stats c).hits;
       check_bool "same statuses" true
@@ -251,13 +264,15 @@ let test_run_all_cached_only_when_all_done () =
       in
       let before = (V.Cache.disk_stats c).entries in
       ignore
-        (V.Explore.run_all ~cache:c trap
-           [ 1, Prog.call "trap" [] ]
-           [ Sched.round_robin ]);
+        (V.Budget.value
+           (V.Explore.run_all_ctx ~ctx:(V.Ctx.make ~cache:c ()) trap
+              [ 1, Prog.call "trap" [] ]
+              [ Sched.round_robin ]));
       ignore
-        (V.Explore.run_all ~cache:c trap
-           [ 1, Prog.call "trap" [] ]
-           [ Sched.round_robin ]);
+        (V.Budget.value
+           (V.Explore.run_all_ctx ~ctx:(V.Ctx.make ~cache:c ()) trap
+              [ 1, Prog.call "trap" [] ]
+              [ Sched.round_robin ]));
       check_int "failing corpus not stored" before (V.Cache.disk_stats c).entries)
 
 let test_refine_cached () =
@@ -269,9 +284,11 @@ let test_refine_cached () =
             Prog.seq (Prog.call "rel" [ vi 0; v ]) (Prog.ret (vi i)))
       in
       let run () =
-        V.Linearizability.refine ~cache:c ~underlay:layer ~impl:m
-          ~overlay:(Ticket_lock.overlay ()) ~rel:Ticket_lock.r_ticket ~client
-          ~tids:[ 1; 2 ] ~scheds:(Sched.default_suite ~seeds:4) ()
+        V.Budget.value
+          (V.Linearizability.refine_ctx ~ctx:(V.Ctx.make ~cache:c ())
+             ~underlay:layer ~impl:m ~overlay:(Ticket_lock.overlay ())
+             ~rel:Ticket_lock.r_ticket ~client ~tids:[ 1; 2 ]
+             ~scheds:(Sched.default_suite ~seeds:4) ())
       in
       let report = function
         | Ok (r : Refinement.report) -> r
@@ -354,7 +371,14 @@ let test_stack_warm_equals_cold () =
   let dir = fresh_dir () in
   let cold_cache = V.Cache.create ~dir () in
   Fun.protect ~finally:(fun () -> cleanup cold_cache) (fun () ->
-      let cold = canonical (V.Stack.verify_all ~seeds:2 ~cache:cold_cache ()) in
+      let cold =
+        canonical
+          (Result.map
+             (fun (p : V.Stack.progress) -> p.V.Stack.completed)
+             (V.Budget.value
+                (V.Stack.verify_all_ctx ~ctx:(V.Ctx.make ~cache:cold_cache ())
+                   ~seeds:2 ())))
+      in
       let s = V.Cache.session_stats cold_cache in
       check_int "cold run has no hits" 0 s.hits;
       check_bool "cold run populates the store" true (s.stores > 0);
@@ -362,7 +386,13 @@ let test_stack_warm_equals_cold () =
         (fun jobs ->
           let warm_cache = V.Cache.create ~dir () in
           let warm =
-            canonical (V.Stack.verify_all ~seeds:2 ~jobs ~cache:warm_cache ())
+            canonical
+              (Result.map
+                 (fun (p : V.Stack.progress) -> p.V.Stack.completed)
+                 (V.Budget.value
+                    (V.Stack.verify_all_ctx
+                       ~ctx:(V.Ctx.make ~jobs ~cache:warm_cache ())
+                       ~seeds:2 ())))
           in
           check_string (Printf.sprintf "warm report identical (j=%d)" jobs)
             cold warm;

@@ -26,10 +26,15 @@ let log_sets_equal a b =
    (canonicalized) distinct-log sets coincide.  Returns the DPOR stats so
    callers can also assert pruning. *)
 let check_equiv ?(independence = V.Dpor.Exact) layer threads depth =
-  let r = V.Dpor.explore ~independence ~depth layer threads in
+  let r =
+    V.Budget.value
+      (V.Dpor.explore_ctx ~ctx:V.Ctx.default ~independence ~depth layer threads)
+  in
   let tids = List.map fst threads in
   let outs =
-    V.Explore.run_all layer threads (V.Explore.exhaustive_scheds ~tids ~depth)
+    V.Budget.value
+      (V.Explore.run_all_ctx ~ctx:V.Ctx.default layer threads
+         (V.Explore.exhaustive_scheds ~tids ~depth))
   in
   let canon l =
     match independence with
@@ -202,7 +207,10 @@ let test_ipc_producer_consumer () =
    every jobs count, including the oversubscribed ones. *)
 
 let explore_fingerprint ~jobs ~depth layer threads =
-  let r = V.Dpor.explore ~jobs ~depth layer threads in
+  let r =
+    V.Budget.value
+      (V.Dpor.explore_ctx ~ctx:(V.Ctx.make ~jobs ()) ~depth layer threads)
+  in
   ( r.V.Dpor.prefixes,
     r.V.Dpor.stats,
     List.map (fun (o : Game.outcome) -> o.Game.log, o.Game.status) r.V.Dpor.outcomes )
@@ -334,7 +342,8 @@ let test_stuck_message_mentioning_race_is_not_a_race () =
       ]
   in
   match
-    V.Races.check layer [ 1, Prog.call "trap" [] ] ~scheds:[ Sched.round_robin ]
+    V.Races.check_ctx ~ctx:V.Ctx.default ~scheds:[ Sched.round_robin ] layer
+      [ 1, Prog.call "trap" [] ]
   with
   | V.Races.Other_failure msg ->
     check_bool "classified by kind, not by message" true
@@ -353,9 +362,8 @@ let test_structured_race_is_still_a_race () =
       ]
   in
   match
-    V.Races.check layer
+    V.Races.check_ctx ~ctx:V.Ctx.default ~scheds:[ Sched.round_robin ] layer
       [ 1, Prog.call "collide" [] ]
-      ~scheds:[ Sched.round_robin ]
   with
   | V.Races.Race { detail; _ } ->
     check_bool "detail kept" true (String.length detail > 0)
@@ -370,9 +378,9 @@ let test_pushpull_race_detected_end_to_end () =
   let layer = Layer.make "Lpp" Ccal_machine.Pushpull.prims in
   let grab i = Prog.seq (Prog.call "pull" [ vi 7 ]) (Prog.ret (vi i)) in
   match
-    V.Races.check layer
+    V.Races.check_ctx ~ctx:V.Ctx.default ~scheds:[ Sched.of_trace [ 1; 2 ] ]
+      layer
       [ 1, grab 1; 2, grab 2 ]
-      ~scheds:[ Sched.of_trace [ 1; 2 ] ]
   with
   | V.Races.Race { detail; _ } ->
     check_bool "mentions ownership" true

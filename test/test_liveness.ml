@@ -135,10 +135,11 @@ let test_dining_deadlock_on_ticket_impl () =
   let layer = Ticket_lock.l0 () in
   let m = Ticket_lock.c_module () in
   match
-    Ccal_verify.Progress.completes_within ~bound:2_000 layer
-      [ 1, philosopher layer m ~left:0 ~right:1 1;
-        2, philosopher layer m ~left:1 ~right:0 2 ]
-      ~scheds:[ Sched.of_trace [ 1; 2 ] ]
+    Ccal_verify.Budget.value
+      (Ccal_verify.Progress.completes_within_ctx ~ctx:Ccal_verify.Ctx.default
+         ~scheds:[ Sched.of_trace [ 1; 2 ] ] ~bound:2_000 layer
+         [ 1, philosopher layer m ~left:0 ~right:1 1;
+           2, philosopher layer m ~left:1 ~right:0 2 ])
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "cross-order locking terminated?"
@@ -168,7 +169,9 @@ let lock_logs ~layer ~m ~ncpus ~rounds suite_of =
 let seeded_suite _layer _threads = Sched.default_suite ~seeds:10
 
 let dpor_suite depth layer threads =
-  Ccal_verify.Explore.scheds_of_strategy layer threads (`Dpor depth)
+  Ccal_verify.Explore.scheds_of_strategy_ctx
+    ~ctx:(Ccal_verify.Ctx.with_strategy (`Dpor depth) Ccal_verify.Ctx.default)
+    layer threads
 
 (* Assert every waiting span of every log stays under the Sec. 4.1
    n*m*#CPU bound — computed by the formula, not hardcoded. *)

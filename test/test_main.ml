@@ -21,4 +21,5 @@ let () =
       "telemetry (S25)", Test_telemetry.suite;
       "certificate-cache (S26)", Test_cache.suite;
       "robustness (S27)", Test_robust.suite;
+      "kv-layer-stack (S28)", Test_kv.suite;
     ]

@@ -97,7 +97,10 @@ let mixed_scheds () =
   [ Sched.of_trace ~name:"other-first" [ 1 ]; Sched.of_trace ~name:"racy" [ 2; 3 ] ]
 
 let test_race_found_after_other_failure () =
-  match Races.check (mixed_layer ()) (mixed_threads ()) ~scheds:(mixed_scheds ()) with
+  match
+    Races.check_ctx ~ctx:Ctx.default ~scheds:(mixed_scheds ()) (mixed_layer ())
+      (mixed_threads ())
+  with
   | Races.Race { sched_name; _ } -> check_string "the later schedule" "racy" sched_name
   | Races.Other_failure msg ->
     Alcotest.failf "non-race failure aborted the scan: %s" msg
@@ -111,7 +114,9 @@ let test_other_failures_collected () =
     [ Sched.of_trace ~name:"trap-a" [ 1 ]; Sched.of_trace ~name:"trap-b" [ 1 ] ]
   in
   let layer = mixed_layer () in
-  match Races.check layer [ 1, Prog.call "trap" [] ] ~scheds with
+  match
+    Races.check_ctx ~ctx:Ctx.default ~scheds layer [ 1, Prog.call "trap" [] ]
+  with
   | Races.Other_failure msg ->
     check_bool "mentions the further failure" true
       (String.length msg > 0
@@ -122,8 +127,8 @@ let test_other_failures_collected () =
 
 let test_races_verdict_jobs_invariant () =
   check_jobs_invariant "races mixed" (fun jobs ->
-      Races.check (mixed_layer ()) (mixed_threads ()) ~scheds:(mixed_scheds ())
-        ~jobs)
+      Races.check_ctx ~ctx:(Ctx.make ~jobs ()) ~scheds:(mixed_scheds ())
+        (mixed_layer ()) (mixed_threads ()))
 
 let test_races_clean_jobs_invariant () =
   let layer = Ticket_lock.l0 () in
@@ -134,7 +139,8 @@ let test_races_clean_jobs_invariant () =
   let threads = List.map (fun i -> i, Prog.Module.link m (client i)) [ 1; 2 ] in
   check_jobs_invariant "races clean ticket" (fun jobs ->
       (* trace/random schedulers are single-use: regenerate per run *)
-      Races.check layer threads ~scheds:(Sched.default_suite ~seeds:6) ~jobs)
+      Races.check_ctx ~ctx:(Ctx.make ~jobs ())
+        ~scheds:(Sched.default_suite ~seeds:6) layer threads)
 
 (* ---- progress ---- *)
 
@@ -146,8 +152,9 @@ let test_progress_jobs_invariant_ok () =
   in
   let threads = List.map (fun i -> i, Prog.Module.link m (client i)) [ 1; 2; 3 ] in
   check_jobs_invariant "progress ok" (fun jobs ->
-      Progress.completes_within ~bound:2_000 layer threads ~jobs
-        ~scheds:(Sched.default_suite ~seeds:8))
+      Budget.value
+        (Progress.completes_within_ctx ~ctx:(Ctx.make ~jobs ())
+           ~scheds:(Sched.default_suite ~seeds:8) ~bound:2_000 layer threads))
 
 let test_progress_jobs_invariant_failing () =
   (* every schedule starves the spinner; the reported failure must name
@@ -159,12 +166,16 @@ let test_progress_jobs_invariant_failing () =
   in
   let result =
     check_jobs_invariant "progress starvation" (fun jobs ->
-        Progress.completes_within ~bound:200 layer [ 1, spin () ] ~jobs
-          ~scheds:(Sched.default_suite ~seeds:5))
+        Budget.value
+          (Progress.completes_within_ctx ~ctx:(Ctx.make ~jobs ())
+             ~scheds:(Sched.default_suite ~seeds:5) ~bound:200 layer
+             [ 1, spin () ]))
   in
   (match
-     Progress.completes_within ~bound:200 layer [ 1, spin () ] ~jobs:4
-       ~scheds:(Sched.default_suite ~seeds:5)
+     Budget.value
+       (Progress.completes_within_ctx ~ctx:(Ctx.make ~jobs:4 ())
+          ~scheds:(Sched.default_suite ~seeds:5) ~bound:200 layer
+          [ 1, spin () ])
    with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "starvation not detected");
@@ -181,8 +192,10 @@ let test_linearizability_jobs_invariant_ok () =
   | Error e -> Alcotest.failf "%a" Calculus.pp_error e
   | Ok cert ->
     check_jobs_invariant "linearizability ok" (fun jobs ->
-        Linearizability.check_cert cert ~client:lock_client ~jobs
-          ~scheds:(Explore.full_suite ~tids:[ 1; 2 ] ~depth:3 ~random:4 ()))
+        Budget.value
+          (Linearizability.check_cert_ctx ~ctx:(Ctx.make ~jobs ())
+             ~scheds:(Explore.full_suite ~tids:[ 1; 2 ] ~depth:3 ~random:4 ())
+             cert ~client:lock_client))
 
 (* The seeded bug of test_verify_injection: rel forgets inc_n, so a second
    acquire starves.  The refinement failure must be identical (same
@@ -213,8 +226,10 @@ let test_refinement_failure_jobs_invariant () =
           Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.call "acq" [ vi 0 ]))
     in
     let run jobs =
-      Linearizability.refine_cert ~max_steps:5_000 ~jobs cert ~client
-        ~scheds:(Sched.default_suite ~seeds:3)
+      Budget.value
+        (Linearizability.refine_cert_ctx ~ctx:(Ctx.make ~jobs ())
+           ~max_steps:5_000 cert ~client
+           ~scheds:(Sched.default_suite ~seeds:3))
     in
     check_jobs_invariant "broken-lock refinement failure" run;
     (match run 4 with
@@ -231,12 +246,15 @@ let ticket_game () =
 let test_dpor_prefixes_jobs_invariant () =
   let layer, threads = ticket_game () in
   check_jobs_invariant "dpor prefixes" (fun jobs ->
-      Dpor.prefixes ~jobs ~depth:4 layer threads)
+      Dpor.prefixes_ctx ~ctx:(Ctx.make ~jobs ()) ~depth:4 layer threads)
 
 let test_dpor_explore_jobs_invariant () =
   let layer, threads = ticket_game () in
   check_jobs_invariant "dpor explore (outcomes and stats)" (fun jobs ->
-      let r = Dpor.explore ~jobs ~depth:4 layer threads in
+      let r =
+        Budget.value
+          (Dpor.explore_ctx ~ctx:(Ctx.make ~jobs ()) ~depth:4 layer threads)
+      in
       r.Dpor.prefixes, List.map (fun o -> o.Game.log) r.Dpor.outcomes, r.Dpor.stats)
 
 let test_explore_run_all_jobs_invariant () =
@@ -244,8 +262,9 @@ let test_explore_run_all_jobs_invariant () =
   check_jobs_invariant "run_all logs" (fun jobs ->
       List.map
         (fun o -> o.Game.status, o.Game.log, o.Game.results)
-        (Explore.run_all ~jobs layer threads
-           (Explore.exhaustive_scheds ~tids:[ 1; 2 ] ~depth:4)))
+        (Budget.value
+           (Explore.run_all_ctx ~ctx:(Ctx.make ~jobs ()) layer threads
+              (Explore.exhaustive_scheds ~tids:[ 1; 2 ] ~depth:4))))
 
 (* ---- the whole stack ---- *)
 
@@ -257,7 +276,12 @@ let test_stack_report_jobs_invariant () =
     r.Stack.total_checks
   in
   check_jobs_invariant "stack verify_all" (fun jobs ->
-      match Stack.verify_all ~seeds:2 ~jobs () with
+      match
+        Result.map
+          (fun (p : Stack.progress) -> p.Stack.completed)
+          (Budget.value
+             (Stack.verify_all_ctx ~ctx:(Ctx.make ~jobs ()) ~seeds:2 ()))
+      with
       | Ok r -> Ok (strip r)
       | Error _ as e -> e)
 

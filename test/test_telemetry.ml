@@ -51,7 +51,9 @@ let test_dpor_counters_jobs_invariant () =
   let layer = Lock_intf.layer "Llock" in
   let threads = List.init 3 (fun k -> k + 1, lock_client (k + 1)) in
   check_counters_jobs_invariant "dpor llock" (fun jobs ->
-      ignore (Dpor.explore ~jobs ~depth:4 layer threads))
+      ignore
+        (Budget.value
+           (Dpor.explore_ctx ~ctx:(Ctx.make ~jobs ()) ~depth:4 layer threads)))
 
 let test_races_counters_jobs_invariant () =
   let layer = Ticket_lock.l0 () in
@@ -61,7 +63,8 @@ let test_races_counters_jobs_invariant () =
   in
   check_counters_jobs_invariant "races ticket" (fun jobs ->
       ignore
-        (Races.check layer threads ~jobs ~scheds:(Sched.default_suite ~seeds:6)))
+        (Races.check_ctx ~ctx:(Ctx.make ~jobs ())
+           ~scheds:(Sched.default_suite ~seeds:6) layer threads))
 
 (* The early-exit path: thread 1 fails for an ordinary reason and threads
    2/3 race.  Under [jobs > 1] workers evaluate schedules beyond the cut;
@@ -86,7 +89,10 @@ let test_failing_scan_counters_jobs_invariant () =
     :: List.init 30 (fun k -> Sched.random ~seed:(k + 1))
   in
   check_counters_jobs_invariant "mixed failing races" (fun jobs ->
-      match Races.check layer threads ~jobs ~scheds:(scheds ()) with
+      match
+        Races.check_ctx ~ctx:(Ctx.make ~jobs ()) ~scheds:(scheds ()) layer
+          threads
+      with
       | Races.Race _ -> ()
       | _ -> Alcotest.fail "expected the race verdict")
 
@@ -101,7 +107,7 @@ let test_chunk_calibration_counters_jobs_invariant () =
   let threads = List.init 3 (fun k -> k + 1, lock_client (k + 1)) in
   let run jobs =
     let scheds = Explore.exhaustive_scheds ~tids:[ 1; 2; 3 ] ~depth:5 in
-    match Races.check layer threads ~jobs ~scheds with
+    match Races.check_ctx ~ctx:(Ctx.make ~jobs ()) ~scheds layer threads with
     | Races.Race_free { runs } -> check_int "covered the suite" 243 runs
     | _ -> Alcotest.fail "expected race-free"
   in
@@ -119,7 +125,11 @@ let test_stack_edge_counters_jobs_invariant () =
      telemetry, and — like the check counts — identical across jobs *)
   let edges jobs =
     Telemetry.reset ();
-    match Stack.verify_all ~seeds:2 ~jobs () with
+    match
+      Result.map
+        (fun (p : Stack.progress) -> p.Stack.completed)
+        (Budget.value (Stack.verify_all_ctx ~ctx:(Ctx.make ~jobs ()) ~seeds:2 ()))
+    with
     | Ok r ->
       List.map (fun (e : Stack.edge) -> e.Stack.edge_name, e.Stack.counters) r.Stack.edges
     | Error msg -> Alcotest.failf "stack failed: %s" msg

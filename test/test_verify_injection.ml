@@ -21,7 +21,9 @@ let test_distinct_logs () =
     [ 1, Prog.call "tick" [ vi 0 ]; 2, Prog.call "tick" [ vi 0 ] ]
   in
   let outcomes =
-    Explore.run_all layer threads (Explore.exhaustive_scheds ~tids:[ 1; 2 ] ~depth:2)
+    Budget.value
+      (Explore.run_all_ctx ~ctx:Ctx.default layer threads
+         (Explore.exhaustive_scheds ~tids:[ 1; 2 ] ~depth:2))
   in
   check_int "two orders" 2 (Explore.count_distinct_logs outcomes)
 
@@ -36,8 +38,10 @@ let test_linearizability_ticket () =
           Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
     in
     match
-      Linearizability.check_cert cert ~client
-        ~scheds:(Explore.full_suite ~tids:[ 1; 2 ] ~depth:3 ~random:4 ())
+      Budget.value
+        (Linearizability.check_cert_ctx ~ctx:Ctx.default
+           ~scheds:(Explore.full_suite ~tids:[ 1; 2 ] ~depth:3 ~random:4 ())
+           cert ~client)
     with
     | Ok r ->
       check_bool "several interleavings" true (r.Linearizability.distinct_logs >= 2)
@@ -54,8 +58,9 @@ let test_progress_bound_ticket () =
   in
   let threads = List.map (fun i -> i, Prog.Module.link m (client i)) [ 1; 2; 3 ] in
   match
-    Progress.completes_within ~bound:2_000 layer threads
-      ~scheds:(Sched.default_suite ~seeds:10)
+    Budget.value
+      (Progress.completes_within_ctx ~ctx:Ctx.default
+         ~scheds:(Sched.default_suite ~seeds:10) ~bound:2_000 layer threads)
   with
   | Ok r -> check_bool "bound respected" true (r.Progress.max_steps_used < 2_000)
   | Error msg -> Alcotest.fail msg
@@ -68,8 +73,9 @@ let test_progress_detects_starvation () =
         if Value.to_int v = 1 then Prog.ret_unit else spin ())
   in
   match
-    Progress.completes_within ~bound:200 layer [ 1, spin () ]
-      ~scheds:[ Sched.round_robin ]
+    Budget.value
+      (Progress.completes_within_ctx ~ctx:Ctx.default
+         ~scheds:[ Sched.round_robin ] ~bound:200 layer [ 1, spin () ])
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "starvation not detected"
@@ -102,9 +108,9 @@ let test_races_clean_program () =
     Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ -> Prog.call "rel" [ vi 0; vi i ])
   in
   match
-    Races.check layer
+    Races.check_ctx ~ctx:Ctx.default ~scheds:(Sched.default_suite ~seeds:6)
+      layer
       [ 1, Prog.Module.link m (client 1); 2, Prog.Module.link m (client 2) ]
-      ~scheds:(Sched.default_suite ~seeds:6)
   with
   | Races.Race_free { runs } -> check_int "runs" 7 runs
   | Races.Race { detail; _ } -> Alcotest.failf "false positive: %s" detail
@@ -116,7 +122,8 @@ let test_races_detects_unlocked_access () =
   let layer = Ccal_machine.Mx86.layer () in
   let prog = Prog.seq (Prog.call "pull" [ vi 0 ]) (Prog.call "push" [ vi 0; vi 1 ]) in
   match
-    Races.check layer [ 1, prog; 2, prog ] ~scheds:[ Sched.of_trace [ 1; 2 ] ]
+    Races.check_ctx ~ctx:Ctx.default ~scheds:[ Sched.of_trace [ 1; 2 ] ] layer
+      [ 1, prog; 2, prog ]
   with
   | Races.Race _ -> ()
   | _ -> Alcotest.fail "race not detected"
@@ -303,9 +310,11 @@ let test_inject_unfair_scheduler_starves () =
           if List.mem 1 runnable then Some 1 else List.nth_opt runnable 0) }
   in
   match
-    Progress.completes_within ~bound:3_000 layer
-      [ 1, Prog.Module.link m (forever 1); 2, Prog.Module.link m (one_round 2) ]
-      ~scheds:[ unfair ]
+    Budget.value
+      (Progress.completes_within_ctx ~ctx:Ctx.default ~scheds:[ unfair ]
+         ~bound:3_000 layer
+         [ 1, Prog.Module.link m (forever 1);
+           2, Prog.Module.link m (one_round 2) ])
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "starvation under unfair scheduler not detected"
