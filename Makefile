@@ -1,4 +1,4 @@
-.PHONY: all build test check check-test-count check-parallel check-cache check-robust check-speedup check-kv examples explore bench clean
+.PHONY: all build test check check-test-count check-parallel check-cache check-robust check-speedup check-kv check-tso examples explore bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # Regression guard: the suite must never silently shrink — a dune or
 # module-wiring mistake can drop a whole test file from the runner while
 # everything still "passes".  Bump the floor when tests are added.
-TEST_COUNT_FLOOR := 405
+TEST_COUNT_FLOOR := 443
 
 check-test-count:
 	@out=$$(dune runtest --force 2>&1); status=$$?; \
@@ -29,7 +29,7 @@ check-test-count:
 # Runs the full suite (with the test-count floor), the DPOR-vs-exhaustive
 # agreement check on the headline game, and the certificate-cache and
 # robustness gates.
-check: build check-test-count check-cache check-robust check-speedup check-kv
+check: build check-test-count check-cache check-robust check-speedup check-kv check-tso
 	dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
 
 # The speedup gate (DESIGN.md S24): the perf-gate alcotest section runs
@@ -109,6 +109,19 @@ check-robust: build
 	cmp _build/robust-clean.txt _build/robust-faulted.txt || { \
 	  echo "check-robust: REGRESSION - faulted report differs from fault-free"; exit 1; }; \
 	echo "check-robust: OK (faulted report byte-identical to fault-free)"
+
+# The memory-model gate (DESIGN.md S29).  Three legs:
+#   1. the litmus conformance suite: every reachable-outcome set must
+#      equal the hand-derived x86-TSO table under both memory modes
+#      (exit 1 on any extra or missing outcome);
+#   2. the whole stack re-certifies under --memory tso (store buffers,
+#      flusher moves, drain environments) for both lock implementations;
+#   3. the dual-mode bench regenerates BENCH_tso.json.
+check-tso: build
+	$(CCAL_BIN) litmus all --table _build/litmus-table.txt
+	$(CCAL_BIN) stack --memory tso
+	$(CCAL_BIN) stack --memory tso --lock mcs
+	_build/default/bench/main.exe --tso-only
 
 # Build and run every example as a smoke test (the CI examples step).
 examples: build

@@ -1110,6 +1110,140 @@ let write_kv_json path mixes =
   Format.printf "@.  wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* tso — dual-mode certification and litmus conformance (S29)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Two tables for EXPERIMENTS.md:
+   - cert rows: the same certificate built under SC and under x86-TSO
+     (store buffers, drain environments, flusher moves) — the cost of
+     promoting the memory model from an assumption to a checked input;
+   - litmus rows: the conformance suite, timing the reachable-outcome
+     enumeration per mode and pinning observed = expected. *)
+
+type tso_cert_row = {
+  tso_obj : string;
+  sc_ms : float;
+  sc_checks : int;
+  tso_ms : float;
+  tso_checks : int;
+}
+
+type tso_litmus_row = {
+  lit_name : string;
+  lit_sc : int;  (** distinct outcomes reached under SC *)
+  lit_tso : int;  (** distinct outcomes reached under TSO *)
+  lit_ok : bool;  (** observed = expected, both modes *)
+  lit_ms : float;
+}
+
+type tso_bench = {
+  cert_rows : tso_cert_row list;
+  litmus_rows : tso_litmus_row list;
+}
+
+let run_tso_bench () =
+  let module V = Ccal_verify in
+  let cert name certify =
+    let sc, sc_ms = timed (fun () -> certify Memory.Sc) in
+    let tso, tso_ms = timed (fun () -> certify Memory.Tso) in
+    let checks = function
+      | Ok c -> Calculus.count_checks c
+      | Error _ -> -1
+    in
+    {
+      tso_obj = name;
+      sc_ms;
+      sc_checks = checks sc;
+      tso_ms;
+      tso_checks = checks tso;
+    }
+  in
+  let cert_rows =
+    [
+      cert "Ticket lock" (fun memory ->
+          Ticket_lock.certify ~memory ~focus:[ 1; 2 ] ());
+      cert "MCS lock" (fun memory ->
+          Mcs_lock.certify ~memory ~focus:[ 1; 2 ] ());
+      cert "Queue stack" (fun memory ->
+          Queue_shared.full_stack_certify ~memory ());
+    ]
+  in
+  let ctx = vctx () in
+  let litmus_rows =
+    List.map
+      (fun (t : Ccal_machine.Litmus.test) ->
+        let pair, ms =
+          timed (fun () ->
+              ( V.Litmus.run_test ~ctx:(V.Ctx.with_memory Memory.Sc ctx) t,
+                V.Litmus.run_test ~ctx:(V.Ctx.with_memory Memory.Tso ctx) t ))
+        in
+        let sc_r, tso_r = pair in
+        {
+          lit_name = t.Ccal_machine.Litmus.name;
+          lit_sc = List.length sc_r.V.Litmus.observed;
+          lit_tso = List.length tso_r.V.Litmus.observed;
+          lit_ok = V.Litmus.ok sc_r && V.Litmus.ok tso_r;
+          lit_ms = ms;
+        })
+      Ccal_machine.Litmus.tests
+  in
+  { cert_rows; litmus_rows }
+
+let print_tso_bench (b : tso_bench) =
+  Format.printf
+    "@.== tso: dual-mode certification cost (SC vs x86-TSO, S29) ==@.@.";
+  Format.printf "  %-14s %10s %9s %10s %9s %7s@." "Object" "sc checks" "sc ms"
+    "tso checks" "tso ms" "ratio";
+  List.iter
+    (fun r ->
+      Format.printf "  %-14s %10d %9.1f %10d %9.1f %7.2f@." r.tso_obj
+        r.sc_checks r.sc_ms r.tso_checks r.tso_ms
+        (r.tso_ms /. Float.max 0.001 r.sc_ms))
+    b.cert_rows;
+  Format.printf
+    "@.== tso: litmus conformance (distinct reachable outcomes per mode) \
+     ==@.@.";
+  Format.printf "  %-10s %6s %6s %6s %9s@." "test" "sc" "tso" "ok" "ms";
+  List.iter
+    (fun r ->
+      Format.printf "  %-10s %6d %6d %6b %9.1f@." r.lit_name r.lit_sc r.lit_tso
+        r.lit_ok r.lit_ms)
+    b.litmus_rows;
+  Format.printf
+    "@.  shape: SB and R gain exactly one TSO-only outcome; the fenced \
+     variants@.  re-converge; everything else (incl. IRIW) coincides with \
+     SC@."
+
+let write_tso_json path (b : tso_bench) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"tso-dual-mode\",\n";
+  out "  \"certificates\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"object\": %S, \"sc_checks\": %d, \"sc_ms\": %.3f, \
+         \"tso_checks\": %d, \"tso_ms\": %.3f}%s\n"
+        r.tso_obj r.sc_checks r.sc_ms r.tso_checks r.tso_ms
+        (if i = List.length b.cert_rows - 1 then "" else ","))
+    b.cert_rows;
+  out "  ],\n";
+  out "  \"litmus\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"test\": %S, \"sc_outcomes\": %d, \"tso_outcomes\": %d, \
+         \"conforms\": %b, \"ms\": %.3f}%s\n"
+        r.lit_name r.lit_sc r.lit_tso r.lit_ok r.lit_ms
+        (if i = List.length b.litmus_rows - 1 then "" else ","))
+    b.litmus_rows;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Format.printf "@.  wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro/macro benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1199,7 +1333,19 @@ let parallel_only = Array.exists (String.equal "--parallel-only") Sys.argv
    BENCH_kv.json — the CI kv leg uses it. *)
 let kv_only = Array.exists (String.equal "--kv-only") Sys.argv
 
+(* `--tso-only` runs just the S29 dual-mode (SC vs x86-TSO) section and
+   writes BENCH_tso.json — the CI memory-model leg uses it. *)
+let tso_only = Array.exists (String.equal "--tso-only") Sys.argv
+
 let () =
+  if tso_only then begin
+    Format.printf "=== CCAL memory-model benchmark (DESIGN.md S29) ===@.";
+    let tso = run_tso_bench () in
+    print_tso_bench tso;
+    write_tso_json "BENCH_tso.json" tso;
+    Format.printf "@.done.@.";
+    exit 0
+  end;
   if kv_only then begin
     Format.printf "=== CCAL kv serving-stack benchmark (DESIGN.md S28) ===@.";
     let mixes = run_kv_bench () in
@@ -1246,6 +1392,9 @@ let () =
   let kv = run_kv_bench () in
   print_kv_bench kv;
   write_kv_json "BENCH_kv.json" kv;
+  let tso = run_tso_bench () in
+  print_tso_bench tso;
+  write_tso_json "BENCH_tso.json" tso;
   let bench_rows = run_benchmarks (make_tests perf) in
   (* headline ratio, from wall-clock *)
   (match

@@ -73,6 +73,21 @@ let budget_steps_arg =
                  truncates the same schedule prefix on every $(b,--jobs) \
                  value (DESIGN.md S27).")
 
+let memory_arg =
+  Arg.(value & opt string "sc"
+       & info [ "memory" ] ~docv:"MODE"
+           ~doc:"Memory model the machine layer exhibits: $(b,sc) \
+                 (sequentially consistent, the default) or $(b,tso) \
+                 (x86-TSO: per-CPU FIFO store buffers, mfence, and \
+                 buffer flushes as explicit scheduler moves).  Verdicts \
+                 are cached per mode — an SC verdict is never served for \
+                 a TSO query.")
+
+let memory_of_string = function
+  | "sc" | "SC" -> Ok Memory.Sc
+  | "tso" | "TSO" -> Ok Memory.Tso
+  | s -> Error (Printf.sprintf "unknown memory model %S (expected sc or tso)" s)
+
 let inject_arg =
   Arg.(value & opt (some string) None
        & info [ "inject" ] ~docv:"SPEC"
@@ -170,42 +185,48 @@ type common = {
   jobs : int;
   cache : Ccal_verify.Cache.t option;
   strategy : Ccal_verify.Ctx.strategy option;
+  memory : Memory.t;
   budget : Ccal_verify.Budget.t;
   faults : Ccal_verify.Fault.plan;
   stats : bool;
   trace : string option;
 }
 
-let common_of jobs strategy use_cache cache_dir budget_ms budget_steps inject
-    stats trace =
+let common_of jobs strategy memory use_cache cache_dir budget_ms budget_steps
+    inject stats trace =
   match strategy_of_string strategy with
   | Error msg -> Error msg
   | Ok strategy -> (
-    match make_cache use_cache cache_dir with
-    | Error msg -> Error (Printf.sprintf "cannot open cache: %s" msg)
-    | Ok cache -> (
-      match
-        match inject with
-        | None -> Ok Ccal_verify.Fault.none
-        | Some spec -> Ccal_verify.Fault.parse spec
-      with
-      | Error msg -> Error msg
-      | Ok faults ->
-        Ok
-          {
-            jobs = resolve_jobs jobs;
-            cache;
-            strategy;
-            budget = Ccal_verify.Budget.make ?ms:budget_ms ?steps:budget_steps ();
-            faults;
-            stats;
-            trace;
-          }))
+    match memory_of_string memory with
+    | Error msg -> Error msg
+    | Ok memory -> (
+      match make_cache use_cache cache_dir with
+      | Error msg -> Error (Printf.sprintf "cannot open cache: %s" msg)
+      | Ok cache -> (
+        match
+          match inject with
+          | None -> Ok Ccal_verify.Fault.none
+          | Some spec -> Ccal_verify.Fault.parse spec
+        with
+        | Error msg -> Error msg
+        | Ok faults ->
+          Ok
+            {
+              jobs = resolve_jobs jobs;
+              cache;
+              strategy;
+              memory;
+              budget =
+                Ccal_verify.Budget.make ?ms:budget_ms ?steps:budget_steps ();
+              faults;
+              stats;
+              trace;
+            })))
 
 let common_term =
-  Term.(const common_of $ jobs_arg $ strategy_arg $ cache_flag_arg
-        $ cache_dir_arg $ budget_ms_arg $ budget_steps_arg $ inject_arg
-        $ stats_arg $ trace_arg)
+  Term.(const common_of $ jobs_arg $ strategy_arg $ memory_arg
+        $ cache_flag_arg $ cache_dir_arg $ budget_ms_arg $ budget_steps_arg
+        $ inject_arg $ stats_arg $ trace_arg)
 
 (* The context a parsed bundle denotes.  The budget is attached last —
    [Ctx.with_budget] starts the token, and the deadline epoch should be
@@ -219,6 +240,7 @@ let ctx_of c =
   let ctx =
     match c.strategy with Some s -> V.Ctx.with_strategy s ctx | None -> ctx
   in
+  let ctx = V.Ctx.with_memory c.memory ctx in
   let ctx = V.Ctx.with_faults c.faults ctx in
   let ctx = V.Ctx.with_stats c.stats ctx in
   let ctx =
@@ -481,7 +503,7 @@ let pipeline_cmd =
     | Ok c ->
       run_with_common c @@ fun ctx ->
       let module V = Ccal_verify in
-      (match Ticket_lock.certify ~focus:[ 1; 2 ] () with
+      (match Ticket_lock.certify ~memory:c.memory ~focus:[ 1; 2 ] () with
       | Error e ->
         Format.eprintf "%a@." Calculus.pp_error e;
         1
@@ -533,8 +555,11 @@ let pipeline_cmd =
 (* ---------------- explore ---------------- *)
 
 (* Benchmark games for comparing the DPOR explorer against exhaustive
-   enumeration.  Each returns (layer, threads). *)
-let explore_game name nthreads =
+   enumeration.  Each returns (layer, threads).  Under [--memory tso]
+   the machine-level games (ticket, mcs, litmus:NAME) run over the
+   store-buffer layer, and the exhaustive side enumerates the flusher
+   pseudo-threads as schedulable tids. *)
+let explore_game name nthreads memory =
   let lock_client i =
     Prog.bind (Prog.call "acq" [ vi 0 ]) (fun _ ->
         Prog.seq (Prog.call "rel" [ vi 0; vi i ]) (Prog.ret (vi i)))
@@ -549,10 +574,12 @@ let explore_game name nthreads =
     Some (Lock_intf.layer "Llock", spawn lock_client)
   | "ticket" ->
     let m = Ticket_lock.c_module () in
-    Some (Ticket_lock.l0 (), spawn (fun i -> Prog.Module.link m (lock_client i)))
+    Some
+      (Ticket_lock.l0 ~memory (), spawn (fun i -> Prog.Module.link m (lock_client i)))
   | "mcs" ->
     let m = Mcs_lock.c_module () in
-    Some (Mcs_lock.l0 (), spawn (fun i -> Prog.Module.link m (lock_client i)))
+    Some
+      (Mcs_lock.l0 ~memory (), spawn (fun i -> Prog.Module.link m (lock_client i)))
   | "queue" ->
     let m =
       Ccal_clight.Csem.module_of_fns [ Queue_shared.deq_fn; Queue_shared.enq_fn ]
@@ -566,7 +593,16 @@ let explore_game name nthreads =
     Some (Ccal_kv.Kv_stack.cache_game ~entries:2 ~threads:nthreads ())
   | "kv-composed" ->
     Some (Ccal_kv.Kv_stack.composed_game ~shards:2 ~entries:2 ~threads:nthreads ())
-  | _ -> None
+  | _ -> (
+    (* litmus:<NAME> — the conformance corpus over the mode's machine
+       layer, e.g. litmus:SB, litmus:IRIW (CI's memory-model leg). *)
+    match String.split_on_char ':' name with
+    | [ "litmus"; t ] ->
+      Option.map
+        (fun (t : Ccal_machine.Litmus.test) ->
+          Ccal_machine.Tso.machine_layer memory, t.Ccal_machine.Litmus.threads)
+        (Ccal_machine.Litmus.find t)
+    | _ -> None)
 
 let explore_cmd =
   let run common obj nthreads depth mode =
@@ -576,14 +612,19 @@ let explore_cmd =
       | "exact" -> Some Ccal_verify.Dpor.Exact
       | _ -> None
     in
-    match common, explore_game obj nthreads, independence with
+    let game =
+      match common with
+      | Error _ -> None
+      | Ok c -> explore_game obj nthreads c.memory
+    in
+    match common, game, independence with
     | Error msg, _, _ ->
       Format.eprintf "%s@." msg;
       2
     | _, None, _ ->
       Format.eprintf
         "unknown game %S (expected lock, ticket, mcs, queue, queue-atomic, \
-         kv-ht, kv-cache or kv-composed)@."
+         kv-ht, kv-cache, kv-composed or litmus:NAME)@."
         obj;
       2
     | _, _, None ->
@@ -593,11 +634,12 @@ let explore_cmd =
       run_with_common c @@ fun ctx ->
       let module V = Ccal_verify in
       let header () =
-        Format.printf "game %s: %d threads, depth %d, %s independence@." obj
-          nthreads depth
+        Format.printf "game %s: %d threads, depth %d, %s independence, %s@."
+          obj nthreads depth
           (match independence with
           | V.Dpor.Exact -> "exact"
           | V.Dpor.Commuting_events -> "commuting-events")
+          (Memory.to_string c.memory)
       in
       (match V.Dpor.explore_ctx ~ctx ~independence ~depth layer threads with
       | V.Budget.Exhausted { spent; partial } ->
@@ -610,7 +652,13 @@ let explore_cmd =
           (List.length partial.V.Dpor.prefixes);
         0
       | V.Budget.Complete dpor -> (
-        let tids = List.map fst threads in
+        (* Under TSO the flushers are scheduler-movable threads: the
+           exhaustive side must enumerate their tids too, or the
+           comparison would miss every delayed-commit interleaving. *)
+        let effective =
+          threads @ Game.flusher_threads ~memory:c.memory layer threads
+        in
+        let tids = List.map fst effective in
         match
           V.Explore.run_all_ctx ~ctx layer threads
             (V.Explore.exhaustive_scheds ~tids ~depth)
@@ -677,6 +725,76 @@ let explore_cmd =
        ~doc:"Compare the DPOR explorer against exhaustive enumeration")
     Term.(const run $ common_term $ obj $ nthreads $ depth $ mode)
 
+(* ---------------- litmus ---------------- *)
+
+let litmus_cmd =
+  let run common test_name table_file =
+    match common with
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      2
+    | Ok c -> (
+      let tests =
+        match test_name with
+        | "all" -> Ok Ccal_machine.Litmus.tests
+        | n -> (
+          match Ccal_machine.Litmus.find n with
+          | Some t -> Ok [ t ]
+          | None ->
+            Error
+              (Printf.sprintf "unknown litmus test %S (try %s)" n
+                 (String.concat ", "
+                    (List.map
+                       (fun (t : Ccal_machine.Litmus.test) ->
+                         t.Ccal_machine.Litmus.name)
+                       Ccal_machine.Litmus.tests))))
+      in
+      match tests with
+      | Error msg ->
+        Format.eprintf "%s@." msg;
+        2
+      | Ok tests ->
+        run_with_common c @@ fun ctx ->
+        let module V = Ccal_verify in
+        (* The conformance suite is inherently dual-mode: each test runs
+           under SC and TSO with the same knobs, whatever --memory says. *)
+        let pairs = V.Litmus.run_both ~tests ~ctx () in
+        List.iter
+          (fun (sc, tso) ->
+            Format.printf "%a@.%a@." V.Litmus.pp_report sc V.Litmus.pp_report
+              tso)
+          pairs;
+        (match table_file with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          let fmt = Format.formatter_of_out_channel oc in
+          Format.fprintf fmt "%a" V.Litmus.pp_table pairs;
+          Format.pp_print_flush fmt ();
+          close_out oc;
+          Format.printf "per-mode outcome table written to %s@." path);
+        if List.for_all (fun (sc, tso) -> V.Litmus.ok sc && V.Litmus.ok tso) pairs
+        then 0
+        else 1)
+  in
+  let test_name =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"TEST"
+             ~doc:"Litmus test to run (SB, SB+mfence, MP, LB, S, R, \
+                   R+mfence, 2+2W, IRIW) or $(b,all).")
+  in
+  let table_file =
+    Arg.(value & opt (some string) None
+         & info [ "table" ] ~docv:"FILE"
+             ~doc:"Write the per-mode outcome table (one row per test and \
+                   outcome, reachable yes/no under each mode) to $(docv) — \
+                   the artifact CI's memory-model leg uploads.")
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:"Run the memory-model litmus conformance suite under SC and TSO")
+    Term.(const run $ common_term $ test_name $ table_file)
+
 (* ---------------- inventory ---------------- *)
 
 let inventory_cmd =
@@ -707,4 +825,4 @@ let () =
        (Cmd.group
           (Cmd.info "ccal" ~version:"1.0.0" ~doc)
           [ stack_cmd; kv_cmd; verify_cmd; pipeline_cmd; explore_cmd;
-            inventory_cmd; cache_cmd ]))
+            litmus_cmd; inventory_cmd; cache_cmd ]))

@@ -101,4 +101,10 @@ let layer st (l : Layer.t) =
 
 let scheds st ss = list (fun st (s : Sched.t) -> string st s.name) st ss
 
+(* The memory mode enters every game-shaped key (DESIGN.md S29): an SC
+   verdict must never be served for a TSO query, even for layers whose
+   prim lists coincide. *)
+let memory st (m : Memory.t) =
+  int (int st 0x4D454D (* "MEM" *)) (match m with Memory.Sc -> 1 | Memory.Tso -> 2)
+
 let rel st (r : Sim_rel.t) = string (int st 0x52454C (* "REL" *)) r.Sim_rel.name

@@ -103,3 +103,8 @@ val rel : state -> Sim_rel.t -> state
     name, so two relations with the same name must translate
     identically; true throughout this codebase, where relations are
     built by named constructors). *)
+
+val memory : state -> Memory.t -> state
+(** The memory mode.  Folded into every game-shaped key (DESIGN.md S29)
+    so an SC verdict is never served for a TSO query and vice versa,
+    even where the two modes' layer interfaces coincide. *)

@@ -5,12 +5,37 @@ type config = {
   max_steps : int;
   log_switches : bool;
   check_guar : bool;
+  memory : Memory.t;
   stop : (unit -> bool) option;
 }
 
 let config ?(max_steps = 100_000) ?(log_switches = false) ?(check_guar = false)
-    ?stop layer threads sched =
-  { layer; threads; sched; max_steps; log_switches; check_guar; stop }
+    ?(memory = Memory.default) ?stop layer threads sched =
+  { layer; threads; sched; max_steps; log_switches; check_guar; memory; stop }
+
+(* Buffer flushes as scheduler moves (DESIGN.md S29): under TSO, every
+   real thread gets a flusher pseudo-thread whose infinite program
+   repeatedly calls the layer's flush primitive for that CPU.  The flush
+   primitive blocks on an empty buffer, so a flusher is runnable exactly
+   while its CPU has pending stores — and a game whose only pending
+   threads are blocked flushers has drained every buffer and is done.
+   Layers without the flush primitive (SC machines, spec layers) get no
+   flushers regardless of the mode. *)
+let flusher_threads ~memory layer threads =
+  match (memory : Memory.t) with
+  | Memory.Sc -> []
+  | Memory.Tso ->
+    if not (Layer.has_prim Memory.flush_tag layer) then []
+    else
+      List.map
+        (fun (cpu, _) ->
+          let args = [ Value.int cpu ] in
+          let rec p = Prog.Call { prim = Memory.flush_tag; args; k = (fun _ -> p) } in
+          (Memory.flusher_tid cpu, p))
+        threads
+
+let effective_threads cfg =
+  cfg.threads @ flusher_threads ~memory:cfg.memory cfg.layer cfg.threads
 
 type status =
   | All_done
@@ -41,11 +66,20 @@ let observe (o : outcome) =
   Probe.add Probe.replay_steps (o.steps + o.silent_steps);
   o
 
+(* All pending threads are blocked.  Flushers block exactly on an empty
+   buffer, so a deadlock made only of flushers is a drained, finished
+   game; otherwise the flushers are reported out — they are machinery,
+   not members of the domain. *)
+let deadlock_status ids =
+  match List.filter (fun i -> not (Memory.is_flusher i)) ids with
+  | [] -> All_done
+  | real -> Deadlock real
+
 let run cfg =
   let slots =
     List.map
       (fun (i, p) -> i, ref (Running (Machine.initial cfg.layer i p)))
-      cfg.threads
+      (effective_threads cfg)
   in
   let results () =
     List.filter_map
@@ -112,7 +146,7 @@ let run cfg =
         in
         (match attempt [] with
         | `Deadlock ids ->
-          { log; results = results (); status = Deadlock ids; steps; silent_steps = silent; guar_violations = List.rev violations }
+          { log; results = results (); status = deadlock_status ids; steps; silent_steps = silent; guar_violations = List.rev violations }
         | `Stuck (i, kind, msg) ->
           { log; results = results (); status = Stuck (i, kind, msg); steps; silent_steps = silent; guar_violations = List.rev violations }
         | `Moved (i, move_log, evs, cost) ->
@@ -151,7 +185,8 @@ let make_scratch () = { ids = [||]; slots = [||]; blocked = [||] }
    in test/test_parallel.ml.  The loop below mirrors [run] clause for
    clause; only the bookkeeping containers differ. *)
 let replay_into scratch cfg =
-  let n = List.length cfg.threads in
+  let threads = effective_threads cfg in
+  let n = List.length threads in
   if Array.length scratch.ids <> n then begin
     scratch.ids <- Array.make n 0;
     scratch.slots <- Array.make n (Finished Value.unit);
@@ -164,7 +199,7 @@ let replay_into scratch cfg =
     (fun k (i, p) ->
       ids.(k) <- i;
       slots.(k) <- Running (Machine.initial cfg.layer i p))
-    cfg.threads;
+    threads;
   let results () =
     let rec go k acc =
       if k < 0 then acc
@@ -255,7 +290,7 @@ let replay_into scratch cfg =
         in
         match attempt () with
         | `Deadlock ids ->
-          { log; results = results (); status = Deadlock ids; steps; silent_steps = silent; guar_violations = List.rev violations }
+          { log; results = results (); status = deadlock_status ids; steps; silent_steps = silent; guar_violations = List.rev violations }
         | `Stuck (i, kind, msg) ->
           { log; results = results (); status = Stuck (i, kind, msg); steps; silent_steps = silent; guar_violations = List.rev violations }
         | `Moved (i, move_log, evs, cost) ->
@@ -293,9 +328,10 @@ let replay cfg =
   let s = pool_get () in
   Fun.protect ~finally:(fun () -> pool_put s) (fun () -> replay_into s cfg)
 
-let behaviors ?max_steps ?log_switches ?check_guar layer threads scheds =
+let behaviors ?max_steps ?log_switches ?check_guar ?memory layer threads scheds =
   List.map
-    (fun sched -> run (config ?max_steps ?log_switches ?check_guar layer threads sched))
+    (fun sched ->
+      run (config ?max_steps ?log_switches ?check_guar ?memory layer threads sched))
     scheds
 
 let successful o =

@@ -20,6 +20,10 @@ type config = {
       (** record a scheduling event whenever the mover changes, as the
           multicore hardware model does (Sec. 3.1) *)
   check_guar : bool;  (** check the layer guarantee after every move *)
+  memory : Memory.t;
+      (** memory mode (DESIGN.md S29): under {!Memory.Tso} a buffered
+          layer gets one flusher pseudo-thread per real thread, making
+          buffer drains explicit scheduler moves *)
   stop : (unit -> bool) option;
       (** cooperative cancellation: polled once per move; when it turns
           true the game ends with {!Cancelled} and its play prefix *)
@@ -29,11 +33,29 @@ val config :
   ?max_steps:int ->
   ?log_switches:bool ->
   ?check_guar:bool ->
+  ?memory:Memory.t ->
   ?stop:(unit -> bool) ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   Sched.t ->
   config
+
+val flusher_threads :
+  memory:Memory.t ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  (Event.tid * Prog.t) list
+(** The flusher pseudo-threads a game synthesises for [threads]: one per
+    real thread (id {!Memory.flusher_tid}), each an infinite loop of the
+    layer's flush primitive for its CPU.  Empty under [Sc] and for
+    layers without the flush primitive.  Exposed so the DPOR walk can
+    enumerate flush moves over exactly the threads the replayed game
+    will run.
+
+    A deadlock made only of blocked flushers reports {!All_done}: the
+    flush primitive blocks exactly on an empty buffer, so such a game
+    has drained every buffer and finished every real thread.  Flusher
+    ids never appear in {!Deadlock} lists or [results]. *)
 
 type status =
   | All_done
@@ -84,6 +106,7 @@ val behaviors :
   ?max_steps:int ->
   ?log_switches:bool ->
   ?check_guar:bool ->
+  ?memory:Memory.t ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   Sched.t list ->

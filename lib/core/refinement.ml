@@ -137,10 +137,15 @@ let replay_multi ?(max_steps = 200_000) ?(allow_blocked_at_end = false) overlay
    replayed against the overlay.  Exposed (through {!check_sched}) so the
    parallel checkers can hand it, schedule by schedule, to a domain pool;
    it is pure up to its own game state. *)
-let check_one_gen ?stop ~max_steps ~expect_all_done ~underlay ~overlay ~rel
-    ~threads_under ~threads_over sched =
+let check_one_gen ?stop ?memory ~max_steps ~expect_all_done ~underlay ~overlay
+    ~rel ~threads_under ~threads_over sched =
+  (* [?memory] applies to the underlay game only: the implementation runs
+     on the (possibly buffered) hardware machine, while the overlay spec
+     is replayed as ever — the relation is responsible for translating
+     the buffering events away ({!Ccal_machine.Tso.under_memory}). *)
   let outcome =
-    Game.replay (Game.config ~max_steps ?stop underlay threads_under sched)
+    Game.replay
+      (Game.config ~max_steps ?stop ?memory underlay threads_under sched)
   in
   match outcome.Game.status with
   | Game.Cancelled ->
@@ -206,13 +211,13 @@ let check_one ~max_steps ~expect_all_done ~underlay ~overlay ~rel ~threads_under
   | `Interrupted -> assert false (* no stop closure installed *)
 
 let check_sched_stop ?(max_steps = 200_000) ?(expect_all_done = true) ?stop
-    ~underlay ~impl ~overlay ~rel ~client ~tids sched =
+    ?memory ~underlay ~impl ~overlay ~rel ~client ~tids sched =
   let threads_under =
     List.map (fun i -> i, Prog.Module.link impl (client i)) tids
   in
   let threads_over = List.map (fun i -> i, client i) tids in
-  check_one_gen ?stop ~max_steps ~expect_all_done ~underlay ~overlay ~rel
-    ~threads_under ~threads_over sched
+  check_one_gen ?stop ?memory ~max_steps ~expect_all_done ~underlay ~overlay
+    ~rel ~threads_under ~threads_over sched
 
 let check_sched ?(max_steps = 200_000) ?(expect_all_done = true) ~underlay
     ~impl ~overlay ~rel ~client ~tids sched =

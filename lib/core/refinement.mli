@@ -49,6 +49,7 @@ val check_sched_stop :
   ?max_steps:int ->
   ?expect_all_done:bool ->
   ?stop:(unit -> bool) ->
+  ?memory:Memory.t ->
   underlay:Layer.t ->
   impl:Prog.Module.t ->
   overlay:Layer.t ->
@@ -60,7 +61,10 @@ val check_sched_stop :
 (** {!check_sched} with a cooperative-cancellation closure threaded into
     the underlay game: when [stop] trips mid-run the schedule reports
     [`Interrupted] instead of a verdict, and the budgeted checkers count
-    it toward an [Exhausted] result (DESIGN.md S27). *)
+    it toward an [Exhausted] result (DESIGN.md S27).  [?memory] selects
+    the memory mode of the {e underlay} game only (the overlay spec is
+    replayed as ever); under [Tso] the relation must translate the
+    buffering events away. *)
 
 val check_sched :
   ?max_steps:int ->

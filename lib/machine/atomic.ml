@@ -5,6 +5,7 @@ let xchg_tag = "xchg"
 let cas_tag = "cas"
 let aload_tag = "aload"
 let astore_tag = "astore"
+let mfence_tag = "mfence"
 
 (* Specialized single-cell replay: the map-per-call fold this replaces
    never errors and events
@@ -55,4 +56,15 @@ let cas = atomic_prim cas_tag 3 Value.int
 let aload = atomic_prim aload_tag 1 Value.int
 let astore = atomic_prim astore_tag 2 (fun _ -> Value.unit)
 
-let prims = [ faa; xchg; cas; aload; astore ]
+(* On the SC machine every store is already globally visible, so the
+   fence only marks the log.  It exists here so fenced programs (the
+   litmus suite's [_fenced] variants) run unchanged under both memory
+   modes; {!Tso} gives the same tag its draining semantics. *)
+let mfence =
+  ( mfence_tag,
+    Layer.Shared
+      (fun c _args _log ->
+        Layer.Step
+          { events = [ Event.make c mfence_tag ]; ret = Value.unit; crit = Layer.Keep }) )
+
+let prims = [ faa; xchg; cas; aload; astore; mfence ]

@@ -17,6 +17,11 @@ val cas_tag : string
 val aload_tag : string
 val astore_tag : string
 
+val mfence_tag : string
+(** Memory fence.  A no-op marker event on the SC machine; {!Tso} gives
+    the same tag its store-buffer-draining semantics, so fenced programs
+    run unchanged under both memory modes. *)
+
 val replay_cell : int -> int Ccal_core.Replay.t
 (** Current value of atomic cell [b] (cells start at 0). *)
 
@@ -36,5 +41,8 @@ val aload : string * Ccal_core.Layer.prim
 
 val astore : string * Ccal_core.Layer.prim
 (** [astore(b, v)]: atomic write; returns unit. *)
+
+val mfence : string * Ccal_core.Layer.prim
+(** [mfence()]: appends an [mfence] event; no state change under SC. *)
 
 val prims : (string * Ccal_core.Layer.prim) list

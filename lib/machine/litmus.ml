@@ -1,0 +1,194 @@
+open Ccal_core
+
+type test = {
+  name : string;
+  fenced : bool;
+  threads : (Event.tid * Prog.t) list;
+  depth : int;
+  observe : Game.outcome -> (int list, string) result;
+  sc : int list list;
+  tso : int list list;
+}
+
+(* Cells: x = 0, y = 1; registers are thread results. *)
+let x = 0
+let y = 1
+
+let st b v = Prog.call Atomic.astore_tag [ Value.int b; Value.int v ]
+let ld b = Prog.call Atomic.aload_tag [ Value.int b ]
+let fence = Prog.call Atomic.mfence_tag []
+
+(* st b1 v1; (mfence;) r := ld b2; ret r *)
+let st_then_ld ?(fenced = false) (b1, v1) b2 =
+  let tail = Prog.bind (ld b2) Prog.ret in
+  Prog.seq (st b1 v1) (if fenced then Prog.seq fence tail else tail)
+
+(* r1 := ld b1; r2 := ld b2; ret r1*10 + r2 (registers are 0..2) *)
+let two_loads b1 b2 =
+  Prog.bind (ld b1) (fun r1 ->
+      Prog.bind (ld b2) (fun r2 ->
+          match r1, r2 with
+          | Value.Vint a, Value.Vint b -> Prog.ret (Value.int ((a * 10) + b))
+          | _ -> Prog.ret (Value.int (-1))))
+
+let stores pairs = Prog.seq_all (List.map (fun (b, v) -> st b v) pairs)
+
+(* Observations.  Registers come from thread results; final memory is
+   read from the log through {!Tso.erase_buffering}, so the same
+   extraction serves both modes — an erased TSO log reads as the SC log
+   of its memory order, and a completed TSO game has drained buffers
+   (the flushers cannot all block otherwise). *)
+let result i (o : Game.outcome) =
+  match List.assoc_opt i o.Game.results with
+  | Some (Value.Vint n) -> Ok n
+  | Some _ -> Error (Printf.sprintf "thread %d returned a non-integer" i)
+  | None -> Error (Printf.sprintf "thread %d has no result" i)
+
+let packed i o = Result.map (fun n -> [ n / 10; n mod 10 ]) (result i o)
+let reg i o = Result.map (fun n -> [ n ]) (result i o)
+
+let final b (o : Game.outcome) =
+  Result.map
+    (fun n -> [ n ])
+    (Atomic.replay_cell b (Tso.erase_buffering o.Game.log))
+
+let obs parts o =
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | f :: rest -> (
+      match f o with Ok ns -> go (ns :: acc) rest | Error _ as e -> e)
+  in
+  go [] parts
+
+let sorted = List.sort compare
+
+(* Outcome tables, hand-derived from the x86-TSO abstract machine (Owens
+   et al.); registers in the fixed order of the [observe] list.  Only SB
+   and R gain TSO-only outcomes: store→load is the sole reordering a
+   FIFO store buffer with forwarding exhibits, and TSO is multi-copy
+   atomic, so MP/LB/S/2+2W/IRIW coincide with SC. *)
+
+let sb ~fenced =
+  let sc = sorted [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ] in
+  {
+    name = (if fenced then "SB+mfence" else "SB");
+    fenced;
+    threads =
+      [ 1, st_then_ld ~fenced (x, 1) y; 2, st_then_ld ~fenced (y, 1) x ];
+    depth = 12;
+    observe = obs [ reg 1; reg 2 ];
+    sc;
+    tso = (if fenced then sc else sorted ([ 0; 0 ] :: sc));
+  }
+
+let mp =
+  let both = sorted [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 1 ] ] in
+  {
+    name = "MP";
+    fenced = false;
+    threads =
+      [ 1, Prog.seq (stores [ x, 1; y, 1 ]) (Prog.ret (Value.int 0));
+        2, two_loads y x ];
+    depth = 14;
+    observe = obs [ packed 2 ];
+    sc = both;
+    tso = both (* FIFO buffers preserve store→store: MP is TSO-correct *);
+  }
+
+let lb =
+  let both = sorted [ [ 0; 0 ]; [ 1; 0 ]; [ 0; 1 ] ] in
+  let side b1 b2 = Prog.bind (ld b1) (fun r -> Prog.seq (st b2 1) (Prog.ret r)) in
+  {
+    name = "LB";
+    fenced = false;
+    threads = [ 1, side y x; 2, side x y ];
+    depth = 12;
+    observe = obs [ reg 1; reg 2 ];
+    sc = both;
+    tso = both (* loads are never delayed past later operations *);
+  }
+
+let s =
+  let both = sorted [ [ 1; 1 ]; [ 0; 2 ]; [ 0; 1 ] ] in
+  {
+    name = "S";
+    fenced = false;
+    threads =
+      [ 1, Prog.seq (stores [ x, 2; y, 1 ]) (Prog.ret (Value.int 0));
+        2, Prog.bind (ld y) (fun r -> Prog.seq (st x 1) (Prog.ret r)) ];
+    depth = 14;
+    observe = obs [ reg 2; final x ];
+    sc = both;
+    tso = both;
+  }
+
+let r ~fenced =
+  let sc = sorted [ [ 1; 2 ]; [ 0; 1 ]; [ 1; 1 ] ] in
+  {
+    name = (if fenced then "R+mfence" else "R");
+    fenced;
+    threads =
+      [ 1, Prog.seq (stores [ x, 1; y, 1 ]) (Prog.ret (Value.int 0));
+        2, st_then_ld ~fenced (y, 2) x ];
+    depth = 14;
+    observe = obs [ reg 2; final y ];
+    sc;
+    tso = (if fenced then sc else sorted ([ 0; 2 ] :: sc));
+  }
+
+let two_plus_two_w =
+  let both = sorted [ [ 2; 1 ]; [ 1; 2 ]; [ 2; 2 ] ] in
+  {
+    name = "2+2W";
+    fenced = false;
+    threads =
+      [ 1, Prog.seq (stores [ x, 1; y, 2 ]) (Prog.ret (Value.int 0));
+        2, Prog.seq (stores [ y, 1; x, 2 ]) (Prog.ret (Value.int 0)) ];
+    depth = 14;
+    observe = obs [ final x; final y ];
+    sc = both;
+    tso = both (* the (1,1) cycle needs store→store reordering *);
+  }
+
+let iriw =
+  (* all 16 register vectors except (1,0,1,0): the two readers may not
+     disagree on the order of the independent writes — TSO is multi-copy
+     atomic, so this is forbidden under both modes. *)
+  let all =
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun b ->
+            List.concat_map
+              (fun c -> List.map (fun d -> [ a; b; c; d ]) [ 0; 1 ])
+              [ 0; 1 ])
+          [ 0; 1 ])
+      [ 0; 1 ]
+  in
+  let both = sorted (List.filter (fun o -> o <> [ 1; 0; 1; 0 ]) all) in
+  {
+    name = "IRIW";
+    fenced = false;
+    threads =
+      [ 1, Prog.seq (st x 1) (Prog.ret (Value.int 0));
+        2, Prog.seq (st y 1) (Prog.ret (Value.int 0));
+        3, two_loads x y;
+        4, two_loads y x ];
+    depth = 18;
+    observe = obs [ packed 3; packed 4 ];
+    sc = both;
+    tso = both;
+  }
+
+let tests =
+  [ sb ~fenced:false; sb ~fenced:true; mp; lb; s; r ~fenced:false;
+    r ~fenced:true; two_plus_two_w; iriw ]
+
+let find name = List.find_opt (fun t -> String.equal t.name name) tests
+
+let expected (memory : Memory.t) t =
+  match memory with Memory.Sc -> t.sc | Memory.Tso -> t.tso
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "(%s)"
+    (String.concat "," (List.map string_of_int o))

@@ -1,0 +1,45 @@
+(** The litmus conformance corpus: the classic x86 memory-model tests as
+    games over the bare machine layer.
+
+    Each test is a small multi-threaded program over cells [x = 0] and
+    [y = 1] together with its {e expected} outcome sets under each memory
+    mode, hand-derived from the x86-TSO abstract machine (Owens, Sarkar,
+    Sewell — "A better x86 memory model: x86-TSO").  The runner
+    ({!Ccal_verify.Litmus}) enumerates the {e reachable} outcomes with the
+    DPOR explorer and pins the two sets equal: under [Tso] every
+    x86-allowed outcome must be reached (the store buffers are not
+    decorative) and nothing more (they are not broken); under [Sc] the
+    TSO-only outcomes must be unreachable.
+
+    Only SB and R gain TSO-only outcomes — store→load is the sole
+    reordering a FIFO store buffer with forwarding exhibits — so the
+    corpus also pins the negative space: MP, LB, S, 2+2W and IRIW
+    (multi-copy atomicity) must coincide with SC.  The [+mfence] variants
+    of SB and R pin that a fence between the store and the load
+    re-converges the TSO set onto the SC set. *)
+
+open Ccal_core
+
+type test = {
+  name : string;  (** conventional litmus name, e.g. ["SB"], ["SB+mfence"] *)
+  fenced : bool;
+  threads : (Event.tid * Prog.t) list;
+  depth : int;
+      (** DPOR exploration depth covering every complete game, including
+          flusher commits *)
+  observe : Game.outcome -> (int list, string) result;
+      (** extract the outcome tuple from a completed game: registers from
+          thread results, final memory through {!Tso.erase_buffering} —
+          safe because a completed TSO game has drained buffers *)
+  sc : int list list;  (** expected outcome set under [Sc], sorted *)
+  tso : int list list;  (** expected outcome set under [Tso], sorted *)
+}
+
+val tests : test list
+(** SB, SB+mfence, MP, LB, S, R, R+mfence, 2+2W, IRIW. *)
+
+val find : string -> test option
+
+val expected : Memory.t -> test -> int list list
+
+val pp_outcome : Format.formatter -> int list -> unit

@@ -13,11 +13,19 @@ let erase_switches =
   Sim_rel.of_events "erase-switches" (fun e ->
       if Event.is_switch e then [] else [ e ])
 
-let check_multicore_linking_sched ?max_steps ~threads sched =
+(* [?layer]/[?memory] generalize the linking check to other hardware
+   machines over the same game semantics — {!Tso} passes its buffered
+   layer and [Memory.Tso] so flush moves are part of the play.  The
+   replayed strategies must reproduce the erased log verbatim, so the
+   client workload must be commit-free under TSO (no plain stores);
+   store-buffer discipline for storeful workloads is checked separately
+   ({!Tso.replay_buffer} well-formedness). *)
+let check_multicore_linking_sched ?max_steps ?layer:l ?(memory = Memory.default)
+    ~threads sched =
   Probe.span "mx86.linking" @@ fun () ->
-  let l = layer () in
+  let l = match l with Some l -> l | None -> layer () in
   let outcome =
-    Game.run (Game.config ?max_steps ~log_switches:true l threads sched)
+    Game.run (Game.config ?max_steps ~log_switches:true ~memory l threads sched)
   in
   match outcome.Game.status with
   | Game.Stuck (i, _, msg) ->

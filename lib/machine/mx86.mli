@@ -35,12 +35,19 @@ val erase_switches : Ccal_core.Sim_rel.t
 
 val check_multicore_linking_sched :
   ?max_steps:int ->
+  ?layer:Ccal_core.Layer.t ->
+  ?memory:Ccal_core.Memory.t ->
   threads:(Ccal_core.Event.tid * Ccal_core.Prog.t) list ->
   Ccal_core.Sched.t ->
   (unit, string) result
 (** The per-schedule body of {!check_multicore_linking}.  Pure up to its
     own game state, so the parallel checkers ({!Ccal_verify.Stack}) can
-    evaluate schedules on any domain. *)
+    evaluate schedules on any domain.  [?layer] (default {!layer}) and
+    [?memory] (default [Sc]) generalize the check to other hardware
+    machines over the same game semantics — {!Tso} passes its buffered
+    layer so flush moves become part of the play; the client workload
+    must then be commit-free (no plain stores), since the erased log is
+    replayed move-for-move against the same layer. *)
 
 val check_multicore_linking :
   ?max_steps:int ->

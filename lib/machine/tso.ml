@@ -2,7 +2,8 @@ open Ccal_core
 
 let buf_store_tag = "buf_store"
 let commit_tag = "commit"
-let mfence_tag = "mfence"
+let mfence_tag = Atomic.mfence_tag
+let flush_tag = Memory.flush_tag
 
 module Imap = Map.Make (Int)
 
@@ -10,12 +11,25 @@ let int2 = function
   | [ Value.Vint a; Value.Vint b ] -> Some (a, b)
   | _ -> None
 
+(* A commit carries (cell, value, cpu): the cell first, so the DPOR
+   explorer's first-int-arg convention sees commits of different cells
+   (and flushes of different CPUs, which can only touch different
+   buffers) as commuting, and a commit as conflicting with every
+   same-cell access; the cpu last, because the event's [src] is the
+   mover — the flusher pseudo-thread for a flush move, the thread itself
+   for an RMW/fence drain — and replay must key the buffer by the owning
+   CPU, not by who drained it. *)
+let int3 = function
+  | [ Value.Vint a; Value.Vint b; Value.Vint c ] -> Some (a, b, c)
+  | _ -> None
+
 (* Shared memory: commits plus the (always-drained) RMW operations. *)
 let replay_memory_map : int Imap.t Replay.t =
   Replay.fold ~init:Imap.empty ~step:(fun m (e : Event.t) ->
       let get b = Option.value ~default:0 (Imap.find_opt b m) in
       match e.tag, e.args with
-      | tag, [ Value.Vint b; Value.Vint v ] when String.equal tag commit_tag ->
+      | tag, [ Value.Vint b; Value.Vint v; Value.Vint _cpu ]
+        when String.equal tag commit_tag ->
         Ok (Imap.add b v m)
       | tag, [ Value.Vint b; Value.Vint d ] when String.equal tag Atomic.faa_tag ->
         Ok (Imap.add b (get b + d) m)
@@ -34,29 +48,41 @@ let replay_memory b : int Replay.t =
     (fun m -> Option.value ~default:0 (Imap.find_opt b m))
     (replay_memory_map l)
 
-(* A CPU's store buffer: its buffered stores minus its commits (FIFO). *)
+(* A CPU's store buffer: its buffered stores minus the commits drained
+   from it (FIFO).  Buffered stores are identified by [src]; commits by
+   their cpu argument — their [src] is whoever performed the drain. *)
 let replay_buffer t : (int * int) list Replay.t =
   Replay.fold ~init:[] ~step:(fun buf (e : Event.t) ->
-      if e.src <> t then Ok buf
-      else if String.equal e.tag buf_store_tag then
-        match int2 e.args with
-        | Some bv -> Ok (buf @ [ bv ])
-        | None -> Error "buf_store: bad arguments"
-      else if String.equal e.tag commit_tag then
-        match buf, int2 e.args with
-        | head :: rest, Some bv when head = bv -> Ok rest
-        | _ -> Error "commit does not match the oldest buffered store"
+      if String.equal e.tag buf_store_tag then
+        if e.src <> t then Ok buf
+        else begin
+          match int2 e.args with
+          | Some bv -> Ok (buf @ [ bv ])
+          | None -> Error "buf_store: bad arguments"
+        end
+      else if String.equal e.tag commit_tag then begin
+        match int3 e.args with
+        | Some (b, v, cpu) ->
+          if cpu <> t then Ok buf
+          else (
+            match buf with
+            | head :: rest when head = (b, v) -> Ok rest
+            | _ -> Error "commit does not match the oldest buffered store")
+        | None -> Error "commit: bad arguments"
+      end
       else Ok buf)
 
-let drain_events t log =
+let commit_event ~src t (b, v) =
+  Event.make ~args:[ Value.int b; Value.int v; Value.int t ] src commit_tag
+
+(* The events draining CPU [t]'s buffer in FIFO order.  [?src] is the
+   mover recorded on the commits: the thread itself for RMW/fence drains
+   (the default), the flusher pseudo-thread for environment drains. *)
+let drain_events ?src t log =
+  let src = Option.value ~default:t src in
   match replay_buffer t log with
   | Error _ -> Error "inconsistent store buffer"
-  | Ok buf ->
-    Ok
-      (List.map
-         (fun (b, v) ->
-           Event.make ~args:[ Value.int b; Value.int v ] t commit_tag)
-         buf)
+  | Ok buf -> Ok (List.map (commit_event ~src t) buf)
 
 (* aload: forward from the own buffer (youngest write wins), else memory. *)
 let load_value t b log =
@@ -135,6 +161,31 @@ let mfence_prim =
               crit = Layer.Keep;
             }) )
 
+(* The buffer-flush scheduler move (DESIGN.md S29): commit the single
+   oldest pending store of the named CPU, or block when its buffer is
+   empty.  The game gives every real thread a flusher pseudo-thread
+   looping on this primitive, so the DPOR explorer enumerates flush
+   points like any other move; flushes of different CPUs touch different
+   buffers and different (cell, cpu) commit pairs, so the first-int-arg
+   independence rule lets them commute unless they hit the same cell. *)
+let flush_prim =
+  ( flush_tag,
+    Layer.Shared
+      (fun src args log ->
+        match args with
+        | [ Value.Vint cpu ] -> (
+          match replay_buffer cpu log with
+          | Error msg -> Layer.Stuck msg
+          | Ok [] -> Layer.Block
+          | Ok (oldest :: _) ->
+            Layer.Step
+              {
+                events = [ commit_event ~src cpu oldest ];
+                ret = Value.unit;
+                crit = Layer.Keep;
+              })
+        | _ -> Layer.Stuck "flush: expected a cpu") )
+
 (* pull/push are synchronisation primitives: they fence. *)
 let fenced_pushpull (name, prim) =
   match prim with
@@ -153,17 +204,100 @@ let fenced_pushpull (name, prim) =
 
 let layer () =
   Layer.make "Ltso"
-    ([ aload_prim; astore_prim; faa_prim; xchg_prim; cas_prim; mfence_prim ]
+    ([ aload_prim; astore_prim; faa_prim; xchg_prim; cas_prim; mfence_prim;
+       flush_prim ]
     @ List.map fenced_pushpull Pushpull.prims
     @ [ Mx86.cpuid_prim ])
 
-let erase_buffering =
-  Sim_rel.of_events "erase-buffering" (fun e ->
-      if String.equal e.tag commit_tag then
-        [ { e with Event.tag = Atomic.astore_tag } ]
-      else if String.equal e.tag buf_store_tag || String.equal e.tag mfence_tag
+let machine_layer = function
+  | Memory.Sc -> Mx86.layer ()
+  | Memory.Tso -> layer ()
+
+(* ------------------------------------------------------------------ *)
+(* buffering-event erasure                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A TSO log as an SC log: each commit becomes the owning CPU's [astore]
+   at the commit's log position (that is when the store became globally
+   visible); the buffered store and the fences vanish.  Note this is the
+   memory-order reading of the log, not its program-order reading — for
+   a buffered program the two genuinely differ, which is the whole
+   point of the mode. *)
+let erase_event (e : Event.t) =
+  if String.equal e.tag commit_tag then
+    match int3 e.args with
+    | Some (b, v, cpu) ->
+      [ Event.make ~args:[ Value.int b; Value.int v ] cpu Atomic.astore_tag ]
+    | None -> [ e ]
+  else if String.equal e.tag buf_store_tag || String.equal e.tag mfence_tag then
+    []
+  else [ e ]
+
+let erase_buffering log =
+  Log.append_all (List.concat_map erase_event (Log.chronological log)) Log.empty
+
+let erase_buffering_rel = Sim_rel.of_events "erase-buffering" erase_event
+
+(* Object simulation relations translate implementation events away; the
+   buffering machinery must go with them.  [Sim_rel.of_table] keeps
+   unknown tags, so TSO certificates compose this in front of the object
+   relation. *)
+let drop_buffering =
+  Sim_rel.of_events "drop-buffering" (fun e ->
+      if
+        String.equal e.tag buf_store_tag
+        || String.equal e.tag commit_tag
+        || String.equal e.tag mfence_tag
       then []
       else [ e ])
+
+let under_memory memory rel =
+  match (memory : Memory.t) with
+  | Memory.Sc -> rel
+  | Memory.Tso -> Sim_rel.compose drop_buffering rel
+
+(* ------------------------------------------------------------------ *)
+(* environment drains                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let buffered_cpus log =
+  List.sort_uniq Stdlib.compare
+    (List.filter_map
+       (fun (e : Event.t) ->
+         if String.equal e.tag buf_store_tag then Some e.src else None)
+       (Log.newest_first log))
+
+(* Everything currently buffered, committed: CPUs in ascending order,
+   each buffer FIFO, commits signed by the CPU's flusher pseudo-thread.
+   Deterministic, so certificate runs replay bit-identically. *)
+let drain_all log =
+  List.concat_map
+    (fun cpu ->
+      match drain_events ~src:(Memory.flusher_tid cpu) cpu log with
+      | Ok commits -> commits
+      | Error _ -> [])
+    (buffered_cpus log)
+
+(* The certificate games have no scheduler to move flushers, only an
+   environment context queried before every move ({!Simulation.drive},
+   {!Machine.run_local}).  Wrapping a context with [with_drain] makes
+   the environment commit every pending store at each query point —
+   x86-TSO's progress guarantee that buffers drain eventually, without
+   which a buffered spin (MCS waiting on its own forwarded store) never
+   terminates. *)
+let with_drain (env : Env_context.t) =
+  Env_context.make
+    (env.Env_context.name ^ "+drain")
+    (fun ~focus log ->
+      let drained = drain_all log in
+      let more = env.Env_context.query ~focus (Log.append_all drained log) in
+      drained @ more)
+
+let drain_env = with_drain Env_context.empty
+
+(* ------------------------------------------------------------------ *)
+(* whole-log discipline checks                                         *)
+(* ------------------------------------------------------------------ *)
 
 let cells_mentioned log =
   List.sort_uniq Stdlib.compare
@@ -192,12 +326,33 @@ let final_memory_tso threads log =
   in
   drained
 
+(* Every buffer replays well-formed (each commit matched its FIFO head)
+   and ends empty — the log discipline of a completed TSO game, whose
+   flushers cannot all block until every buffer has drained. *)
+let buffers_drained ~threads log =
+  List.for_all
+    (fun (t, _) -> match replay_buffer t log with Ok [] -> true | _ -> false)
+    threads
+
+let check_multicore_linking_sched ?max_steps ~threads sched =
+  Mx86.check_multicore_linking_sched ?max_steps ~layer:(layer ())
+    ~memory:Memory.Tso ~threads sched
+
+(* Race-free programs on TSO behave as if sequentially consistent
+   (Sewell et al., the result the paper leans on).  Executable form: run
+   the same threads under the same (stateless!) scheduler on both
+   machines — the TSO game with its flusher moves — and require
+   identical thread results and identical final memory on every cell
+   either run mentions.  [Sched.of_trace] values are stateful and must
+   not be reused across two games; round-robin/random schedulers are
+   safe. *)
 let sc_equivalent_on ?(max_steps = 100_000) ~threads ~scheds () =
   let rec go n = function
     | [] -> Ok n
     | sched :: rest -> (
       let tso =
-        Game.run (Game.config ~max_steps (layer ()) threads sched)
+        Game.run
+          (Game.config ~max_steps ~memory:Memory.Tso (layer ()) threads sched)
       in
       let sc =
         Game.run (Game.config ~max_steps (Mx86.layer ()) threads sched)
@@ -216,8 +371,11 @@ let sc_equivalent_on ?(max_steps = 100_000) ~threads ~scheds () =
         if not results_equal then
           Error
             (Printf.sprintf "results differ under %s" sched.Sched.name)
+        else if not (buffers_drained ~threads tso.Game.log) then
+          Error
+            (Printf.sprintf "TSO game ended with a non-empty store buffer under %s"
+               sched.Sched.name)
         else
-          let tso_final = final_memory_tso threads tso.Game.log in
           let cells =
             List.sort_uniq Stdlib.compare
               (cells_mentioned tso.Game.log @ cells_mentioned sc.Game.log)
@@ -225,7 +383,7 @@ let sc_equivalent_on ?(max_steps = 100_000) ~threads ~scheds () =
           let mem_equal =
             List.for_all
               (fun b ->
-                match replay_memory b tso_final, Atomic.replay_cell b sc.Game.log with
+                match replay_memory b tso.Game.log, Atomic.replay_cell b sc.Game.log with
                 | Ok v, Ok v' -> v = v'
                 | _ -> false)
               cells

@@ -4,10 +4,17 @@ module Cx = Ccal_compcertx.Compile
 module A = Ccal_machine.Atomic
 module P = Ccal_machine.Pushpull
 
-let l0 () =
-  let base = Ccal_machine.Mx86.layer () in
+(* MCS is the genuinely buffered object: its handoff protocol runs on
+   plain [astore]/[aload] cells.  Under TSO the rely/guarantee release
+   bound doubles, because [Rg.releases_within] ages held locks by every
+   log event and the buffering machinery ([buf_store] + [commit] per
+   store, plus the environment's drains) roughly doubles the event count
+   of an acquire/release round. *)
+let l0 ?(memory = Memory.default) () =
+  let base = Ccal_machine.Tso.machine_layer memory in
+  let bound = match memory with Memory.Sc -> 96 | Memory.Tso -> 192 in
   let cond =
-    Rg.lock_condition ~bound:96 ~acq_tag:P.pull_tag ~rel_tag:P.push_tag ()
+    Rg.lock_condition ~bound ~acq_tag:P.pull_tag ~rel_tag:P.push_tag ()
   in
   Layer.make ~rely:cond ~guar:cond "L0_mcs" base.Layer.prims
 
@@ -165,40 +172,56 @@ let rival_prog b rounds =
   in
   go rounds
 
-let env_suite ?(locks = [ 0 ]) ?(rivals = [ 9; 8 ]) ?(rounds = [ 1; 2 ]) () :
-    Calculus.env_suite =
+let env_suite ?(memory = Memory.default) ?(locks = [ 0 ]) ?(rivals = [ 9; 8 ])
+    ?(rounds = [ 1; 2 ]) () : Calculus.env_suite =
  fun i ->
   let b = match locks with b :: _ -> b | [] -> 0 in
-  let layer = l0 () in
+  let layer = l0 ~memory () in
   let impl = c_module () in
   let rivals = List.filter (fun j -> j <> i) rivals in
   let rival j =
     j, Machine.strategy_of_prog layer j (Prog.Module.link impl (rival_prog b 1))
   in
-  Env_context.empty
-  :: List.concat_map
-       (fun per_query ->
-         match rivals with
-         | [] -> []
-         | [ j ] ->
-           [
-             Env_context.of_strategies
-               (Printf.sprintf "one-rival(r%d)" per_query)
-               [ rival j ] ~rounds:per_query;
-           ]
-         | j :: k :: _ ->
-           [
-             Env_context.of_strategies
-               (Printf.sprintf "one-rival(r%d)" per_query)
-               [ rival j ] ~rounds:per_query;
-             Env_context.of_strategies
-               (Printf.sprintf "two-rivals(r%d)" per_query)
-               [ rival j; rival k ] ~rounds:per_query;
-           ])
-       rounds
+  (* Under TSO the drain wrapper is load-bearing, not an option: the
+     focused CPU's own buffered [locked(me) := 1] would otherwise be
+     forwarded to its spin loop forever.  Draining at each environment
+     query point is exactly x86-TSO's guarantee that buffers flush
+     eventually, and lets the predecessor's [locked(me) := 0] handoff
+     reach memory. *)
+  let adapt env =
+    match memory with
+    | Memory.Sc -> env
+    | Memory.Tso -> Ccal_machine.Tso.with_drain env
+  in
+  List.map adapt
+    (Env_context.empty
+    :: List.concat_map
+         (fun per_query ->
+           match rivals with
+           | [] -> []
+           | [ j ] ->
+             [
+               Env_context.of_strategies
+                 (Printf.sprintf "one-rival(r%d)" per_query)
+                 [ rival j ] ~rounds:per_query;
+             ]
+           | j :: k :: _ ->
+             [
+               Env_context.of_strategies
+                 (Printf.sprintf "one-rival(r%d)" per_query)
+                 [ rival j ] ~rounds:per_query;
+               Env_context.of_strategies
+                 (Printf.sprintf "two-rivals(r%d)" per_query)
+                 [ rival j; rival k ] ~rounds:per_query;
+             ])
+         rounds)
 
-let certify ?max_moves ?(focus = [ 1; 2 ]) ?(use_asm = false) () =
+let certify ?max_moves ?(memory = Memory.default) ?(focus = [ 1; 2 ])
+    ?(use_asm = false) () =
   let impl = if use_asm then asm_module () else c_module () in
-  Calculus.fun_rule ?max_moves ~underlay:(l0 ()) ~overlay:(overlay ())
-    ~impl ~rel:r_mcs ~focus ~prim_tests:(prim_tests ())
-    ~envs:(env_suite ()) ()
+  Calculus.fun_rule ?max_moves ~underlay:(l0 ~memory ())
+    ~overlay:(overlay ())
+    ~impl
+    ~rel:(Ccal_machine.Tso.under_memory memory r_mcs)
+    ~focus ~prim_tests:(prim_tests ())
+    ~envs:(env_suite ~memory ()) ()

@@ -14,10 +14,13 @@
 
 open Ccal_core
 
-val l0 : unit -> Layer.t
-(** The bottom interface: the hardware layer [Lx86] with its atomic cells
+val l0 : ?memory:Memory.t -> unit -> Layer.t
+(** The bottom interface: the hardware layer of the memory mode ([Lx86]
+    under [Sc], the buffered [Ltso] under [Tso]) with its atomic cells
     and push/pull primitives (no lock-specific primitives are needed —
-    MCS works on raw cells). *)
+    MCS works on raw cells).  Under [Tso] the rely/guarantee release
+    bound doubles (96 → 192): buffering events inflate the event count
+    the bound is measured in. *)
 
 val overlay : ?bound:int -> unit -> Layer.t
 (** The same [Llock] atomic interface as {!Ticket_lock.overlay}. *)
@@ -34,12 +37,21 @@ val r_mcs : Sim_rel.t
 val prim_tests : ?locks:int list -> ?values:int list -> unit -> Calculus.prim_tests
 
 val env_suite :
+  ?memory:Memory.t ->
   ?locks:int list -> ?rivals:Event.tid list -> ?rounds:int list -> unit -> Calculus.env_suite
+(** Under [Tso] every context is wrapped with
+    {!Ccal_machine.Tso.with_drain}: the environment commits pending
+    stores at each query point.  For MCS this is load-bearing — the
+    focused CPU's own buffered [locked := 1] store would otherwise be
+    forwarded to its spin loop forever. *)
 
 val certify :
   ?max_moves:int ->
+  ?memory:Memory.t ->
   ?focus:Event.tid list ->
   ?use_asm:bool ->
   unit ->
   (Calculus.cert, Calculus.error) result
-(** [L0[A] ⊢_{R_mcs} M_mcs : Llock[A]]. *)
+(** [L0[A] ⊢_{R_mcs} M_mcs : Llock[A]].  [?memory] certifies over the
+    corresponding hardware machine; under [Tso] the relation composes
+    {!Ccal_machine.Tso.drop_buffering} in front of [R_mcs]. *)

@@ -219,17 +219,20 @@ let certify ?max_moves ?(focus = [ 1; 2 ]) ?(use_asm = false) () =
 (* The Fig. 5 pipeline extended to the queue: ticket lock under the shared
    queue.  The intermediate interface must carry the silent helpers
    through, so we rebuild the lock certificate against [Lq]-named layers. *)
-let full_stack_certify ?max_moves ?(focus = [ 1; 2 ]) () =
+let full_stack_certify ?max_moves ?(memory = Memory.default) ?(focus = [ 1; 2 ])
+    () =
   let l0q =
-    let base = Ticket_lock.l0 () in
+    let base = Ticket_lock.l0 ~memory () in
     Layer.make ~rely:base.Layer.rely ~guar:base.Layer.guar "L0_q"
       (base.Layer.prims @ helpers)
   in
   let lock_cert =
     Calculus.fun_rule ?max_moves ~underlay:l0q ~overlay:(underlay ())
-      ~impl:(Ticket_lock.c_module ()) ~rel:Ticket_lock.r_ticket ~focus
+      ~impl:(Ticket_lock.c_module ())
+      ~rel:(Ccal_machine.Tso.under_memory memory Ticket_lock.r_ticket)
+      ~focus
       ~prim_tests:(Ticket_lock.prim_tests ())
-      ~envs:(Ticket_lock.env_suite ()) ()
+      ~envs:(Ticket_lock.env_suite ~memory ()) ()
   in
   match lock_cert with
   | Error _ as e -> e

@@ -57,8 +57,11 @@ val certify :
 (** [Lq[A] ⊢_{Rlock} M_sq : Lq_high[A]]. *)
 
 val full_stack_certify :
-  ?max_moves:int -> ?focus:Event.tid list -> unit ->
+  ?max_moves:int -> ?memory:Memory.t -> ?focus:Event.tid list -> unit ->
   (Calculus.cert, Calculus.error) result
 (** The vertical composition of Fig. 5 extended to the queue: ticket lock
     certificate stacked under the shared-queue certificate,
-    [L0[A] ⊢_{Rlock ∘ R_ticket} M1 ⊕ M_sq : Lq_high[A]]. *)
+    [L0[A] ⊢_{Rlock ∘ R_ticket} M1 ⊕ M_sq : Lq_high[A]].  [?memory]
+    selects the hardware machine the lock certificate is built over; the
+    queue certificate above it is memory-mode-insensitive (its underlay
+    is already the atomic lock interface). *)

@@ -44,8 +44,11 @@ let l0_condition =
   Rg.lock_condition ~bound:96 ~acq_tag:Ccal_machine.Pushpull.pull_tag
     ~rel_tag:Ccal_machine.Pushpull.push_tag ()
 
-let l0 () =
-  let base = Ccal_machine.Mx86.layer () in
+(* The ticket implementation issues no plain stores (FAI_t/get_n/inc_n
+   plus pull/push only), so under TSO its buffers stay empty and the
+   certificates carry over with nothing but the layer swap. *)
+let l0 ?(memory = Memory.default) () =
+  let base = Ccal_machine.Tso.machine_layer memory in
   Layer.make ~rely:l0_condition ~guar:l0_condition "L0_ticket"
     (base.Layer.prims @ [ fai_prim; get_n_prim; inc_n_prim ])
 
@@ -195,40 +198,53 @@ let rival_prog b rounds =
   in
   go rounds
 
-let env_suite ?(locks = [ 0 ]) ?(rivals = [ 9; 8 ]) ?(rounds = [ 1; 2 ]) () :
-    Calculus.env_suite =
+let env_suite ?(memory = Memory.default) ?(locks = [ 0 ]) ?(rivals = [ 9; 8 ])
+    ?(rounds = [ 1; 2 ]) () : Calculus.env_suite =
  fun i ->
   let b = match locks with b :: _ -> b | [] -> 0 in
-  let layer = l0 () in
+  let layer = l0 ~memory () in
   let impl = c_module () in
   let rivals = List.filter (fun j -> j <> i) rivals in
   let rival j =
     j, Machine.strategy_of_prog layer j (Prog.Module.link impl (rival_prog b 1))
   in
-  Env_context.empty
-  :: List.concat_map
-       (fun per_query ->
-         match rivals with
-         | [] -> []
-         | [ j ] ->
-           [
-             Env_context.of_strategies
-               (Printf.sprintf "one-rival(r%d)" per_query)
-               [ rival j ] ~rounds:per_query;
-           ]
-         | j :: k :: _ ->
-           [
-             Env_context.of_strategies
-               (Printf.sprintf "one-rival(r%d)" per_query)
-               [ rival j ] ~rounds:per_query;
-             Env_context.of_strategies
-               (Printf.sprintf "two-rivals(r%d)" per_query)
-               [ rival j; rival k ] ~rounds:per_query;
-           ])
-       rounds
+  (* Under TSO every context gains the drain behaviour: the environment
+     commits pending stores at each query point (x86-TSO's progress
+     guarantee that buffers flush eventually). *)
+  let adapt env =
+    match memory with
+    | Memory.Sc -> env
+    | Memory.Tso -> Ccal_machine.Tso.with_drain env
+  in
+  List.map adapt
+    (Env_context.empty
+    :: List.concat_map
+         (fun per_query ->
+           match rivals with
+           | [] -> []
+           | [ j ] ->
+             [
+               Env_context.of_strategies
+                 (Printf.sprintf "one-rival(r%d)" per_query)
+                 [ rival j ] ~rounds:per_query;
+             ]
+           | j :: k :: _ ->
+             [
+               Env_context.of_strategies
+                 (Printf.sprintf "one-rival(r%d)" per_query)
+                 [ rival j ] ~rounds:per_query;
+               Env_context.of_strategies
+                 (Printf.sprintf "two-rivals(r%d)" per_query)
+                 [ rival j; rival k ] ~rounds:per_query;
+             ])
+         rounds)
 
-let certify ?max_moves ?(focus = [ 1; 2 ]) ?(use_asm = false) () =
+let certify ?max_moves ?(memory = Memory.default) ?(focus = [ 1; 2 ])
+    ?(use_asm = false) () =
   let impl = if use_asm then asm_module () else c_module () in
-  Calculus.fun_rule ?max_moves ~underlay:(l0 ()) ~overlay:(overlay ())
-    ~impl ~rel:r_ticket ~focus ~prim_tests:(prim_tests ())
-    ~envs:(env_suite ()) ()
+  Calculus.fun_rule ?max_moves ~underlay:(l0 ~memory ())
+    ~overlay:(overlay ())
+    ~impl
+    ~rel:(Ccal_machine.Tso.under_memory memory r_ticket)
+    ~focus ~prim_tests:(prim_tests ())
+    ~envs:(env_suite ~memory ()) ()

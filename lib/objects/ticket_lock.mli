@@ -32,8 +32,11 @@ val replay_ticket : int -> ticket_state Replay.t
     fields of the C implementation do; mutual exclusion is unaffected as
     long as there are fewer than 2^32 CPUs (Sec. 4.1). *)
 
-val l0 : unit -> Layer.t
-(** [L0]: the hardware layer [Lx86] extended with [FAI_t]/[get_n]/[inc_n]. *)
+val l0 : ?memory:Memory.t -> unit -> Layer.t
+(** [L0]: the hardware layer of the memory mode ([Lx86] under [Sc], the
+    buffered [Ltso] under [Tso]) extended with [FAI_t]/[get_n]/[inc_n].
+    The implementation issues no plain stores, so under TSO its buffers
+    stay empty and the certificate carries over unchanged. *)
 
 val overlay : ?bound:int -> unit -> Layer.t
 (** [Llock]: the atomic lock interface this implementation certifies
@@ -66,16 +69,21 @@ val prim_tests : ?locks:int list -> ?values:int list -> unit -> Calculus.prim_te
 (** Default argument vectors for the [Fun]-rule obligations. *)
 
 val env_suite :
+  ?memory:Memory.t ->
   ?locks:int list -> ?rivals:Event.tid list -> ?rounds:int list -> unit -> Calculus.env_suite
 (** Environment suites whose participants run real acquire/release rounds
     of this very implementation over [L0] (so all environment events carry
-    replay-consistent return values). *)
+    replay-consistent return values).  Under [Tso] every context is
+    wrapped with {!Ccal_machine.Tso.with_drain}. *)
 
 val certify :
   ?max_moves:int ->
+  ?memory:Memory.t ->
   ?focus:Event.tid list ->
   ?use_asm:bool ->
   unit ->
   (Calculus.cert, Calculus.error) result
 (** Build the certificate [L0[A] ⊢_{R_ticket} M1 : Llock[A]] via the [Fun]
-    rule (C semantics by default, compiled assembly when [use_asm]). *)
+    rule (C semantics by default, compiled assembly when [use_asm]).
+    [?memory] certifies over the corresponding hardware machine; the
+    relation composes {!Ccal_machine.Tso.drop_buffering} under [Tso]. *)

@@ -1,0 +1,61 @@
+open Ccal_core
+module A = Ccal_machine.Atomic
+module P = Ccal_machine.Pushpull
+module T = Ccal_machine.Tso
+
+(* Deliberately broken synchronisation: Dekker-style flag handshakes
+   whose mutual exclusion depends on the store-to-load ordering that
+   x86-TSO does NOT provide.  Both variants are store-buffering (SB)
+   shaped on purpose — the one reordering TSO exhibits is store→load, so
+   an SB core is the only honest way to break an algorithm with it
+   (classic message passing, for instance, is TSO-correct: FIFO buffers
+   preserve store→store).
+
+   Under SC the flag protocol is exact mutual exclusion: whoever reads
+   the peer's flag as 0 knows the peer has not yet stored, and program
+   order makes its own store visible first — at most one thread enters.
+   Under TSO both stores can sit in their buffers while both loads read
+   0 from memory, so both threads pull the protected location: the
+   push/pull replay detects the double pull as a data race, and the game
+   reports [Stuck (_, Data_race, _)] — the named violation the negative
+   tests pin. *)
+
+type variant = Trylock | Handshake
+
+let variant_name = function Trylock -> "trylock" | Handshake -> "handshake"
+
+(* Cell map.  [Trylock] uses flag cells 11/12, [Handshake] a req/ack
+   mailbox pair 21/22; both guard the same push/pull location. *)
+let protected_loc = 5
+
+let flags = function Trylock -> (11, 12) | Handshake -> (21, 22)
+
+let store b v = Prog.call A.astore_tag [ Value.int b; Value.int v ]
+let load b = Prog.call A.aload_tag [ Value.int b ]
+let fence = Prog.call A.mfence_tag []
+
+(* flag[mine] := 1; (mfence;) if flag[theirs] = 0 then enter the
+   critical section through pull/push. *)
+let side ~fenced ~mine ~theirs ~publish =
+  Prog.seq (store mine 1)
+    (let check =
+       Prog.bind (load theirs) (fun r ->
+           if Value.equal r (Value.int 0) then
+             Prog.bind (Prog.call P.pull_tag [ Value.int protected_loc ])
+               (fun _ ->
+                 Prog.seq
+                   (Prog.call P.push_tag
+                      [ Value.int protected_loc; Value.int publish ])
+                   Prog.ret_unit)
+           else Prog.ret_unit)
+     in
+     if fenced then Prog.seq fence check else check)
+
+let threads ?(fenced = false) variant =
+  let a, b = flags variant in
+  [ 1, side ~fenced ~mine:a ~theirs:b ~publish:1;
+    2, side ~fenced ~mine:b ~theirs:a ~publish:2 ]
+
+let layer memory = T.machine_layer memory
+
+let variants = [ Trylock; Handshake ]

@@ -16,6 +16,9 @@ type t = {
   jobs : int;  (** domains for the pool; 1 = the sequential oracle *)
   cache : Cache.t option;
   strategy : strategy;  (** suite generator when no [?scheds] is given *)
+  memory : Ccal_core.Memory.t;
+      (** memory mode the games run under; enters every cache key, so an
+          SC verdict is never served for a TSO query *)
   budget : Budget.t;
   token : Budget.token;
       (** the running token for [budget]; nested checkers (Stack → Races
@@ -31,6 +34,7 @@ let default =
     jobs = 1;
     cache = None;
     strategy = `Dpor 4;
+    memory = Ccal_core.Memory.default;
     budget = Budget.unlimited;
     token = Budget.no_token;
     faults = Fault.none;
@@ -45,18 +49,21 @@ let with_jobs jobs t = { t with jobs = max 1 jobs }
 let with_cache cache t = { t with cache = Some cache }
 let without_cache t = { t with cache = None }
 let with_strategy strategy t = { t with strategy }
+let with_memory memory t = { t with memory }
 let with_budget budget t = { t with budget; token = Budget.start budget }
 let with_faults faults t = { t with faults }
 let with_stats stats t = { t with stats }
 let with_trace trace t = { t with trace = Some trace }
 
-let make ?(jobs = 1) ?cache ?(strategy = `Dpor 4) ?budget ?(faults = Fault.none)
+let make ?(jobs = 1) ?cache ?(strategy = `Dpor 4)
+    ?(memory = Ccal_core.Memory.default) ?budget ?(faults = Fault.none)
     ?(stats = false) ?trace () =
   let budget = Option.value budget ~default:Budget.unlimited in
   {
     jobs = max 1 jobs;
     cache;
     strategy;
+    memory;
     budget;
     token = (if Budget.is_unlimited budget then Budget.no_token else Budget.start budget);
     faults;
@@ -81,10 +88,12 @@ let jobs_opt t = if t.jobs <= 1 then None else Some t.jobs
 let arm t f = Fault.with_plan t.faults f
 
 let pp fmt t =
-  Format.fprintf fmt "jobs:%d cache:%s strategy:%s budget:%a faults:%a" t.jobs
+  Format.fprintf fmt "jobs:%d cache:%s strategy:%s memory:%s budget:%a faults:%a"
+    t.jobs
     (match t.cache with Some c -> Cache.dir c | None -> "off")
     (match t.strategy with
     | `Exhaustive d -> Printf.sprintf "exhaustive:%d" d
     | `Dpor d -> Printf.sprintf "dpor:%d" d
     | `Random n -> Printf.sprintf "random:%d" n)
+    (Ccal_core.Memory.to_string t.memory)
     Budget.pp t.budget Fault.pp t.faults

@@ -21,6 +21,9 @@ type t = {
   jobs : int;  (** domains for the pool; 1 = the sequential oracle *)
   cache : Cache.t option;
   strategy : strategy;  (** suite generator when no [?scheds] is given *)
+  memory : Ccal_core.Memory.t;
+      (** memory mode the games run under ([Sc] default, [Tso] for the
+          buffered machine); folded into every cache key *)
   budget : Budget.t;
   token : Budget.token;  (** running token for [budget] *)
   faults : Fault.plan;
@@ -35,6 +38,7 @@ val make :
   ?jobs:int ->
   ?cache:Cache.t ->
   ?strategy:strategy ->
+  ?memory:Ccal_core.Memory.t ->
   ?budget:Budget.t ->
   ?faults:Fault.plan ->
   ?stats:bool ->
@@ -50,6 +54,12 @@ val with_jobs : int -> t -> t
 val with_cache : Cache.t -> t -> t
 val without_cache : t -> t
 val with_strategy : strategy -> t -> t
+
+val with_memory : Ccal_core.Memory.t -> t -> t
+(** Select the memory mode ([--memory sc|tso] on the CLI).  Under [Tso]
+    the checkers run games on a buffered layer with flusher
+    pseudo-threads in the schedule space; the mode is folded into every
+    cache key so verdicts never cross modes. *)
 
 val with_budget : Budget.t -> t -> t
 (** (Re)starts the token: the deadline epoch is the moment the budget is

@@ -120,9 +120,10 @@ type fringe_item = Leaf of Event.tid list | Subtree of node
    shapes the DFS.  The walk has no failure mode (a stuck leaf is just a
    short prefix), so unlike verdicts its result is stored
    unconditionally; the replay phase always runs live. *)
-let walk_key ?private_fuel ~independence ~reads ~depth layer threads =
+let walk_key ?private_fuel ~independence ~reads ~memory ~depth layer threads =
   let st = Fingerprint.string Fingerprint.empty "dpor" in
   let st = Fingerprint.layer st layer in
+  let st = Fingerprint.memory st memory in
   let st =
     Fingerprint.list
       (fun st (i, p) -> Fingerprint.prog (Fingerprint.int st i) p)
@@ -136,7 +137,13 @@ let walk_key ?private_fuel ~independence ~reads ~depth layer threads =
   Fingerprint.finish (Fingerprint.option Fingerprint.int st private_fuel)
 
 let prefixes_with_prunes_live ?private_fuel ?(independence = Exact)
-    ?(reads = default_reads) ?jobs ~depth layer threads =
+    ?(reads = default_reads) ?jobs ?(memory = Memory.default) ~depth layer
+    threads =
+  (* Under TSO the flusher pseudo-threads are part of the schedule space:
+     the DFS explores their moves (each a single-cell commit) like any
+     other thread's.  [Game.config] re-adds the same flushers internally,
+     so the original [threads] go to replay untouched. *)
+  let threads = threads @ Game.flusher_threads ~memory layer threads in
   let classify slots log =
     List.filter_map
       (fun (i, st) ->
@@ -265,15 +272,18 @@ let prefixes_with_prunes_live ?private_fuel ?(independence = Exact)
   end
 
 let prefixes_with_prunes ?private_fuel ?(independence = Exact)
-    ?(reads = default_reads) ?jobs ?cache ~depth layer threads =
+    ?(reads = default_reads) ?jobs ?cache ?(memory = Memory.default) ~depth
+    layer threads =
   let body () =
-    prefixes_with_prunes_live ?private_fuel ~independence ~reads ?jobs ~depth
-      layer threads
+    prefixes_with_prunes_live ?private_fuel ~independence ~reads ?jobs ~memory
+      ~depth layer threads
   in
   match cache with
   | None -> body ()
   | Some c -> (
-    let key = walk_key ?private_fuel ~independence ~reads ~depth layer threads in
+    let key =
+      walk_key ?private_fuel ~independence ~reads ~memory ~depth layer threads
+    in
     match Cache.find c ~kind:"dpor" key with
     | Some (r : Event.tid list list * int) -> r
     | None ->
@@ -281,11 +291,11 @@ let prefixes_with_prunes ?private_fuel ?(independence = Exact)
       Cache.store c ~kind:"dpor" key r;
       r)
 
-let prefixes ?private_fuel ?independence ?reads ?jobs ?cache ~depth layer
-    threads =
+let prefixes ?private_fuel ?independence ?reads ?jobs ?cache ?memory ~depth
+    layer threads =
   fst
     (prefixes_with_prunes ?private_fuel ?independence ?reads ?jobs ?cache
-       ~depth layer threads)
+       ?memory ~depth layer threads)
 
 let sched_of_prefix prefix =
   Sched.of_trace
@@ -294,25 +304,26 @@ let sched_of_prefix prefix =
          (String.concat "," (List.map string_of_int prefix)))
     prefix
 
-let schedules ?private_fuel ?independence ?reads ?jobs ?cache ~depth layer
-    threads =
+let schedules ?private_fuel ?independence ?reads ?jobs ?cache ?memory ~depth
+    layer threads =
   List.map sched_of_prefix
-    (prefixes ?private_fuel ?independence ?reads ?jobs ?cache ~depth layer
-       threads)
+    (prefixes ?private_fuel ?independence ?reads ?jobs ?cache ?memory ~depth
+       layer threads)
 
 let explore ?max_steps ?private_fuel ?(independence = Exact) ?reads ?jobs
-    ?cache ~depth layer threads =
+    ?cache ?(memory = Memory.default) ~depth layer threads =
   let prefixes, sleep_set_prunes =
     Probe.span "dpor.prefixes" (fun () ->
         prefixes_with_prunes ?private_fuel ~independence ?reads ?jobs ?cache
-          ~depth layer threads)
+          ~memory ~depth layer threads)
   in
   let outcomes =
     Probe.span "dpor.replay" (fun () ->
         Parallel.map ?jobs
           (fun p ->
             Game.replay
-              (Game.config ?max_steps layer threads (sched_of_prefix p)))
+              (Game.config ?max_steps ~memory layer threads
+                 (sched_of_prefix p)))
           prefixes)
   in
   let logs = List.map (fun o -> o.Game.log) outcomes in
@@ -361,7 +372,8 @@ let prefixes_with_prunes_ctx ~ctx ?private_fuel ?independence ?reads ~depth
     layer threads =
   Ctx.arm ctx (fun () ->
       prefixes_with_prunes ?private_fuel ?independence ?reads
-        ?jobs:(Ctx.jobs_opt ctx) ?cache:ctx.Ctx.cache ~depth layer threads)
+        ?jobs:(Ctx.jobs_opt ctx) ?cache:ctx.Ctx.cache ~memory:ctx.Ctx.memory
+        ~depth layer threads)
 
 let prefixes_ctx ~ctx ?private_fuel ?independence ?reads ~depth layer threads =
   fst
@@ -378,7 +390,8 @@ let explore_ctx ~ctx ?max_steps ?private_fuel ?(independence = Exact) ?reads
   let prefixes, sleep_set_prunes =
     Probe.span "dpor.prefixes" (fun () ->
         prefixes_with_prunes ?private_fuel ~independence ?reads
-          ?jobs:(Ctx.jobs_opt ctx) ?cache:ctx.Ctx.cache ~depth layer threads)
+          ?jobs:(Ctx.jobs_opt ctx) ?cache:ctx.Ctx.cache ~memory:ctx.Ctx.memory
+          ~depth layer threads)
   in
   let replay =
     Probe.span "dpor.replay" (fun () ->
@@ -388,7 +401,8 @@ let explore_ctx ~ctx ?max_steps ?private_fuel ?(independence = Exact) ?reads
           ~cut:(fun _ -> false)
           (fun ~stop p ->
             Game.replay
-              (Game.config ?max_steps ?stop layer threads (sched_of_prefix p)))
+              (Game.config ?max_steps ?stop ~memory:ctx.Ctx.memory layer
+                 threads (sched_of_prefix p)))
           prefixes)
   in
   let outcomes = replay.Parallel.prefix in

@@ -87,7 +87,14 @@ val explore_ctx :
     The walk itself is never budgeted (depth-bounded and cheap); the
     replay phase charges [ctx.token] per game.  An [Exhausted] result
     still carries the {e complete} prefix frontier with the outcomes of
-    the replayed prefix — [stats.schedules_run] says how far it got. *)
+    the replayed prefix — [stats.schedules_run] says how far it got.
+
+    [ctx.memory] selects the memory mode.  Under [Tso] the DFS adds the
+    flusher pseudo-threads ({!Ccal_core.Game.flusher_threads}) to its
+    root slots, so buffer-flush points are enumerated like any other
+    move; flushes of different CPUs commute under [Commuting_events]
+    (different buffers, and the commit's first argument is the cell).
+    The mode is folded into the walk's cache key. *)
 
 val prefixes_ctx :
   ctx:Ctx.t ->
@@ -136,6 +143,7 @@ val explore :
   ?reads:string list ->
   ?jobs:int ->
   ?cache:Cache.t ->
+  ?memory:Memory.t ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
@@ -148,6 +156,7 @@ val prefixes :
   ?reads:string list ->
   ?jobs:int ->
   ?cache:Cache.t ->
+  ?memory:Memory.t ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
@@ -160,6 +169,7 @@ val schedules :
   ?reads:string list ->
   ?jobs:int ->
   ?cache:Cache.t ->
+  ?memory:Memory.t ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->

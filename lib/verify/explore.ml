@@ -39,7 +39,13 @@ let pp_strategy fmt = function
 
 let scheds_of_strategy_ctx ~ctx ?private_fuel layer threads =
   match ctx.Ctx.strategy with
-  | `Exhaustive depth -> exhaustive_scheds ~tids:(List.map fst threads) ~depth
+  | `Exhaustive depth ->
+    (* Under TSO the flusher pseudo-threads are schedulable too, so the
+       exhaustive prefix alphabet must include their tids. *)
+    let effective =
+      threads @ Game.flusher_threads ~memory:ctx.Ctx.memory layer threads
+    in
+    exhaustive_scheds ~tids:(List.map fst effective) ~depth
   | `Dpor depth -> Dpor.schedules_ctx ~ctx ?private_fuel ~depth layer threads
   | `Random count -> random_scheds ~count
 
@@ -51,9 +57,10 @@ let scheds_of_strategy ?private_fuel ?jobs ?cache layer threads strategy =
 (* Cache key of a [run_all] call: the complete game identity — layer,
    linked client programs, scheduler suite (by name), fuel.  [jobs] is
    deliberately absent: outcomes are bit-identical across jobs counts. *)
-let runall_key ?max_steps layer threads scheds =
+let runall_key ?max_steps ~memory layer threads scheds =
   let st = Fingerprint.string Fingerprint.empty "runall" in
   let st = Fingerprint.layer st layer in
+  let st = Fingerprint.memory st memory in
   let st =
     Fingerprint.list
       (fun st (i, p) -> Fingerprint.prog (Fingerprint.int st i) p)
@@ -73,7 +80,9 @@ let run_all_ctx ~ctx ?max_steps layer threads scheds =
           ~interrupted:(fun o -> o.Game.status = Game.Cancelled)
           ~cut:(fun _ -> false)
           (fun ~stop sched ->
-            Game.replay (Game.config ?max_steps ?stop layer threads sched))
+            Game.replay
+              (Game.config ?max_steps ?stop ~memory:ctx.Ctx.memory layer
+                 threads sched))
           scheds)
   in
   let finish (b : Game.outcome Parallel.budgeted) =
@@ -85,7 +94,7 @@ let run_all_ctx ~ctx ?max_steps layer threads scheds =
   match ctx.Ctx.cache with
   | None -> finish (body ())
   | Some c -> (
-    let key = runall_key ?max_steps layer threads scheds in
+    let key = runall_key ?max_steps ~memory:ctx.Ctx.memory layer threads scheds in
     match Cache.find c ~kind:"runall" key with
     | Some (outcomes : Game.outcome list) -> Budget.Complete outcomes
     | None -> (

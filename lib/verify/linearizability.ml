@@ -29,7 +29,8 @@ let refine_live ~ctx ?max_steps ?expect_all_done ~underlay ~impl ~overlay
       ~cut:(fun r -> match r with `Checked (Error _) -> true | _ -> false)
       (fun ~stop sched ->
         Refinement.check_sched_stop ?max_steps ?expect_all_done ?stop
-          ~underlay ~impl ~overlay ~rel ~client ~tids sched)
+          ~memory:ctx.Ctx.memory ~underlay ~impl ~overlay ~rel ~client ~tids
+          sched)
       scheds
   in
   let rec go scheds_checked logs translated = function
@@ -56,11 +57,12 @@ let refine_live ~ctx ?max_steps ?expect_all_done ~underlay ~impl ~overlay
    implementation bodies, the relation (by name), the client workload on
    the focused threads, the suite identity, and the fuel/strictness
    knobs.  [jobs] is absent by design. *)
-let refine_key ?max_steps ?expect_all_done ~underlay ~impl ~overlay ~rel
-    ~client ~tids ~scheds () =
+let refine_key ?max_steps ?expect_all_done ~memory ~underlay ~impl ~overlay
+    ~rel ~client ~tids ~scheds () =
   let st = Fingerprint.string Fingerprint.empty "refine" in
   let st = Fingerprint.layer st underlay in
   let st = Fingerprint.layer st overlay in
+  let st = Fingerprint.memory st memory in
   let st = Fingerprint.modul st impl in
   let st = Fingerprint.string st rel.Sim_rel.name in
   let st =
@@ -93,8 +95,8 @@ let refine_ctx ~ctx ?max_steps ?expect_all_done ~underlay ~impl ~overlay
   | None -> live ()
   | Some c -> (
     let key =
-      refine_key ?max_steps ?expect_all_done ~underlay ~impl ~overlay ~rel
-        ~client ~tids ~scheds ()
+      refine_key ?max_steps ?expect_all_done ~memory:ctx.Ctx.memory ~underlay
+        ~impl ~overlay ~rel ~client ~tids ~scheds ()
     in
     let run_and_store () =
       match live () with

@@ -44,9 +44,11 @@ let classify sched outcome =
           log = outcome.Game.log;
         }
 
-let eval ?max_steps layer threads ~stop sched =
+let eval ?max_steps ?memory layer threads ~stop sched =
   Probe.incr Probe.race_checks;
-  let outcome = Game.replay (Game.config ?max_steps ?stop layer threads sched) in
+  let outcome =
+    Game.replay (Game.config ?max_steps ?stop ?memory layer threads sched)
+  in
   (outcome.Game.steps, classify sched outcome)
 
 (* Deterministic merge.  A race anywhere wins (the lowest-indexed one —
@@ -78,9 +80,10 @@ let merge outcomes =
 (* Cache key: game identity plus the suite identity.  When the suite is
    implicit the key uses the strategy descriptor — deliberately, so a
    warm hit skips even the DPOR walk that would materialize it. *)
-let check_key ?max_steps ~suite layer threads =
+let check_key ?max_steps ~suite ~memory layer threads =
   let st = Fingerprint.string Fingerprint.empty "races" in
   let st = Fingerprint.layer st layer in
+  let st = Fingerprint.memory st memory in
   let st =
     Fingerprint.list
       (fun st (i, p) -> Fingerprint.prog (Fingerprint.int st i) p)
@@ -123,7 +126,8 @@ let check_ctx ~ctx ?max_steps ?scheds ?resume layer threads =
         ~interrupted:(fun (_, o) ->
           match o with Interrupted -> true | _ -> false)
         ~cut:(fun (_, o) -> match o with Racy _ -> true | _ -> false)
-        (fun ~stop sched -> eval ?max_steps layer threads ~stop sched)
+        (fun ~stop sched ->
+          eval ?max_steps ~memory:ctx.Ctx.memory layer threads ~stop sched)
         todo
     in
     let outcomes = List.map snd replay.Parallel.prefix in
@@ -157,7 +161,7 @@ let check_ctx ~ctx ?max_steps ?scheds ?resume layer threads =
       | Some ss -> `Scheds ss
       | None -> `Strategy ctx.Ctx.strategy
     in
-    let key = check_key ?max_steps ~suite layer threads in
+    let key = check_key ?max_steps ~suite ~memory:ctx.Ctx.memory layer threads in
     match Cache.find c ~kind:"races" key with
     | Some (runs : int) -> Race_free { runs }
     | None -> (

@@ -137,7 +137,7 @@ let fp_placement st p =
     (fun st (t, c) -> Fingerprint.int (Fingerprint.int st t) c)
     st p
 
-let edge_keys ~lock ~seeds ~strategy =
+let edge_keys ~lock ~seeds ~strategy ~memory =
   let suite st =
     match strategy with
     | None -> Fingerprint.string (Fingerprint.int st 1) (Printf.sprintf "seeds:%d" seeds)
@@ -145,8 +145,13 @@ let edge_keys ~lock ~seeds ~strategy =
       Fingerprint.string (Fingerprint.int st 2)
         (Format.asprintf "%a" Explore.pp_strategy s)
   in
+  (* The memory mode is part of EVERY edge key — even the edges whose
+     underlay is already an atomic interface — so a verdict computed
+     under SC is never served for a TSO query (or vice versa). *)
   let base name =
-    Fingerprint.string (Fingerprint.string Fingerprint.empty "stack-edge") name
+    Fingerprint.memory
+      (Fingerprint.string (Fingerprint.string Fingerprint.empty "stack-edge") name)
+      memory
   in
   let lock_name = match lock with `Ticket -> "ticket" | `Mcs -> "mcs" in
   let lock_fns =
@@ -155,7 +160,9 @@ let edge_keys ~lock ~seeds ~strategy =
     | `Mcs -> [ Mcs_lock.acq_fn; Mcs_lock.rel_fn ]
   in
   let lock_l0 =
-    match lock with `Ticket -> Ticket_lock.l0 () | `Mcs -> Mcs_lock.l0 ()
+    match lock with
+    | `Ticket -> Ticket_lock.l0 ~memory ()
+    | `Mcs -> Mcs_lock.l0 ~memory ()
   in
   let lock_overlay =
     match lock with
@@ -182,7 +189,7 @@ let edge_keys ~lock ~seeds ~strategy =
   in
   let e1 =
     let st = base "Mx86 refines Lx86[D] (Thm 3.1)" in
-    let st = Fingerprint.layer st (Ccal_machine.Mx86.layer ()) in
+    let st = Fingerprint.layer st (Ccal_machine.Tso.machine_layer memory) in
     let st = fp_threads st [ 1, faa_round 1; 2, faa_round 2 ] in
     Fingerprint.finish (suite st)
   in
@@ -205,13 +212,13 @@ let edge_keys ~lock ~seeds ~strategy =
   let e4 =
     let st = base "L0 |- M_lock + M_q : Lq_high (Vcomp, Fig. 5)" in
     let st = fp_fns st queue_fns in
-    let st = Fingerprint.layer st (Ticket_lock.l0 ()) in
+    let st = Fingerprint.layer st (Ticket_lock.l0 ~memory ()) in
     Fingerprint.finish (Fingerprint.layer st (Queue_shared.overlay ()))
   in
   let e5 =
     let st = base "[[P + M]]_L0 refines [[P]]_Lq_high (Thm 2.2)" in
     let st = fp_fns st queue_fns in
-    let st = Fingerprint.layer st (Ticket_lock.l0 ()) in
+    let st = Fingerprint.layer st (Ticket_lock.l0 ~memory ()) in
     let st = Fingerprint.layer st (Queue_shared.overlay ()) in
     let st = fp_threads st [ 1, queue_client 1; 2, queue_client 2 ] in
     Fingerprint.finish (suite st)
@@ -265,8 +272,9 @@ let edge_keys ~lock ~seeds ~strategy =
     "Llock |- M_rwlock : Lrwlock (Fun, extension)", e10;
   ]
 
-let edge_fingerprints ?(lock = `Ticket) ?(seeds = 4) ?strategy () =
-  edge_keys ~lock ~seeds ~strategy
+let edge_fingerprints ?(lock = `Ticket) ?(seeds = 4) ?strategy
+    ?(memory = Memory.default) () =
+  edge_keys ~lock ~seeds ~strategy ~memory
 
 (* Budgeted sub-checkers inside an edge body signal exhaustion by
    exception; the edge loop catches it and reports the stack-level
@@ -285,7 +293,8 @@ let verify_all_ctx ~ctx ?(lock = `Ticket) ?(seeds = 4) ?strategy
   Ctx.arm ctx @@ fun () ->
   let jobs = Ctx.jobs_opt ctx in
   let cache = ctx.Ctx.cache in
-  let keys = edge_keys ~lock ~seeds ~strategy in
+  let memory = ctx.Ctx.memory in
+  let keys = edge_keys ~lock ~seeds ~strategy ~memory in
   (* Per-edge memoization.  The cache probe and store sit OUTSIDE the
      [timed] window of the edge body, so a cold run's per-edge counters
      are unaffected by caching and a warm hit reproduces the stored
@@ -352,13 +361,14 @@ let verify_all_ctx ~ctx ?(lock = `Ticket) ?(seeds = 4) ?strategy
           stack_cert_memo := Some c;
           c)
         (Result.map_error (Format.asprintf "%a" Calculus.pp_error)
-           (Queue_shared.full_stack_certify ()))
+           (Queue_shared.full_stack_certify ~memory ()))
   in
 
   let lock_name, certify_lock =
     match lock with
-    | `Ticket -> "ticket", fun () -> Ticket_lock.certify ~focus:[ 1; 2 ] ()
-    | `Mcs -> "mcs", fun () -> Mcs_lock.certify ~focus:[ 1; 2 ] ()
+    | `Ticket ->
+      "ticket", fun () -> Ticket_lock.certify ~memory ~focus:[ 1; 2 ] ()
+    | `Mcs -> "mcs", fun () -> Mcs_lock.certify ~memory ~focus:[ 1; 2 ] ()
   in
   let lock_edge_name = Printf.sprintf "L0 |- M_%s : Llock (Fun)" lock_name in
 
@@ -367,16 +377,26 @@ let verify_all_ctx ~ctx ?(lock = `Ticket) ?(seeds = 4) ?strategy
      is the first edge that did not complete. *)
   let edge_thunks =
     [
-      (* 1. multicore linking over the hardware machine *)
+      (* 1. multicore linking over the hardware machine of the mode *)
       ( "Mx86 refines Lx86[D] (Thm 3.1)",
         fun () ->
           let link_result, ms, cs =
             timed (fun () ->
                 let threads = [ 1, faa_round 1; 2, faa_round 2 ] in
+                let check sched =
+                  match memory with
+                  | Memory.Sc ->
+                    Ccal_machine.Mx86.check_multicore_linking_sched ~threads
+                      sched
+                  | Memory.Tso ->
+                    Ccal_machine.Tso.check_multicore_linking_sched ~threads
+                      sched
+                in
                 fold_linking
-                  (Parallel.scan ?jobs ~cut:Result.is_error
-                     (Ccal_machine.Mx86.check_multicore_linking_sched ~threads)
-                     (scheds_for (Ccal_machine.Mx86.layer ()) threads)))
+                  (Parallel.scan ?jobs ~cut:Result.is_error check
+                     (scheds_for
+                        (Ccal_machine.Tso.machine_layer memory)
+                        threads)))
           in
           let* n = link_result in
           Ok
@@ -400,8 +420,8 @@ let verify_all_ctx ~ctx ?(lock = `Ticket) ?(seeds = 4) ?strategy
             timed (fun () ->
                 let mk focus =
                   match lock with
-                  | `Ticket -> Ticket_lock.certify ~focus ()
-                  | `Mcs -> Mcs_lock.certify ~focus ()
+                  | `Ticket -> Ticket_lock.certify ~memory ~focus ()
+                  | `Mcs -> Mcs_lock.certify ~memory ~focus ()
                 in
                 let* c1 =
                   Result.map_error (Format.asprintf "%a" Calculus.pp_error)
@@ -414,8 +434,8 @@ let verify_all_ctx ~ctx ?(lock = `Ticket) ?(seeds = 4) ?strategy
                 (* the compat corpus: logs from contention games *)
                 let layer =
                   match lock with
-                  | `Ticket -> Ticket_lock.l0 ()
-                  | `Mcs -> Mcs_lock.l0 ()
+                  | `Ticket -> Ticket_lock.l0 ~memory ()
+                  | `Mcs -> Mcs_lock.l0 ~memory ()
                 in
                 let m =
                   match lock with

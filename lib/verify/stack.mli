@@ -45,13 +45,16 @@ val edge_fingerprints :
   ?lock:[ `Ticket | `Mcs ] ->
   ?seeds:int ->
   ?strategy:Explore.strategy ->
+  ?memory:Ccal_core.Memory.t ->
   unit ->
   (string * Fingerprint.t) list
 (** The cache key of every edge {!verify_all} would check, in order,
     keyed by [edge_name] — exposed so tests can assert the invalidation
     contract: changing an input (the lock implementation, the seeds, the
-    strategy) must change exactly the keys of the edges that depend on
-    it.  [jobs] takes no part in any key. *)
+    strategy, the memory mode) must change exactly the keys of the edges
+    that depend on it.  The memory mode enters {e every} key — an SC
+    verdict is never served for a TSO query.  [jobs] takes no part in
+    any key. *)
 
 val adversarial_edge_name : string
 (** Name of the opt-in spinning-rwlock edge, for CLI/report plumbing. *)

@@ -19,10 +19,10 @@ let sb_thread ~fenced store load =
        (if fenced then Prog.call "mfence" [] else Prog.ret_unit)
        (Prog.bind (Prog.call "aload" [ vi load ]) (fun r -> Prog.ret r)))
 
-let sb_outcomes layer ~fenced =
+let sb_outcomes ?memory layer ~fenced =
   let scheds = Ccal_verify.Explore.exhaustive_scheds ~tids:[ 1; 2 ] ~depth:6 in
   let outcomes =
-    Game.behaviors layer
+    Game.behaviors ?memory layer
       [ 1, sb_thread ~fenced x_cell y_cell; 2, sb_thread ~fenced y_cell x_cell ]
       scheds
   in
@@ -43,11 +43,11 @@ let test_sb_sc_forbids_00 () =
   check_bool "other outcomes reachable" true (List.length outcomes >= 2)
 
 let test_sb_tso_allows_00 () =
-  let outcomes = sb_outcomes (Tso.layer ()) ~fenced:false in
+  let outcomes = sb_outcomes ~memory:Memory.Tso (Tso.layer ()) ~fenced:false in
   check_bool "(0,0) reachable on TSO" true (List.mem (0, 0) outcomes)
 
 let test_sb_tso_fenced_forbids_00 () =
-  let outcomes = sb_outcomes (Tso.layer ()) ~fenced:true in
+  let outcomes = sb_outcomes ~memory:Memory.Tso (Tso.layer ()) ~fenced:true in
   check_bool "(0,0) gone with mfence" false (List.mem (0, 0) outcomes)
 
 let test_store_forwarding () =
@@ -94,7 +94,7 @@ let test_replay_buffer () =
     log_of
       [ ev ~args:[ vi 1; vi 5 ] 1 Tso.buf_store_tag;
         ev ~args:[ vi 2; vi 6 ] 1 Tso.buf_store_tag;
-        ev ~args:[ vi 1; vi 5 ] 1 Tso.commit_tag ]
+        ev ~args:[ vi 1; vi 5; vi 1 ] 1 Tso.commit_tag ]
   in
   (match Replay.run_exn (Tso.replay_buffer 1) l with
   | [ (2, 6) ] -> ()
@@ -104,7 +104,7 @@ let test_replay_buffer () =
     log_of
       [ ev ~args:[ vi 1; vi 5 ] 1 Tso.buf_store_tag;
         ev ~args:[ vi 2; vi 6 ] 1 Tso.buf_store_tag;
-        ev ~args:[ vi 2; vi 6 ] 1 Tso.commit_tag ]
+        ev ~args:[ vi 2; vi 6; vi 1 ] 1 Tso.commit_tag ]
   in
   check_bool "out-of-order commit rejected" false
     (Replay.well_formed (Tso.replay_buffer 1) bad)
@@ -138,10 +138,10 @@ let test_erase_buffering_relation () =
   let l =
     log_of
       [ ev ~args:[ vi 1; vi 5 ] 1 Tso.buf_store_tag;
-        ev ~args:[ vi 1; vi 5 ] 1 Tso.commit_tag;
+        ev ~args:[ vi 1; vi 5; vi 1 ] 1 Tso.commit_tag;
         ev 1 Tso.mfence_tag ]
   in
-  let t = Sim_rel.apply Tso.erase_buffering l in
+  let t = Sim_rel.apply Tso.erase_buffering_rel l in
   check_int "one astore left" 1 (Log.length t);
   check_string "renamed" "astore" (Option.get (Log.latest t)).Event.tag
 

@@ -22,4 +22,5 @@ let () =
       "certificate-cache (S26)", Test_cache.suite;
       "robustness (S27)", Test_robust.suite;
       "kv-layer-stack (S28)", Test_kv.suite;
+      "memory-model-litmus (S29)", Test_litmus.suite;
     ]
