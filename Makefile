@@ -1,4 +1,4 @@
-.PHONY: all build test check check-test-count check-parallel check-cache check-robust check-speedup check-kv check-tso examples explore bench clean
+.PHONY: all build test check check-test-count check-parallel check-cache check-robust check-speedup check-kv check-tso check-crash examples explore bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # Regression guard: the suite must never silently shrink — a dune or
 # module-wiring mistake can drop a whole test file from the runner while
 # everything still "passes".  Bump the floor when tests are added.
-TEST_COUNT_FLOOR := 443
+TEST_COUNT_FLOOR := 462
 
 check-test-count:
 	@out=$$(dune runtest --force 2>&1); status=$$?; \
@@ -29,7 +29,7 @@ check-test-count:
 # Runs the full suite (with the test-count floor), the DPOR-vs-exhaustive
 # agreement check on the headline game, and the certificate-cache and
 # robustness gates.
-check: build check-test-count check-cache check-robust check-speedup check-kv check-tso
+check: build check-test-count check-cache check-robust check-speedup check-kv check-tso check-crash
 	dune exec bin/ccal_cli.exe -- explore lock --threads 3 --depth 5
 
 # The speedup gate (DESIGN.md S24): the perf-gate alcotest section runs
@@ -122,6 +122,34 @@ check-tso: build
 	$(CCAL_BIN) stack --memory tso
 	$(CCAL_BIN) stack --memory tso --lock mcs
 	_build/default/bench/main.exe --tso-only
+
+# The crash-safety gate (DESIGN.md S30).  Three legs:
+#   1. the WAL and durable-kv edges certify crash refinement: every
+#      schedule x crash point x (keep,tear) mask recovers to a
+#      prefix-consistent state (exit 1 on any lost acked-synced op or
+#      invented op);
+#   2. the deliberately unsynced WAL variant must FAIL, with the failure
+#      naming a stable crash point (the negative control: if the
+#      certifier ever waves it through, the gate is vacuous);
+#   3. warm cache and jobs {1,4} runs print bit-identical canonical
+#      reports.
+CRASH_CHECK_DIR := _build/ccal-crash-cache-check
+
+check-crash: build
+	@rm -rf $(CRASH_CHECK_DIR); \
+	$(CCAL_BIN) crash --cache-dir $(CRASH_CHECK_DIR) --jobs 1 \
+	  --report _build/crash-cold.txt || exit 1; \
+	$(CCAL_BIN) crash --cache-dir $(CRASH_CHECK_DIR) --jobs 4 \
+	  --report _build/crash-warm.txt || exit 1; \
+	cmp _build/crash-cold.txt _build/crash-warm.txt || { \
+	  echo "check-crash: REGRESSION - warm jobs=4 report differs from cold jobs=1"; exit 1; }; \
+	echo "check-crash: OK (2 edges certified, cold/warm and jobs 1/4 reports identical)"
+	@out=$$($(CCAL_BIN) crash unsynced 2>&1); status=$$?; \
+	if [ $$status -eq 0 ]; then \
+	  echo "check-crash: REGRESSION - unsynced WAL variant certified"; exit 1; fi; \
+	echo "$$out" | grep -q "crash-refinement failure" || { \
+	  echo "check-crash: REGRESSION - unsynced failure not named"; exit 1; }; \
+	echo "check-crash: OK (unsynced variant rejected: $$(echo "$$out" | grep 'crash-refinement failure' | head -1))"
 
 # Build and run every example as a smoke test (the CI examples step).
 examples: build

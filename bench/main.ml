@@ -1244,6 +1244,129 @@ let write_tso_json path (b : tso_bench) =
   Format.printf "@.  wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* crash — crash-refinement certification and recovery cost (S30)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two tables for EXPERIMENTS.md:
+   - edge rows: the crash-refinement certificate per edge (schedules x
+     crash points x masks = recoveries), with the jobs {1,4} determinism
+     gate applied to the canonical report;
+   - recover rows: the recovery-scan micro-cost as the surviving log
+     grows — recovery is O(records), the crash-safety analogue of the
+     Sec. 7 replay-cost story. *)
+
+type crash_edge_row = {
+  ce_name : string;
+  ce_schedules : int;
+  ce_points : int;
+  ce_recoveries : int;
+  ce_ms : float;
+}
+
+type crash_recover_row = { cr_records : int; cr_ns : float }
+
+type crash_bench = {
+  crash_edges : crash_edge_row list;
+  crash_identical : bool;  (** canonical report, jobs 1 vs 4 *)
+  crash_recover : crash_recover_row list;
+}
+
+let run_crash_bench () =
+  let module V = Ccal_verify in
+  let module D = Ccal_disk in
+  let edges () = [ D.Wal.crash_edge (); D.Durable_kv.crash_edge () ] in
+  let report jobs =
+    match V.Budget.value (V.Crash.check_ctx ~ctx:(vctx ~jobs ()) (edges ())) with
+    | Ok r -> r
+    | Error f -> failwith (Format.asprintf "%a" V.Crash.pp_failure f)
+  in
+  ignore (report 1) (* warm-up *);
+  let r1 = report 1 in
+  let r4 = report 4 in
+  let canonical r = Format.asprintf "%a" V.Crash.pp_report_canonical r in
+  let crash_edges =
+    List.map
+      (fun (e : V.Crash.edge_report) ->
+        {
+          ce_name = e.V.Crash.edge_name;
+          ce_schedules = e.V.Crash.schedules;
+          ce_points = e.V.Crash.crash_points;
+          ce_recoveries = e.V.Crash.recoveries;
+          ce_ms = e.V.Crash.millis;
+        })
+      r1.V.Crash.edges
+  in
+  let recover_at n =
+    let st =
+      D.Disk.of_durable
+        (List.init n (fun i ->
+             let o = { D.Wal.lsn = i + 1; key = i; value = 10 * i } in
+             (i + 1, D.Wal.record o)))
+    in
+    let iters = 1_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (D.Wal.recover st)
+    done;
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+    { cr_records = n; cr_ns = ns }
+  in
+  {
+    crash_edges;
+    crash_identical = canonical r1 = canonical r4;
+    crash_recover = List.map recover_at [ 10; 50; 100; 500; 1000 ];
+  }
+
+let print_crash_bench (b : crash_bench) =
+  Format.printf
+    "@.== crash: crash-refinement certification (DESIGN.md S30) ==@.@.";
+  Format.printf "  %-14s %10s %13s %12s %9s@." "edge" "schedules"
+    "crash points" "recoveries" "ms";
+  List.iter
+    (fun r ->
+      Format.printf "  %-14s %10d %13d %12d %9.1f@." r.ce_name r.ce_schedules
+        r.ce_points r.ce_recoveries r.ce_ms)
+    b.crash_edges;
+  Format.printf "  canonical reports jobs 1 vs 4: %s@."
+    (if b.crash_identical then "identical" else "DIFFER");
+  Format.printf "@.== crash: recovery-scan cost vs. surviving log ==@.@.";
+  Format.printf "  %-10s %-16s@." "records" "ns per recover";
+  List.iter
+    (fun r -> Format.printf "  %-10d %-16.0f@." r.cr_records r.cr_ns)
+    b.crash_recover;
+  Format.printf
+    "  shape: linear in the surviving records — recovery rescans the \
+     platter prefix@."
+
+let write_crash_json path (b : crash_bench) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"crash-refinement\",\n";
+  out "  \"reports_identical_jobs_1_4\": %b,\n" b.crash_identical;
+  out "  \"edges\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"edge\": %S, \"schedules\": %d, \"crash_points\": %d, \
+         \"recoveries\": %d, \"ms\": %.3f}%s\n"
+        r.ce_name r.ce_schedules r.ce_points r.ce_recoveries r.ce_ms
+        (if i = List.length b.crash_edges - 1 then "" else ","))
+    b.crash_edges;
+  out "  ],\n";
+  out "  \"recover\": [\n";
+  List.iteri
+    (fun i r ->
+      out "    {\"records\": %d, \"ns_per_recover\": %.1f}%s\n" r.cr_records
+        r.cr_ns
+        (if i = List.length b.crash_recover - 1 then "" else ","))
+    b.crash_recover;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Format.printf "@.  wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro/macro benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1337,7 +1460,19 @@ let kv_only = Array.exists (String.equal "--kv-only") Sys.argv
    writes BENCH_tso.json — the CI memory-model leg uses it. *)
 let tso_only = Array.exists (String.equal "--tso-only") Sys.argv
 
+(* `--crash-only` runs just the S30 crash-refinement section and writes
+   BENCH_crash.json — the CI crash leg uses it. *)
+let crash_only = Array.exists (String.equal "--crash-only") Sys.argv
+
 let () =
+  if crash_only then begin
+    Format.printf "=== CCAL crash-refinement benchmark (DESIGN.md S30) ===@.";
+    let crash = run_crash_bench () in
+    print_crash_bench crash;
+    write_crash_json "BENCH_crash.json" crash;
+    Format.printf "@.done.@.";
+    exit 0
+  end;
   if tso_only then begin
     Format.printf "=== CCAL memory-model benchmark (DESIGN.md S29) ===@.";
     let tso = run_tso_bench () in
@@ -1395,6 +1530,9 @@ let () =
   let tso = run_tso_bench () in
   print_tso_bench tso;
   write_tso_json "BENCH_tso.json" tso;
+  let crash = run_crash_bench () in
+  print_crash_bench crash;
+  write_crash_json "BENCH_crash.json" crash;
   let bench_rows = run_benchmarks (make_tests perf) in
   (* headline ratio, from wall-clock *)
   (match

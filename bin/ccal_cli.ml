@@ -8,10 +8,13 @@
      ccal pipeline  run the Fig. 5 ticket-lock pipeline with soundness
      ccal explore   compare the DPOR explorer against exhaustive
                     enumeration on a benchmark game
+     ccal litmus    run the memory-model conformance suite
+     ccal crash     certify crash refinement of the WAL and durable-kv
+                    edges (DESIGN.md S30)
      ccal inventory print the layer/object inventory
 
-   The game-driving subcommands (stack, pipeline, explore) share one
-   flag bundle — --jobs, --strategy, --cache/--cache-dir, --stats,
+   The game-driving subcommands (stack, kv, pipeline, explore, litmus,
+   crash) share one flag bundle — --jobs, --strategy, --cache/--cache-dir, --stats,
    --trace, --budget-ms, --budget-steps, --inject — parsed once into a
    [Ccal_verify.Ctx.t] and threaded through the [*_ctx] checker entry
    points (DESIGN.md S27). *)
@@ -267,48 +270,64 @@ let run_with_common (c : common) f =
       Format.printf "%a%a" pp_fault_summary c pp_cache_summary c.cache;
       code)
 
+(* The one funnel every game-driving subcommand (stack, kv, pipeline,
+   explore, litmus, crash) goes through: a bundle parse error exits 2,
+   otherwise the body gets the parsed bundle and its context under the
+   telemetry/fault/cache plumbing.  Subcommand-specific validation
+   happens inside the body (same exit 2), so the wiring is written once
+   rather than re-pasted per subcommand. *)
+let with_common common f =
+  match common with
+  | Error msg ->
+    Format.eprintf "%s@." msg;
+    2
+  | Ok c -> run_with_common c (fun ctx -> f c ctx)
+
+let report_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "report" ] ~docv:"FILE"
+           ~doc:"Also write the canonical (timing-free) report to $(docv).  \
+                 The file is bit-identical between cold and warm cached \
+                 runs and across $(b,--jobs) counts — made for $(b,cmp).")
+
+let write_report report_file pp report =
+  match report_file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let fmt = Format.formatter_of_out_channel oc in
+    Format.fprintf fmt "%a@." pp report;
+    Format.pp_print_flush fmt ();
+    close_out oc;
+    Format.printf "canonical report written to %s@." path
+
 (* ---------------- stack ---------------- *)
 
 let stack_cmd =
   let run common lock seeds livelock report_file =
-    match common with
-    | Error msg ->
-      Format.eprintf "%s@." msg;
-      2
-    | Ok c ->
-      let lock = match lock with "mcs" -> `Mcs | _ -> `Ticket in
-      run_with_common c @@ fun ctx ->
-      let module V = Ccal_verify in
-      let write_report report =
-        match report_file with
-        | None -> ()
-        | Some path ->
-          let oc = open_out path in
-          let fmt = Format.formatter_of_out_channel oc in
-          Format.fprintf fmt "%a@." V.Stack.pp_report_canonical report;
-          Format.pp_print_flush fmt ();
-          close_out oc;
-          Format.printf "canonical report written to %s@." path
-      in
-      (match
-         V.Stack.verify_all_ctx ~ctx ~lock ~seeds ?strategy:c.strategy
-           ~adversarial:livelock ()
-       with
-      | V.Budget.Complete (Ok progress) ->
-        Format.printf "%a@." V.Stack.pp_report progress.V.Stack.completed;
-        write_report progress.V.Stack.completed;
-        0
-      | V.Budget.Exhausted { spent; partial = Ok progress } ->
-        Format.printf "%a@." V.Stack.pp_report progress.V.Stack.completed;
-        Format.printf "budget exhausted (%a) before edge %S@."
-          V.Budget.pp_spent spent
-          (Option.value progress.V.Stack.next_edge ~default:"?");
-        write_report progress.V.Stack.completed;
-        0
-      | V.Budget.Complete (Error msg)
-      | V.Budget.Exhausted { partial = Error msg; _ } ->
-        Format.eprintf "stack verification failed: %s@." msg;
-        1)
+    with_common common @@ fun c ctx ->
+    let lock = match lock with "mcs" -> `Mcs | _ -> `Ticket in
+    let module V = Ccal_verify in
+    let report r = write_report report_file V.Stack.pp_report_canonical r in
+    match
+      V.Stack.verify_all_ctx ~ctx ~lock ~seeds ?strategy:c.strategy
+        ~adversarial:livelock ()
+    with
+    | V.Budget.Complete (Ok progress) ->
+      Format.printf "%a@." V.Stack.pp_report progress.V.Stack.completed;
+      report progress.V.Stack.completed;
+      0
+    | V.Budget.Exhausted { spent; partial = Ok progress } ->
+      Format.printf "%a@." V.Stack.pp_report progress.V.Stack.completed;
+      Format.printf "budget exhausted (%a) before edge %S@."
+        V.Budget.pp_spent spent
+        (Option.value progress.V.Stack.next_edge ~default:"?");
+      report progress.V.Stack.completed;
+      0
+    | V.Budget.Complete (Error msg)
+    | V.Budget.Exhausted { partial = Error msg; _ } ->
+      Format.eprintf "stack verification failed: %s@." msg;
+      1
   in
   let lock =
     Arg.(value & opt string "ticket"
@@ -327,56 +346,34 @@ let stack_cmd =
                    run stops at the deadline and reports the completed \
                    edges ($(b,exhausted), exit 0).")
   in
-  let report_file =
-    Arg.(value & opt (some string) None
-         & info [ "report" ] ~docv:"FILE"
-             ~doc:"Also write the canonical (timing-free) report to $(docv).  \
-                   The file is bit-identical between cold and warm cached \
-                   runs and across $(b,--jobs) counts — made for $(b,cmp).")
-  in
   Cmd.v
     (Cmd.info "stack" ~doc:"Certify and link the whole Fig. 1 layer stack")
-    Term.(const run $ common_term $ lock $ seeds $ livelock $ report_file)
+    Term.(const run $ common_term $ lock $ seeds $ livelock $ report_file_arg)
 
 (* ---------------- kv ---------------- *)
 
 let kv_cmd =
   let run common threads shards entries report_file =
-    match common with
-    | Error msg ->
-      Format.eprintf "%s@." msg;
-      2
-    | Ok c ->
-      run_with_common c @@ fun ctx ->
-      let module V = Ccal_verify in
-      let module K = Ccal_kv.Kv_stack in
-      let write_report report =
-        match report_file with
-        | None -> ()
-        | Some path ->
-          let oc = open_out path in
-          let fmt = Format.formatter_of_out_channel oc in
-          Format.fprintf fmt "%a@." K.pp_report_canonical report;
-          Format.pp_print_flush fmt ();
-          close_out oc;
-          Format.printf "canonical report written to %s@." path
-      in
-      (match K.verify_ctx ~ctx ~threads ~shards ~entries () with
-      | V.Budget.Complete (Ok report) ->
-        Format.printf "%a" K.pp_report report;
-        write_report report;
-        0
-      | V.Budget.Exhausted { spent; partial = Ok report } ->
-        Format.printf "%a" K.pp_report report;
-        Format.printf "budget exhausted (%a) after %d of 3 edges@."
-          V.Budget.pp_spent spent
-          (List.length report.K.edges);
-        write_report report;
-        0
-      | V.Budget.Complete (Error msg)
-      | V.Budget.Exhausted { partial = Error msg; _ } ->
-        Format.eprintf "kv verification failed: %s@." msg;
-        1)
+    with_common common @@ fun _c ctx ->
+    let module V = Ccal_verify in
+    let module K = Ccal_kv.Kv_stack in
+    let report r = write_report report_file K.pp_report_canonical r in
+    match K.verify_ctx ~ctx ~threads ~shards ~entries () with
+    | V.Budget.Complete (Ok r) ->
+      Format.printf "%a" K.pp_report r;
+      report r;
+      0
+    | V.Budget.Exhausted { spent; partial = Ok r } ->
+      Format.printf "%a" K.pp_report r;
+      Format.printf "budget exhausted (%a) after %d of 3 edges@."
+        V.Budget.pp_spent spent
+        (List.length r.K.edges);
+      report r;
+      0
+    | V.Budget.Complete (Error msg)
+    | V.Budget.Exhausted { partial = Error msg; _ } ->
+      Format.eprintf "kv verification failed: %s@." msg;
+      1
   in
   let threads =
     Arg.(value & opt int 3
@@ -394,17 +391,10 @@ let kv_cmd =
          & info [ "entries" ] ~docv:"N"
              ~doc:"Block-cache capacity in direct-mapped entries.")
   in
-  let report_file =
-    Arg.(value & opt (some string) None
-         & info [ "report" ] ~docv:"FILE"
-             ~doc:"Also write the canonical (timing-free) report to $(docv).  \
-                   The file is bit-identical between cold and warm cached \
-                   runs and across $(b,--jobs) counts — made for $(b,cmp).")
-  in
   Cmd.v
     (Cmd.info "kv"
        ~doc:"Certify the kv serving stack (sharded hash table + block cache)")
-    Term.(const run $ common_term $ threads $ shards $ entries $ report_file)
+    Term.(const run $ common_term $ threads $ shards $ entries $ report_file_arg)
 
 (* ---------------- verify ---------------- *)
 
@@ -496,14 +486,9 @@ let cache_cmd =
 
 let pipeline_cmd =
   let run common seeds =
-    match common with
-    | Error msg ->
-      Format.eprintf "%s@." msg;
-      2
-    | Ok c ->
-      run_with_common c @@ fun ctx ->
-      let module V = Ccal_verify in
-      (match Ticket_lock.certify ~memory:c.memory ~focus:[ 1; 2 ] () with
+    with_common common @@ fun c ctx ->
+    let module V = Ccal_verify in
+    (match Ticket_lock.certify ~memory:c.memory ~focus:[ 1; 2 ] () with
       | Error e ->
         Format.eprintf "%a@." Calculus.pp_error e;
         1
@@ -593,6 +578,19 @@ let explore_game name nthreads memory =
     Some (Ccal_kv.Kv_stack.cache_game ~entries:2 ~threads:nthreads ())
   | "kv-composed" ->
     Some (Ccal_kv.Kv_stack.composed_game ~shards:2 ~entries:2 ~threads:nthreads ())
+  | "wal" | "durable-kv" ->
+    (* The crash-enabled disk games (DESIGN.md S30): the underlay exports
+       the crash primitive, so the schedule space includes the crash
+       pseudo-thread's move and the explorers enumerate power loss at
+       every point like any other interleaving. *)
+    let module D = Ccal_disk in
+    let modul, client =
+      if name = "wal" then D.Wal.module_ (), D.Wal.client
+      else D.Durable_kv.module_ (), D.Durable_kv.client
+    in
+    Some
+      ( D.Wal.underlay ~crashes:true (),
+        spawn (fun i -> Prog.Module.link modul (client i)) )
   | _ -> (
     (* litmus:<NAME> — the conformance corpus over the mode's machine
        layer, e.g. litmus:SB, litmus:IRIW (CI's memory-model leg). *)
@@ -606,32 +604,24 @@ let explore_game name nthreads memory =
 
 let explore_cmd =
   let run common obj nthreads depth mode =
+    with_common common @@ fun c ctx ->
     let independence =
       match mode with
       | "events" -> Some Ccal_verify.Dpor.Commuting_events
       | "exact" -> Some Ccal_verify.Dpor.Exact
       | _ -> None
     in
-    let game =
-      match common with
-      | Error _ -> None
-      | Ok c -> explore_game obj nthreads c.memory
-    in
-    match common, game, independence with
-    | Error msg, _, _ ->
-      Format.eprintf "%s@." msg;
-      2
-    | _, None, _ ->
+    match explore_game obj nthreads c.memory, independence with
+    | None, _ ->
       Format.eprintf
         "unknown game %S (expected lock, ticket, mcs, queue, queue-atomic, \
-         kv-ht, kv-cache, kv-composed or litmus:NAME)@."
+         kv-ht, kv-cache, kv-composed, wal, durable-kv or litmus:NAME)@."
         obj;
       2
-    | _, _, None ->
+    | _, None ->
       Format.eprintf "unknown mode %S (expected exact or events)@." mode;
       2
-    | Ok c, Some (layer, threads), Some independence ->
-      run_with_common c @@ fun ctx ->
+    | Some (layer, threads), Some independence ->
       let module V = Ccal_verify in
       let header () =
         Format.printf "game %s: %d threads, depth %d, %s independence, %s@."
@@ -652,11 +642,12 @@ let explore_cmd =
           (List.length partial.V.Dpor.prefixes);
         0
       | V.Budget.Complete dpor -> (
-        (* Under TSO the flushers are scheduler-movable threads: the
-           exhaustive side must enumerate their tids too, or the
-           comparison would miss every delayed-commit interleaving. *)
+        (* Pseudo-threads (TSO flushers, the crash thread) are
+           scheduler-movable too: the exhaustive side must enumerate
+           their tids, or the comparison would miss every delayed-commit
+           or crash interleaving. *)
         let effective =
-          threads @ Game.flusher_threads ~memory:c.memory layer threads
+          threads @ Game.pseudo_threads ~memory:c.memory layer threads
         in
         let tids = List.map fst effective in
         match
@@ -729,53 +720,48 @@ let explore_cmd =
 
 let litmus_cmd =
   let run common test_name table_file =
-    match common with
+    with_common common @@ fun _c ctx ->
+    let tests =
+      match test_name with
+      | "all" -> Ok Ccal_machine.Litmus.tests
+      | n -> (
+        match Ccal_machine.Litmus.find n with
+        | Some t -> Ok [ t ]
+        | None ->
+          Error
+            (Printf.sprintf "unknown litmus test %S (try %s)" n
+               (String.concat ", "
+                  (List.map
+                     (fun (t : Ccal_machine.Litmus.test) ->
+                       t.Ccal_machine.Litmus.name)
+                     Ccal_machine.Litmus.tests))))
+    in
+    match tests with
     | Error msg ->
       Format.eprintf "%s@." msg;
       2
-    | Ok c -> (
-      let tests =
-        match test_name with
-        | "all" -> Ok Ccal_machine.Litmus.tests
-        | n -> (
-          match Ccal_machine.Litmus.find n with
-          | Some t -> Ok [ t ]
-          | None ->
-            Error
-              (Printf.sprintf "unknown litmus test %S (try %s)" n
-                 (String.concat ", "
-                    (List.map
-                       (fun (t : Ccal_machine.Litmus.test) ->
-                         t.Ccal_machine.Litmus.name)
-                       Ccal_machine.Litmus.tests))))
-      in
-      match tests with
-      | Error msg ->
-        Format.eprintf "%s@." msg;
-        2
-      | Ok tests ->
-        run_with_common c @@ fun ctx ->
-        let module V = Ccal_verify in
-        (* The conformance suite is inherently dual-mode: each test runs
-           under SC and TSO with the same knobs, whatever --memory says. *)
-        let pairs = V.Litmus.run_both ~tests ~ctx () in
-        List.iter
-          (fun (sc, tso) ->
-            Format.printf "%a@.%a@." V.Litmus.pp_report sc V.Litmus.pp_report
-              tso)
-          pairs;
-        (match table_file with
-        | None -> ()
-        | Some path ->
-          let oc = open_out path in
-          let fmt = Format.formatter_of_out_channel oc in
-          Format.fprintf fmt "%a" V.Litmus.pp_table pairs;
-          Format.pp_print_flush fmt ();
-          close_out oc;
-          Format.printf "per-mode outcome table written to %s@." path);
-        if List.for_all (fun (sc, tso) -> V.Litmus.ok sc && V.Litmus.ok tso) pairs
-        then 0
-        else 1)
+    | Ok tests ->
+      let module V = Ccal_verify in
+      (* The conformance suite is inherently dual-mode: each test runs
+         under SC and TSO with the same knobs, whatever --memory says. *)
+      let pairs = V.Litmus.run_both ~tests ~ctx () in
+      List.iter
+        (fun (sc, tso) ->
+          Format.printf "%a@.%a@." V.Litmus.pp_report sc V.Litmus.pp_report
+            tso)
+        pairs;
+      (match table_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        let fmt = Format.formatter_of_out_channel oc in
+        Format.fprintf fmt "%a" V.Litmus.pp_table pairs;
+        Format.pp_print_flush fmt ();
+        close_out oc;
+        Format.printf "per-mode outcome table written to %s@." path);
+      if List.for_all (fun (sc, tso) -> V.Litmus.ok sc && V.Litmus.ok tso) pairs
+      then 0
+      else 1
   in
   let test_name =
     Arg.(value & pos 0 string "all"
@@ -794,6 +780,90 @@ let litmus_cmd =
     (Cmd.info "litmus"
        ~doc:"Run the memory-model litmus conformance suite under SC and TSO")
     Term.(const run $ common_term $ test_name $ table_file)
+
+(* ---------------- crash ---------------- *)
+
+let crash_cmd =
+  let run common edge_name nthreads shards crashes report_file =
+    with_common common @@ fun _c ctx ->
+    let module V = Ccal_verify in
+    let module D = Ccal_disk in
+    let edges =
+      match edge_name with
+      | "all" ->
+        Ok
+          [ D.Wal.crash_edge ~threads:nthreads ();
+            D.Durable_kv.crash_edge ~threads:nthreads ~shards () ]
+      | "wal" -> Ok [ D.Wal.crash_edge ~threads:nthreads () ]
+      | "durable-kv" ->
+        Ok [ D.Durable_kv.crash_edge ~threads:nthreads ~shards () ]
+      | "unsynced" ->
+        (* The negative control: sync acknowledges without reaching the
+           platter, so the certificate must fail with a named crash
+           point. *)
+        Ok [ D.Wal.crash_edge ~threads:nthreads ~unsynced:true () ]
+      | other ->
+        Error
+          (Printf.sprintf
+             "unknown edge %S (expected all, wal, durable-kv or unsynced)"
+             other)
+    in
+    match edges with
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      2
+    | Ok edges -> (
+      let report r = write_report report_file V.Crash.pp_report_canonical r in
+      match V.Crash.check_ctx ~ctx ~crashes edges with
+      | V.Budget.Complete (Ok r) ->
+        Format.printf "%a" V.Crash.pp_report r;
+        report r;
+        0
+      | V.Budget.Exhausted { spent; partial = Ok r } ->
+        Format.printf "%a" V.Crash.pp_report r;
+        Format.printf "budget exhausted (%a) after %d of %d edges@."
+          V.Budget.pp_spent spent
+          (List.length r.V.Crash.edges)
+          (List.length edges);
+        report r;
+        0
+      | V.Budget.Complete (Error f)
+      | V.Budget.Exhausted { partial = Error f; _ } ->
+        Format.eprintf "%a@." V.Crash.pp_failure f;
+        1)
+  in
+  let edge_name =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"EDGE"
+             ~doc:"Crash edge to certify: $(b,all) (wal + durable-kv, the \
+                   default), $(b,wal), $(b,durable-kv), or $(b,unsynced) \
+                   (the deliberately broken no-sync WAL — must fail with a \
+                   named crash point; exit 1).")
+  in
+  let nthreads =
+    Arg.(value & opt int 2
+         & info [ "threads" ] ~docv:"N"
+             ~doc:"Client threads per edge game (each appends, syncs, \
+                   appends again on its own keys).")
+  in
+  let shards =
+    Arg.(value & opt int 2
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Hash-table shard count of the durable-kv edge.")
+  in
+  let crashes =
+    Arg.(value & opt int 4
+         & info [ "crashes" ] ~docv:"M"
+             ~doc:"In-flight bound up to which the (keep, tear) mask \
+                   lattice is enumerated in full at each crash point; \
+                   larger in-flight sets fall back to the deterministic \
+                   boundary sample.")
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:"Certify crash refinement of the WAL and durable-kv edges")
+    Term.(const run $ common_term $ edge_name $ nthreads $ shards $ crashes
+          $ report_file_arg)
 
 (* ---------------- inventory ---------------- *)
 
@@ -825,4 +895,4 @@ let () =
        (Cmd.group
           (Cmd.info "ccal" ~version:"1.0.0" ~doc)
           [ stack_cmd; kv_cmd; verify_cmd; pipeline_cmd; explore_cmd;
-            litmus_cmd; inventory_cmd; cache_cmd ]))
+            litmus_cmd; crash_cmd; inventory_cmd; cache_cmd ]))

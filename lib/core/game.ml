@@ -34,8 +34,48 @@ let flusher_threads ~memory layer threads =
           (Memory.flusher_tid cpu, p))
         threads
 
+(* The crash move as a scheduler pseudo-thread (DESIGN.md S30): a layer
+   exporting the crash primitive gets one crash thread whose single move
+   fires it — so "the machine loses power here" is just one more
+   scheduler choice, enumerated by the same DPOR/exhaustive machinery as
+   every other move.  The in-game crash carries the adversarial masks
+   (keep nothing, tear nothing); the certifier enumerates the full mask
+   lattice analytically over log prefixes. *)
+let crash_threads layer =
+  if not (Layer.has_prim Durability.crash_tag layer) then []
+  else
+    let args = Durability.crash_args ~keep:0 ~tear:0 in
+    [ (Durability.crash_tid,
+       Prog.Call { prim = Durability.crash_tag; args; k = (fun _ -> Prog.Ret Value.unit) }) ]
+
+(* The single synthesis point for every pseudo-thread a game runs beside
+   the real domain.  Negative tids are one shared namespace — crash
+   thread at -1, flusher for cpu c at -c-1 with cpus >= 1 — and real
+   tids must be non-negative; any collision is a construction error
+   caught here rather than a silent mis-scheduled game. *)
+let pseudo_threads ~memory layer threads =
+  let pseudo = flusher_threads ~memory layer threads @ crash_threads layer in
+  List.iter
+    (fun (i, _) ->
+      if i < 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Game.pseudo_threads: real thread id %d collides with the pseudo-thread namespace (tids < 0)"
+             i))
+    threads;
+  let rec distinct = function
+    | [] -> ()
+    | (i, _) :: rest ->
+      if List.mem_assoc i rest then
+        invalid_arg
+          (Printf.sprintf "Game.pseudo_threads: duplicate pseudo-thread id %d" i);
+      distinct rest
+  in
+  distinct pseudo;
+  pseudo
+
 let effective_threads cfg =
-  cfg.threads @ flusher_threads ~memory:cfg.memory cfg.layer cfg.threads
+  cfg.threads @ pseudo_threads ~memory:cfg.memory cfg.layer cfg.threads
 
 type status =
   | All_done
@@ -81,9 +121,15 @@ let run cfg =
       (fun (i, p) -> i, ref (Running (Machine.initial cfg.layer i p)))
       (effective_threads cfg)
   in
+  (* Pseudo-threads (tids < 0) are machinery, not members of the domain:
+     flushers never finish, but a fired crash thread does, and its unit
+     result must not leak into the observable thread results. *)
   let results () =
     List.filter_map
-      (fun (i, r) -> match !r with Finished v -> Some (i, v) | Running _ -> None)
+      (fun (i, r) ->
+        match !r with
+        | Finished v when i >= 0 -> Some (i, v)
+        | Finished _ | Running _ -> None)
       slots
   in
   let rec loop log steps silent last_mover violations =
@@ -205,8 +251,8 @@ let replay_into scratch cfg =
       if k < 0 then acc
       else
         match slots.(k) with
-        | Finished v -> go (k - 1) ((ids.(k), v) :: acc)
-        | Running _ -> go (k - 1) acc
+        | Finished v when ids.(k) >= 0 -> go (k - 1) ((ids.(k), v) :: acc)
+        | Finished _ | Running _ -> go (k - 1) acc
     in
     go (n - 1) []
   in

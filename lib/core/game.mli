@@ -57,6 +57,27 @@ val flusher_threads :
     has drained every buffer and finished every real thread.  Flusher
     ids never appear in {!Deadlock} lists or [results]. *)
 
+val crash_threads : Layer.t -> (Event.tid * Prog.t) list
+(** The crash pseudo-thread a game synthesises for a crash-enabled layer
+    (DESIGN.md S30): one thread (id {!Durability.crash_tid}) whose
+    single move fires the layer's {!Durability.crash_tag} primitive with
+    the adversarial masks (drop every in-flight write).  Empty for
+    layers without the crash primitive. *)
+
+val pseudo_threads :
+  memory:Memory.t ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  (Event.tid * Prog.t) list
+(** All pseudo-threads the game appends to the real domain:
+    {!flusher_threads} followed by {!crash_threads}.  This is the single
+    synthesis point, shared by {!run}/{!replay} and by the DPOR and
+    exhaustive explorers, so the negative-tid namespace (crash thread at
+    [-1], flusher for cpu [c] at [-c-1]) cannot silently collide.
+    Raises [Invalid_argument] on a real thread with a negative id or a
+    duplicated pseudo tid.  Pseudo tids never appear in {!Deadlock}
+    lists or [results]. *)
+
 type status =
   | All_done
   | Deadlock of Event.tid list  (** every unfinished thread is blocked *)

@@ -1,0 +1,31 @@
+(** The durable KV edge (DESIGN.md S30): the S28 sharded hash table
+    retargeted onto the WAL, so every mutation is logged before it is
+    applied and [dsync] is the durability point. *)
+
+open Ccal_core
+open Ccal_verify
+
+val get_tag : string
+val put_tag : string
+val del_tag : string
+val sync_tag : string
+
+val tombstone : int
+(** The logged value of a delete ([-1]). *)
+
+val module_ : ?shards:int -> ?unsynced:bool -> unit -> Prog.Module.t
+(** [dget]/[dput]/[ddel]/[dsync] stacked over the WAL module unioned
+    with the hashtable under private in-memory tags. *)
+
+val underlay : ?bound:int -> ?crashes:bool -> unit -> Layer.t
+(** = {!Wal.underlay} ([Llock+disk]). *)
+
+val recovered_map : Wal.op list -> (int * int) list
+(** Fold a surviving record prefix into the abstract map (tombstones
+    delete), sorted by key. *)
+
+val client : int -> Prog.t
+
+val crash_edge :
+  ?threads:int -> ?shards:int -> ?unsynced:bool -> unit -> Crash.edge
+(** The durable-kv crash-refinement edge (default 2 threads, 2 shards). *)

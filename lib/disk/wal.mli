@@ -1,0 +1,67 @@
+(** The write-ahead log object over the async disk (DESIGN.md S30).
+
+    Checksummed records at page = LSN (1-based, contiguous), one lock
+    serialising the log head (its published word carries the next LSN
+    and the ghost linearization descriptor), group commit on [w_sync],
+    and a recovery scan that truncates at the first torn, invalid or
+    out-of-sequence record. *)
+
+open Ccal_core
+open Ccal_verify
+
+val append_tag : string
+val sync_tag : string
+
+val wal_lock : int
+(** Lock id of the log head — disjoint from the hashtable's meta/bucket
+    range. *)
+
+type op = Crash.op = { lsn : int; key : int; value : int }
+
+val checksum : int -> int -> int -> int
+val record : op -> Value.t
+val decode : Value.t -> op option
+(** [None] on a torn, checksum-invalid or malformed page. *)
+
+val module_ : ?unsynced:bool -> unit -> Prog.Module.t
+(** [w_append]/[w_sync] as programs over [Llock+disk].  [unsynced]
+    (default false) is the deliberately broken no-WAL variant: [w_sync]
+    skips the [d_sync] but still acknowledges — the bug the crash
+    certificate catches. *)
+
+val underlay : ?bound:int -> ?crashes:bool -> unit -> Layer.t
+(** The lock layer with the disk primitives mixed in ([Llock+disk]);
+    [crashes] additionally exports the crash primitive for in-game
+    crash exploration. *)
+
+val overlay : unit -> Layer.t
+(** The atomic WAL spec [Lwal]: an append is one event returning its
+    LSN, a sync one event returning the last appended LSN. *)
+
+val r_wal : Sim_rel.t
+(** Maps the log-head lock release carrying a ghost descriptor to the
+    corresponding atomic overlay event; everything else erases. *)
+
+val recover : Disk.state -> op list
+(** Scan the platter from page 1, truncating at the first invalid
+    record.  Volatile state is never consulted. *)
+
+val repaired : Disk.state -> Disk.state
+(** The platter recovery would rewrite: exactly the valid prefix.
+    [recover (repaired st) = recover st]. *)
+
+val appended_of_log : Log.t -> op list
+(** The records the log's disk writes appended, in log order. *)
+
+val acked_of_log : Log.t -> int
+(** The highest LSN a completed [w_sync] acknowledged in the log. *)
+
+val recover_prefix : Log.t -> keep:int -> tear:int -> (op list, string) result
+(** Replay the prefix's disk, crash it under the masks, recover. *)
+
+val client : int -> Prog.t
+(** The crash-game workload of thread [i]: append, sync, append on
+    per-thread keys. *)
+
+val crash_edge : ?threads:int -> ?unsynced:bool -> unit -> Crash.edge
+(** The WAL crash-refinement edge over [threads] clients (default 2). *)

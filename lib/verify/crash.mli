@@ -1,0 +1,109 @@
+(** Crash-refinement certificates (DESIGN.md S30).
+
+    A crash edge packages a whole-machine game over an async-disk
+    underlay with an accounting view of its logs; the certificate checks
+    that for every schedule of the suite, every enumerated crash point
+    inside the play, and every (keep, tear) mask over the writes then in
+    flight, post-crash recovery is a prefix-consistent refinement of the
+    pre-crash history: no invented ops, and no operation acknowledged by
+    a completed [sync] lost.  The checker is generic — edges carry the
+    store encoding in closures — so object libraries above the verify
+    stack can define edges without a dependency cycle. *)
+
+open Ccal_core
+
+type op = { lsn : int; key : int; value : int }
+(** One logged operation, as recovery reads it back: monotonic LSN, key,
+    value ([-1] encodes a tombstone). *)
+
+val pp_op : Format.formatter -> op -> unit
+
+type edge = {
+  name : string;
+  layer : Layer.t;
+      (** the {e crash-free} underlay: the certifier applies crashes
+          analytically to log prefixes, so the layer must not export the
+          crash primitive (which would end every play at the in-game
+          crash) *)
+  threads : (Event.tid * Prog.t) list;
+  max_steps : int;
+  is_crash_point : Event.t -> bool;
+      (** events after which the platter may differ (writes, syncs); the
+          run's start is always a crash point *)
+  inflight : Log.t -> int;
+  appended : Log.t -> op list;
+  acked : Log.t -> int;
+  recover : Log.t -> keep:int -> tear:int -> (op list, string) result;
+  key_salt : string;
+      (** names the implementation variant in cache keys, standing in for
+          the closures the fingerprint cannot traverse (the {!Sim_rel}
+          naming convention) *)
+}
+
+type failure = {
+  f_edge : string;
+  f_sched : string;
+  f_index : int;
+  f_keep : int;
+  f_tear : int;
+  f_reason : string;
+}
+(** A named crash-refinement failure: the schedule, the crash point (as
+    an event index into the play), and the masks.  Deterministic — the
+    lowest-indexed schedule's first failing point wins for every jobs
+    count and cache temperature. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type edge_report = {
+  edge_name : string;
+  schedules : int;
+  crash_points : int;
+  recoveries : int;
+  distinct_logs : int;
+  millis : float;
+}
+
+type report = {
+  edges : edge_report list;
+  total_recoveries : int;
+  total_millis : float;
+}
+
+val report_of : edge_report list -> report
+val pp_report : Format.formatter -> report -> unit
+
+val pp_report_canonical : Format.formatter -> report -> unit
+(** Timing-free: bit-identical across jobs counts, cache temperatures
+    and fault plans — what [--report] writes. *)
+
+val masks : bound:int -> int -> (int * int) list
+(** [masks ~bound m]: the (keep, tear) pairs enumerated over [m]
+    in-flight writes.  The full lattice (every subset, each with no tear
+    and each single torn kept write) up to [m <= bound]; past the bound,
+    a deterministic boundary sample (drop all, contiguous prefixes, keep
+    all, torn head/tail). *)
+
+val check_point :
+  edge -> Log.t -> keep:int -> tear:int -> (unit, string) result
+(** One recovery check at one crash point of one play prefix. *)
+
+val cache_kind : string
+(** The cache kind of stored edge reports: ["crash"]. *)
+
+val check_edge_ctx :
+  ctx:Ctx.t ->
+  ?crashes:int ->
+  edge ->
+  (edge_report, failure) result Budget.outcome
+(** Certify one edge over the suite derived from [ctx.strategy].
+    [crashes] bounds full mask enumeration (default 4).  Runs through
+    {!Ctx}: jobs, budget, faults and cache apply; successful reports
+    memoize under {!cache_kind}; failures always reproduce live. *)
+
+val check_ctx :
+  ctx:Ctx.t ->
+  ?crashes:int ->
+  edge list ->
+  (report, failure) result Budget.outcome
+(** Certify the edges in order, polling the budget between edges. *)

@@ -139,11 +139,12 @@ let walk_key ?private_fuel ~independence ~reads ~memory ~depth layer threads =
 let prefixes_with_prunes_live ?private_fuel ?(independence = Exact)
     ?(reads = default_reads) ?jobs ?(memory = Memory.default) ~depth layer
     threads =
-  (* Under TSO the flusher pseudo-threads are part of the schedule space:
-     the DFS explores their moves (each a single-cell commit) like any
-     other thread's.  [Game.config] re-adds the same flushers internally,
-     so the original [threads] go to replay untouched. *)
-  let threads = threads @ Game.flusher_threads ~memory layer threads in
+  (* Pseudo-threads (TSO flushers, the crash thread of a crash-enabled
+     layer) are part of the schedule space: the DFS explores their moves
+     like any other thread's.  [Game.config] re-adds the same
+     pseudo-threads internally, so the original [threads] go to replay
+     untouched. *)
+  let threads = threads @ Game.pseudo_threads ~memory layer threads in
   let classify slots log =
     List.filter_map
       (fun (i, st) ->

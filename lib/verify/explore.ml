@@ -40,10 +40,10 @@ let pp_strategy fmt = function
 let scheds_of_strategy_ctx ~ctx ?private_fuel layer threads =
   match ctx.Ctx.strategy with
   | `Exhaustive depth ->
-    (* Under TSO the flusher pseudo-threads are schedulable too, so the
-       exhaustive prefix alphabet must include their tids. *)
+    (* Pseudo-threads (TSO flushers, the crash thread) are schedulable
+       too, so the exhaustive prefix alphabet must include their tids. *)
     let effective =
-      threads @ Game.flusher_threads ~memory:ctx.Ctx.memory layer threads
+      threads @ Game.pseudo_threads ~memory:ctx.Ctx.memory layer threads
     in
     exhaustive_scheds ~tids:(List.map fst effective) ~depth
   | `Dpor depth -> Dpor.schedules_ctx ~ctx ?private_fuel ~depth layer threads

@@ -137,6 +137,48 @@ let test_truncated_entry_recovered () =
       check_int "invalidation counted" 1 (V.Cache.session_stats c).invalidations;
       check_int "entry deleted" 0 (V.Cache.disk_stats c).entries)
 
+let test_crash_kind_corrupt_rechecks () =
+  (* Fault.corrupt_cache x the "crash" kind (DESIGN.md S30): a corrupted
+     crash-certificate entry must read as a miss and force a live
+     recheck — never a stale verdict — and the recheck re-stores the
+     same report. *)
+  with_cache (fun c ->
+      let module D = Ccal_disk in
+      let report cache =
+        match
+          V.Crash.check_edge_ctx ~ctx:(V.Ctx.make ~cache ())
+            (D.Wal.crash_edge ())
+        with
+        | V.Budget.Complete (Ok e) -> { e with V.Crash.millis = 0. }
+        | V.Budget.Complete (Error f) -> Alcotest.failf "%a" V.Crash.pp_failure f
+        | V.Budget.Exhausted _ -> Alcotest.fail "unexpected budget exhaustion"
+      in
+      let cold = report c in
+      (* corrupt every stored entry in place — the crash report and the
+         derived-suite entries alike *)
+      let files = entry_files c in
+      check_bool "cold run stored entries" true (files <> []);
+      List.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc "not a certificate";
+          close_out oc)
+        files;
+      let c2 = V.Cache.create ~dir:(V.Cache.dir c) () in
+      let rechecked = report c2 in
+      let s = V.Cache.session_stats c2 in
+      check_bool "corrupt crash entry invalidated, not served" true
+        (s.invalidations >= 1);
+      check_int "no hits off the corrupted store" 0 s.hits;
+      check_bool "recheck re-stored the report" true (s.stores >= 1);
+      check_bool "rechecked verdict identical to the cold one" true
+        (rechecked = cold);
+      (* and the freshly re-stored entry serves the third run *)
+      let c3 = V.Cache.create ~dir:(V.Cache.dir c) () in
+      let warm = report c3 in
+      check_bool "warm verdict identical" true (warm = cold);
+      check_bool "third run hits" true ((V.Cache.session_stats c3).hits >= 1))
+
 let test_invalidate_and_clear () =
   with_cache (fun c ->
       let k1 = fp_of_string "k1" and k2 = fp_of_string "k2" in
@@ -409,6 +451,8 @@ let suite =
     tc "kinds keep payload types apart" test_kind_separates_payloads;
     tc "corrupt entry is a miss, then gone" test_corrupt_entry_recovered;
     tc "truncated entry is a miss, then gone" test_truncated_entry_recovered;
+    tc "corrupt crash-kind entry rechecks live, never stale"
+      test_crash_kind_corrupt_rechecks;
     tc "invalidate and clear" test_invalidate_and_clear;
     tc "racing verdicts never stored" test_races_failure_never_stored;
     tc "race-free verdict cached" test_races_clean_verdict_cached;

@@ -1,0 +1,511 @@
+(* Crash-safe layers (DESIGN.md S30): the async-disk machine, the
+   write-ahead log object, the durable KV edge, the synthesized crash
+   pseudo-thread, and the crash-refinement certifier — including the
+   deliberately unsynced WAL variant, which must fail with a stable
+   named crash point. *)
+
+open Ccal_core
+open Ccal_verify
+open Ccal_disk
+open Util
+
+(* ------------------------------------------------------------------ *)
+(* helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let d_write p v = Prog.call Disk.write_tag [ vi p; v ]
+let d_read p = Prog.call Disk.read_tag [ vi p ]
+let d_sync = Prog.call Disk.sync_tag []
+
+let run_game ?(max_steps = 10_000) ?(sched = Sched.round_robin) layer threads =
+  Game.run (Game.config ~max_steps layer threads sched)
+
+let disk_state log =
+  match Disk.replay_log log with
+  | Ok st -> st
+  | Error msg -> Alcotest.failf "disk replay: %s" msg
+
+let expect_all_done (o : Game.outcome) =
+  match o.Game.status with
+  | Game.All_done -> ()
+  | s -> Alcotest.failf "game did not finish: %a" Game.pp_status s
+
+(* ------------------------------------------------------------------ *)
+(* the async-disk machine                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_disk_write_read_sync () =
+  (* an unsynced write is visible to reads but not durable *)
+  let o =
+    run_game (Disk.layer ())
+      [ 1, Prog.seq (d_write 1 (vi 7)) (d_read 1) ]
+  in
+  expect_all_done o;
+  Alcotest.check value_testable "read sees the in-flight write"
+    (vi 7)
+    (List.assoc 1 o.Game.results);
+  let st = disk_state o.Game.log in
+  check_int "one write in flight" 1 (List.length (Disk.inflight st));
+  check_bool "nothing durable yet" true (Disk.durable_page st 1 = None);
+  (* sync group-commits it *)
+  let o =
+    run_game (Disk.layer ())
+      [ 1, Prog.seq (d_write 1 (vi 7)) (Prog.seq d_sync (d_read 1)) ]
+  in
+  expect_all_done o;
+  let st = disk_state o.Game.log in
+  check_int "in-flight drained" 0 (List.length (Disk.inflight st));
+  Alcotest.check value_testable "page durable after sync"
+    (vi 7)
+    (Option.value (Disk.durable_page st 1) ~default:Disk.unwritten)
+
+let test_disk_unwritten_page () =
+  let o = run_game (Disk.layer ()) [ 1, d_read 9 ] in
+  expect_all_done o;
+  Alcotest.check value_testable "unwritten page reads as Vint 0"
+    Disk.unwritten
+    (List.assoc 1 o.Game.results)
+
+let test_disk_crash_commit_masks () =
+  (* two writes in flight; the crash masks pick them off bit by bit *)
+  let o =
+    run_game (Disk.layer ())
+      [ 1, Prog.seq (d_write 1 (vi 10)) (d_write 2 (vi 20)) ]
+  in
+  expect_all_done o;
+  let st = disk_state o.Game.log in
+  check_int "two in flight" 2 (List.length (Disk.inflight st));
+  (* keep only the older write *)
+  let c = Disk.crash_commit ~keep:0b01 ~tear:0 st in
+  check_bool "crashed" true c.Disk.crashed;
+  Alcotest.check value_testable "bit 0 committed" (vi 10)
+    (Option.value (Disk.durable_page c 1) ~default:Disk.unwritten);
+  check_bool "bit 1 dropped" true (Disk.durable_page c 2 = None);
+  check_int "nothing left in flight" 0 (List.length (Disk.inflight c));
+  (* keep both, tearing the newer one *)
+  let c = Disk.crash_commit ~keep:0b11 ~tear:0b10 st in
+  Alcotest.check value_testable "bit 0 intact" (vi 10)
+    (Option.value (Disk.durable_page c 1) ~default:Disk.unwritten);
+  check_bool "bit 1 torn" true
+    (Disk.is_torn (Option.value (Disk.durable_page c 2) ~default:Disk.unwritten));
+  (* keep-all without tearing = what a sync would have done *)
+  let c = Disk.crash_commit ~keep:(Durability.all_keep 2) ~tear:0 st in
+  check_bool "all-keep matches commit_all" true
+    ((Disk.commit_all st).Disk.durable = c.Disk.durable)
+
+let test_disk_crash_halts_real_threads () =
+  (* with the crash primitive exported, the crash pseudo-thread's move is
+     schedulable: some interleavings lose the unsynced writes, and a
+     post-crash machine never completes a real thread's disk call *)
+  let layer = Disk.layer ~crashes:true () in
+  let threads = [ 1, Prog.seq (d_write 1 (vi 5)) (d_read 1) ] in
+  let scheds =
+    Explore.exhaustive_scheds ~tids:[ 1; Durability.crash_tid ] ~depth:4
+  in
+  let outcomes = List.map (fun s -> run_game ~sched:s layer threads) scheds in
+  (* the crash thread's move is always eventually schedulable, so every
+     play crashes — what varies is whether the real thread got its read
+     in first *)
+  let cut_short, completed =
+    List.partition
+      (fun (o : Game.outcome) -> not (List.mem_assoc 1 o.Game.results))
+      outcomes
+  in
+  check_bool "some schedule crashes before the read" true (cut_short <> []);
+  check_bool "some schedule lets the thread finish first" true (completed <> []);
+  List.iter
+    (fun (o : Game.outcome) ->
+      let st = disk_state o.Game.log in
+      check_bool "machine crashed" true st.Disk.crashed;
+      (* the in-game crash keeps nothing: a write still in flight at the
+         crash is gone from the platter, never torn *)
+      check_bool "post-crash platter holds no torn page" true
+        (not (Disk.is_torn (Option.value (Disk.durable_page st 1) ~default:Disk.unwritten)));
+      (* a post-crash machine never completes a real thread's disk call *)
+      match o.Game.status with
+      | Game.Deadlock tids -> check_bool "real thread blocked" true (List.mem 1 tids)
+      | s -> Alcotest.failf "cut-short game ended oddly: %a" Game.pp_status s)
+    cut_short
+
+(* ------------------------------------------------------------------ *)
+(* pseudo-thread synthesis (the Game.pseudo_threads satellite)         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pseudo_thread_tids_disjoint () =
+  let threads = List.init 3 (fun k -> (k + 1, Prog.ret Value.unit)) in
+  (* crash-enabled disk layer under SC: exactly the crash thread *)
+  let crash_only =
+    Game.pseudo_threads ~memory:Memory.Sc (Disk.layer ~crashes:true ()) threads
+  in
+  Alcotest.(check (list int)) "crash thread at -1"
+    [ Durability.crash_tid ] (List.map fst crash_only);
+  (* TSO machine layer: one flusher per real thread, none at -1 *)
+  let flushers =
+    Game.pseudo_threads ~memory:Memory.Tso
+      (Ccal_machine.Tso.machine_layer Memory.Tso)
+      threads
+  in
+  let tids = List.map fst flushers in
+  check_int "one flusher per cpu" 3 (List.length tids);
+  List.iter
+    (fun t ->
+      check_bool "flusher tid negative" true (t < 0);
+      check_bool "flusher tid leaves -1 to the crash thread" true
+        (t <> Durability.crash_tid))
+    tids;
+  check_int "flusher tids distinct" 3
+    (List.length (List.sort_uniq compare tids));
+  (* crash-free layers synthesize nothing *)
+  Alcotest.(check (list int)) "no pseudo-threads without the prims" []
+    (List.map fst (Game.pseudo_threads ~memory:Memory.Sc (Disk.layer ()) threads))
+
+let test_pseudo_thread_collision_rejected () =
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "negative real tid" (fun () ->
+      Game.pseudo_threads ~memory:Memory.Sc
+        (Disk.layer ~crashes:true ())
+        [ (Durability.crash_tid, Prog.ret Value.unit) ])
+
+(* ------------------------------------------------------------------ *)
+(* WAL records and recovery                                            *)
+(* ------------------------------------------------------------------ *)
+
+let op lsn key value = { Wal.lsn; key; value }
+
+let test_wal_record_roundtrip () =
+  let o = op 3 7 42 in
+  check_bool "decode inverts record" true (Wal.decode (Wal.record o) = Some o);
+  check_bool "garbage rejected" true (Wal.decode (vi 99) = None);
+  check_bool "torn record rejected" true
+    (Wal.decode (Disk.torn (Wal.record o)) = None);
+  (* flip the value without fixing the checksum *)
+  let forged =
+    Value.list
+      [ vi o.Wal.lsn; vi o.Wal.key; vi 43;
+        vi (Wal.checksum o.Wal.lsn o.Wal.key o.Wal.value) ]
+  in
+  check_bool "checksum mismatch rejected" true (Wal.decode forged = None);
+  check_bool "lsn 0 rejected" true
+    (Wal.decode (Wal.record (op 0 1 2)) = None)
+
+let recover_of pages = Wal.recover (Disk.of_durable pages)
+
+let test_wal_recover_truncates () =
+  let r n = Wal.record (op n n (10 * n)) in
+  Alcotest.(check int) "clean platter recovers everything" 3
+    (List.length (recover_of [ 1, r 1; 2, r 2; 3, r 3 ]));
+  (* a torn middle record truncates the scan — the valid tail is dead *)
+  check_bool "torn page truncates" true
+    (recover_of [ 1, r 1; 2, Disk.torn (r 2); 3, r 3 ] = [ op 1 1 10 ]);
+  (* a hole truncates *)
+  check_bool "missing page truncates" true
+    (recover_of [ 1, r 1; 3, r 3 ] = [ op 1 1 10 ]);
+  (* an out-of-sequence lsn truncates *)
+  check_bool "out-of-sequence lsn truncates" true
+    (recover_of [ 1, r 1; 2, Wal.record (op 5 2 20) ] = [ op 1 1 10 ]);
+  check_bool "empty platter recovers nothing" true (recover_of [] = [])
+
+let test_wal_append_sync_roundtrip () =
+  (* one thread appends around a sync; the replayed platter holds exactly
+     the synced prefix, and recovery reads it back *)
+  let modul = Wal.module_ () in
+  let prog =
+    Prog.seq_all
+      [ Prog.call Wal.append_tag [ vi 4; vi 44 ];
+        Prog.call Wal.sync_tag [];
+        Prog.call Wal.append_tag [ vi 5; vi 55 ] ]
+  in
+  let o = run_game (Wal.underlay ()) [ 1, Prog.Module.link modul prog ] in
+  expect_all_done o;
+  check_bool "both appends visible in the log" true
+    (Wal.appended_of_log o.Game.log = [ op 1 4 44; op 2 5 55 ]);
+  check_int "sync acknowledged lsn 1" 1 (Wal.acked_of_log o.Game.log);
+  let st = disk_state o.Game.log in
+  check_bool "recovery without the in-flight tail" true
+    (Wal.recover st = [ op 1 4 44 ]);
+  check_bool "drop-all crash still keeps the synced prefix" true
+    (Wal.recover_prefix o.Game.log ~keep:0 ~tear:0 = Ok [ op 1 4 44 ]);
+  check_bool "keep-all crash recovers both" true
+    (Wal.recover_prefix o.Game.log ~keep:(Durability.all_keep 1) ~tear:0
+     = Ok [ op 1 4 44; op 2 5 55 ])
+
+(* ------------------------------------------------------------------ *)
+(* the durable KV edge                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_durable_kv_solo () =
+  let modul = Durable_kv.module_ () in
+  let prog =
+    Prog.bind (Prog.call Durable_kv.put_tag [ vi 1; vi 5 ]) (fun _ ->
+        Prog.call Durable_kv.get_tag [ vi 1 ])
+  in
+  let o = run_game (Durable_kv.underlay ()) [ 1, Prog.Module.link modul prog ] in
+  expect_all_done o;
+  Alcotest.check value_testable "get reads the put back" (vi 5)
+    (List.assoc 1 o.Game.results);
+  (* the put was logged before it was applied: it is in the WAL *)
+  check_bool "mutation logged in the WAL" true
+    (Wal.appended_of_log o.Game.log = [ op 1 1 5 ])
+
+let test_recovered_map_folds_tombstones () =
+  Alcotest.(check (list (pair int int))) "tombstone deletes, last write wins"
+    [ (2, 22) ]
+    (Durable_kv.recovered_map
+       [ op 1 1 11; op 2 2 22; op 3 1 Durable_kv.tombstone ]);
+  Alcotest.(check (list (pair int int))) "overwrite keeps the newest"
+    [ (1, 12) ]
+    (Durable_kv.recovered_map [ op 1 1 11; op 2 1 12 ])
+
+(* ------------------------------------------------------------------ *)
+(* mask enumeration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_masks_lattice_and_sample () =
+  Alcotest.(check (list (pair int int))) "no in-flight writes: one recovery"
+    [ (0, 0) ] (Crash.masks ~bound:4 0);
+  (* m = 2 within the bound: every keep subset, plus one tear per kept
+     bit — 4 subsets + (0+1+1+2) tears = 8 pairs *)
+  let full = Crash.masks ~bound:4 2 in
+  check_int "full lattice size at m=2" 8 (List.length full);
+  List.iter
+    (fun p -> check_bool "lattice member" true (List.mem p full))
+    [ (0, 0); (1, 0); (1, 1); (2, 0); (2, 2); (3, 0); (3, 1); (3, 2) ];
+  (* past the bound: the deterministic boundary sample *)
+  let sample = Crash.masks ~bound:2 3 in
+  check_int "boundary sample size at m=3" 6 (List.length sample);
+  List.iter
+    (fun p -> check_bool "sample member" true (List.mem p sample))
+    [ (0, 0); (1, 0); (3, 0); (7, 0); (7, 1); (7, 4) ];
+  (* sorted and duplicate-free, for jobs/cache-stable iteration order *)
+  check_bool "sample sorted" true (List.sort_uniq compare sample = sample)
+
+(* ------------------------------------------------------------------ *)
+(* the crash-refinement certifier                                      *)
+(* ------------------------------------------------------------------ *)
+
+let canonical = function
+  | Budget.Complete (Ok r) -> Format.asprintf "%a" Crash.pp_report_canonical r
+  | Budget.Complete (Error f) -> Format.asprintf "%a" Crash.pp_failure f
+  | Budget.Exhausted _ -> "EXHAUSTED"
+
+let edges () = [ Wal.crash_edge (); Durable_kv.crash_edge () ]
+
+let test_certifier_passes () =
+  match Crash.check_ctx ~ctx:Ctx.default (edges ()) with
+  | Budget.Complete (Ok r) ->
+    check_int "two edges" 2 (List.length r.Crash.edges);
+    List.iter
+      (fun (e : Crash.edge_report) ->
+        check_bool "schedules ran" true (e.Crash.schedules > 0);
+        check_bool "crash points enumerated" true (e.Crash.crash_points > 0);
+        check_bool "recoveries checked" true
+          (e.Crash.recoveries > e.Crash.crash_points))
+      r.Crash.edges
+  | Budget.Complete (Error f) -> Alcotest.failf "%a" Crash.pp_failure f
+  | Budget.Exhausted _ -> Alcotest.fail "unexpected budget exhaustion"
+
+let test_unsynced_fails_with_stable_point () =
+  let failing jobs =
+    match
+      Crash.check_edge_ctx ~ctx:(Ctx.make ~jobs ())
+        (Wal.crash_edge ~unsynced:true ())
+    with
+    | Budget.Complete (Error f) -> f
+    | Budget.Complete (Ok _) ->
+      Alcotest.fail "the unsynced WAL must fail crash refinement"
+    | Budget.Exhausted _ -> Alcotest.fail "unexpected budget exhaustion"
+  in
+  let f = failing 1 in
+  check_string "named edge" "wal-unsynced" f.Crash.f_edge;
+  check_bool "the lost op is the acknowledged one" true
+    (String.length f.Crash.f_reason > 0
+    && String.sub f.Crash.f_reason 0 23 = "acknowledged-synced op ");
+  (* stable: the same (schedule, point, masks) on every jobs count and on
+     a re-run — the lowest-index schedule's first failing point wins *)
+  check_bool "identical failure at jobs 4" true (failing 4 = f);
+  check_bool "identical failure on re-run" true (failing 1 = f);
+  (* the durable-kv edge over the unsynced WAL fails too *)
+  match
+    Crash.check_edge_ctx ~ctx:Ctx.default
+      (Durable_kv.crash_edge ~unsynced:true ())
+  with
+  | Budget.Complete (Error f) ->
+    check_string "durable-kv variant named" "durable-kv-unsynced" f.Crash.f_edge
+  | Budget.Complete (Ok _) -> Alcotest.fail "unsynced durable-kv must fail"
+  | Budget.Exhausted _ -> Alcotest.fail "unexpected budget exhaustion"
+
+let test_certifier_jobs_identical () =
+  let reports =
+    List.map
+      (fun jobs -> canonical (Crash.check_ctx ~ctx:(Ctx.make ~jobs ()) (edges ())))
+      [ 1; 2; 4; 7 ]
+  in
+  match reports with
+  | r1 :: rest ->
+    check_bool "no failure" true (String.length r1 > 0 && r1 <> "EXHAUSTED");
+    List.iteri
+      (fun i r -> check_string (Printf.sprintf "jobs grid entry %d" i) r1 r)
+      rest
+  | [] -> assert false
+
+let test_certifier_cache_round_trip () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccal-test-crash-cache-%d" (Unix.getpid ()))
+  in
+  let c1 = Cache.create ~dir () in
+  let cold = canonical (Crash.check_ctx ~ctx:(Ctx.make ~cache:c1 ()) (edges ())) in
+  let s1 = Cache.session_stats c1 in
+  let c2 = Cache.create ~dir () in
+  let warm = canonical (Crash.check_ctx ~ctx:(Ctx.make ~cache:c2 ()) (edges ())) in
+  let s2 = Cache.session_stats c2 in
+  (* the unsynced failure is never served from disk: against the same
+     warm cache, the broken variant reproduces live — twice *)
+  let unsynced_fails () =
+    match
+      Crash.check_edge_ctx ~ctx:(Ctx.make ~cache:c2 ())
+        (Wal.crash_edge ~unsynced:true ())
+    with
+    | Budget.Complete (Error _) -> ()
+    | _ -> Alcotest.fail "unsynced must fail even against a warm cache"
+  in
+  unsynced_fails ();
+  unsynced_fails ();
+  ignore (Cache.clear c2);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  check_string "cold and warm reports identical" cold warm;
+  check_bool "cold run stored both edges" true (s1.Cache.stores >= 2);
+  check_int "warm run misses nothing" 0 s2.Cache.misses;
+  check_bool "warm run hits both edges" true (s2.Cache.hits >= 2)
+
+let test_certifier_budget_exhaustion () =
+  let ctx = Ctx.make ~budget:(Budget.make ~steps:1 ()) () in
+  match Crash.check_ctx ~ctx (edges ()) with
+  | Budget.Exhausted { partial = Ok r; _ } ->
+    check_bool "partial report has at most one edge" true
+      (List.length r.Crash.edges < 2)
+  | Budget.Exhausted { partial = Error f; _ } ->
+    Alcotest.failf "partial failed: %a" Crash.pp_failure f
+  | Budget.Complete _ -> Alcotest.fail "expected exhaustion"
+
+(* ------------------------------------------------------------------ *)
+(* the QCheck property: recovery after a crash at every enumerated     *)
+(* point is idempotent and loses nothing past the last acked sync      *)
+(* ------------------------------------------------------------------ *)
+
+type wop = Append of int * int | Sync
+
+let wop_gen =
+  QCheck.Gen.(
+    frequency
+      [ 3, map2 (fun k v -> Append (k, v)) (int_bound 3) (int_bound 9);
+        2, return Sync ])
+
+let pp_wop = function
+  | Append (k, v) -> Printf.sprintf "append %d %d" k v
+  | Sync -> "sync"
+
+let wops_arb n =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_wop ops))
+    QCheck.Gen.(list_size (int_bound n) wop_gen)
+
+let wal_prog ops =
+  Prog.seq_all
+    (List.map
+       (function
+         | Append (k, v) -> Prog.call Wal.append_tag [ vi k; vi v ]
+         | Sync -> Prog.call Wal.sync_tag [])
+       ops)
+
+let rec is_list_prefix a b =
+  match a, b with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys -> x = y && is_list_prefix xs ys
+
+let check_play_prefix prefix =
+  match Disk.replay_log prefix with
+  | Error _ -> false
+  | Ok st ->
+    List.for_all
+      (fun (keep, tear) ->
+        let crashed = Disk.crash_commit ~keep ~tear st in
+        let recovered = Wal.recover crashed in
+        (* idempotence: rewriting the platter to the recovered prefix and
+           recovering again reads back the same operations *)
+        Wal.recover (Wal.repaired crashed) = recovered
+        (* no invented ops *)
+        && is_list_prefix recovered (Wal.appended_of_log prefix)
+        (* nothing lost past the last acknowledged sync *)
+        && List.length recovered >= Wal.acked_of_log prefix)
+      (Crash.masks ~bound:3 (List.length (Disk.inflight st)))
+
+let prop_recovery_idempotent_and_lossless =
+  qtc ~count:40
+    "WAL recovery: idempotent, no invented ops, nothing acked lost"
+    (QCheck.pair (wops_arb 4) (wops_arb 4))
+    (fun (ops1, ops2) ->
+      let modul = Wal.module_ () in
+      let threads =
+        [ 1, Prog.Module.link modul (wal_prog ops1);
+          2, Prog.Module.link modul (wal_prog ops2) ]
+      in
+      List.for_all
+        (fun sched ->
+          let o = run_game ~sched (Wal.underlay ()) threads in
+          o.Game.status = Game.All_done
+          && begin
+               let ok = ref (check_play_prefix Log.empty) in
+               ignore
+                 (List.fold_left
+                    (fun prefix e ->
+                      let prefix = Log.append e prefix in
+                      if !ok && Disk.changes_disk e then
+                        ok := check_play_prefix prefix;
+                      prefix)
+                    Log.empty
+                    (Log.chronological o.Game.log));
+               !ok
+             end)
+        [ Sched.round_robin; Sched.random ~seed:11 ])
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    tc "disk: write visible, durable only after sync" test_disk_write_read_sync;
+    tc "disk: unwritten pages read as zero" test_disk_unwritten_page;
+    tc "disk: crash_commit keeps, tears and drops per mask"
+      test_disk_crash_commit_masks;
+    tc "disk: the in-game crash halts real threads"
+      test_disk_crash_halts_real_threads;
+    tc "game: pseudo-thread tids are disjoint by construction"
+      test_pseudo_thread_tids_disjoint;
+    tc "game: real threads cannot squat the pseudo-thread namespace"
+      test_pseudo_thread_collision_rejected;
+    tc "wal: record/decode round trip and rejection" test_wal_record_roundtrip;
+    tc "wal: recovery truncates at the first invalid record"
+      test_wal_recover_truncates;
+    tc "wal: append/sync/append leaves the synced prefix durable"
+      test_wal_append_sync_roundtrip;
+    tc "durable-kv: put is logged before it is applied" test_durable_kv_solo;
+    tc "durable-kv: recovered_map folds tombstones" test_recovered_map_folds_tombstones;
+    tc "certifier: mask lattice and boundary sample" test_masks_lattice_and_sample;
+    tc "certifier: wal and durable-kv edges pass" test_certifier_passes;
+    tc "certifier: the unsynced WAL fails with a stable named crash point"
+      test_unsynced_fails_with_stable_point;
+    tc "certifier: canonical report identical on jobs {1,2,4,7}"
+      test_certifier_jobs_identical;
+    tc "certifier: cache round trip never replays failures"
+      test_certifier_cache_round_trip;
+    tc "certifier: budget exhaustion yields a partial report"
+      test_certifier_budget_exhaustion;
+    prop_recovery_idempotent_and_lossless;
+  ]

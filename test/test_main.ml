@@ -23,4 +23,5 @@ let () =
       "robustness (S27)", Test_robust.suite;
       "kv-layer-stack (S28)", Test_kv.suite;
       "memory-model-litmus (S29)", Test_litmus.suite;
+      "crash-safety (S30)", Test_crash.suite;
     ]
