@@ -58,8 +58,11 @@ let strategy_arg =
   Arg.(value & opt string "default"
        & info [ "strategy" ] ~docv:"STRAT"
            ~doc:"Exploration strategy for the game-driving checks: \
-                 default (seeded suite), dpor[:DEPTH], exhaustive:DEPTH \
-                 or random:COUNT.")
+                 default (seeded suite), dpor[:DEPTH], \
+                 optimal[:DEPTH][,dedup][,sym] (sleep-set DPOR with \
+                 state-fingerprint dedup and thread-symmetry reduction), \
+                 exhaustive[:DEPTH] or random[:COUNT].  Invalid \
+                 combinations (e.g. dpor,dedup) are rejected by name.")
 
 let budget_ms_arg =
   Arg.(value & opt (some float) None
@@ -156,29 +159,14 @@ let pp_cache_summary fmt cache =
       s.Ccal_verify.Cache.invalidations
       (Ccal_verify.Cache.dir c)
 
+(* [Ok None] = "the command's historical default suite"; anything else
+   parses through the one engine grammar ([Engine.of_string]), so every
+   game subcommand accepts exactly the same descriptors — including
+   [optimal[:DEPTH][,dedup][,sym]] — and rejects invalid combinations
+   with the engine's named error. *)
 let strategy_of_string = function
   | "default" | "" -> Ok None
-  | s -> (
-    match String.split_on_char ':' s with
-    | [ "dpor" ] -> Ok (Some Ccal_verify.Explore.default_strategy)
-    | [ "dpor"; d ] -> (
-      match int_of_string_opt d with
-      | Some d -> Ok (Some (`Dpor d))
-      | None -> Error (Printf.sprintf "bad depth %S" d))
-    | [ "exhaustive"; d ] -> (
-      match int_of_string_opt d with
-      | Some d -> Ok (Some (`Exhaustive d))
-      | None -> Error (Printf.sprintf "bad depth %S" d))
-    | [ "random"; n ] -> (
-      match int_of_string_opt n with
-      | Some n -> Ok (Some (`Random n))
-      | None -> Error (Printf.sprintf "bad count %S" n))
-    | _ ->
-      Error
-        (Printf.sprintf
-           "unknown strategy %S (expected default, dpor[:DEPTH], \
-            exhaustive:DEPTH or random:COUNT)"
-           s))
+  | s -> Result.map Option.some (Ccal_verify.Ctx.Engine.of_string s)
 
 (* ---------------- the shared flag bundle ---------------- *)
 
@@ -187,7 +175,7 @@ let strategy_of_string = function
 type common = {
   jobs : int;
   cache : Ccal_verify.Cache.t option;
-  strategy : Ccal_verify.Ctx.strategy option;
+  strategy : Ccal_verify.Ctx.Engine.t option;
   memory : Memory.t;
   budget : Ccal_verify.Budget.t;
   faults : Ccal_verify.Fault.plan;
@@ -574,6 +562,7 @@ let explore_game name nthreads memory =
   | "queue-atomic" ->
     Some (Queue_shared.overlay (), spawn queue_client)
   | "kv-ht" -> Some (Ccal_kv.Kv_stack.ht_game ~shards:2 ~threads:nthreads ())
+  | "kv-sym" -> Some (Ccal_kv.Kv_stack.sym_game ~shards:2 ~threads:nthreads ())
   | "kv-cache" ->
     Some (Ccal_kv.Kv_stack.cache_game ~entries:2 ~threads:nthreads ())
   | "kv-composed" ->
@@ -603,26 +592,51 @@ let explore_game name nthreads memory =
     | _ -> None)
 
 let explore_cmd =
-  let run common obj nthreads depth mode =
+  let run common obj nthreads depth mode no_oracle =
     with_common common @@ fun c ctx ->
+    let module V = Ccal_verify in
+    let module Engine = V.Ctx.Engine in
     let independence =
       match mode with
       | "events" -> Some Ccal_verify.Dpor.Commuting_events
       | "exact" -> Some Ccal_verify.Dpor.Exact
       | _ -> None
     in
-    match explore_game obj nthreads c.memory, independence with
-    | None, _ ->
+    (* The explore subcommand measures a DPOR-family engine against the
+       exhaustive oracle, so only those engines make sense here; the
+       oracle itself and the random suite are rejected by name rather
+       than silently swapped for the default. *)
+    let engine =
+      match c.strategy with
+      | None -> Ok Engine.default
+      | Some e -> (
+        match e.Engine.algo with
+        | Engine.Dpor | Engine.Optimal -> Ok e
+        | Engine.Exhaustive | Engine.Random ->
+          Error
+            (Printf.sprintf
+               "strategy %S is not an exploration engine for this \
+                subcommand (expected dpor[:DEPTH] or \
+                optimal[:DEPTH][,dedup][,sym]; the exhaustive oracle is \
+                the comparison baseline)"
+               (Engine.to_string e)))
+    in
+    match explore_game obj nthreads c.memory, independence, engine with
+    | None, _, _ ->
       Format.eprintf
         "unknown game %S (expected lock, ticket, mcs, queue, queue-atomic, \
-         kv-ht, kv-cache, kv-composed, wal, durable-kv or litmus:NAME)@."
+         kv-ht, kv-sym, kv-cache, kv-composed, wal, durable-kv or \
+         litmus:NAME)@."
         obj;
       2
-    | _, None ->
+    | _, None, _ ->
       Format.eprintf "unknown mode %S (expected exact or events)@." mode;
       2
-    | Some (layer, threads), Some independence ->
-      let module V = Ccal_verify in
+    | _, _, Error msg ->
+      Format.eprintf "%s@." msg;
+      2
+    | Some (layer, threads), Some independence, Ok engine ->
+      let label = Engine.to_string { engine with Engine.depth } in
       let header () =
         Format.printf "game %s: %d threads, depth %d, %s independence, %s@."
           obj nthreads depth
@@ -631,15 +645,22 @@ let explore_cmd =
           | V.Dpor.Commuting_events -> "commuting-events")
           (Memory.to_string c.memory)
       in
-      (match V.Dpor.explore_ctx ~ctx ~independence ~depth layer threads with
+      (match
+         V.Dpor.explore_ctx ~ctx ~independence ~engine ~depth layer threads
+       with
       | V.Budget.Exhausted { spent; partial } ->
         header ();
-        Format.printf "  dpor:       %a@." V.Dpor.pp_stats partial.V.Dpor.stats;
+        Format.printf "  %s: %a@." label V.Dpor.pp_stats partial.V.Dpor.stats;
         Format.printf
           "  budget exhausted (%a) after %d of %d replays; comparison \
            skipped@."
           V.Budget.pp_spent spent partial.V.Dpor.stats.V.Dpor.schedules_run
           (List.length partial.V.Dpor.prefixes);
+        0
+      | V.Budget.Complete dpor when no_oracle ->
+        header ();
+        Format.printf "  %s: %a@." label V.Dpor.pp_stats dpor.V.Dpor.stats;
+        Format.printf "  complete (oracle comparison skipped)@.";
         0
       | V.Budget.Complete dpor -> (
         (* Pseudo-threads (TSO flushers, the crash thread) are
@@ -656,7 +677,7 @@ let explore_cmd =
         with
         | V.Budget.Exhausted { spent; partial } ->
           header ();
-          Format.printf "  dpor:       %a@." V.Dpor.pp_stats dpor.V.Dpor.stats;
+          Format.printf "  %s: %a@." label V.Dpor.pp_stats dpor.V.Dpor.stats;
           Format.printf
             "  budget exhausted (%a) after %d exhaustive runs; comparison \
              skipped@."
@@ -679,7 +700,7 @@ let explore_cmd =
           let subset a b = List.for_all (fun l -> List.exists (Log.equal l) b) a in
           let agree = subset dpor_logs exh_logs && subset exh_logs dpor_logs in
           header ();
-          Format.printf "  dpor:       %a@." V.Dpor.pp_stats dpor.V.Dpor.stats;
+          Format.printf "  %s: %a@." label V.Dpor.pp_stats dpor.V.Dpor.stats;
           Format.printf "  exhaustive: %d schedules run; %d distinct logs@."
             (List.length exhaustive) (List.length exh_logs);
           Format.printf "  log sets %s@."
@@ -693,8 +714,11 @@ let explore_cmd =
                    mcs (concrete spinlock implementations over L0), queue \
                    (lock-based shared queue), queue-atomic (the Lq_high \
                    overlay), kv-ht (sharded hash table over bucket locks), \
-                   kv-cache (block cache over the flat disk) or kv-composed \
-                   (cache stacked on the hash table).")
+                   kv-sym (the symmetric N-worker variant every thread of \
+                   which differs only in its own tid — the symmetry-\
+                   reduction gate game), kv-cache (block cache over the \
+                   flat disk) or kv-composed (cache stacked on the hash \
+                   table).")
   in
   let nthreads =
     Arg.(value & opt int 3
@@ -711,10 +735,18 @@ let explore_cmd =
                    (object-based commutation, compared up to canonical \
                    reordering).")
   in
+  let no_oracle =
+    Arg.(value & flag
+         & info [ "no-oracle" ]
+             ~doc:"Skip the exhaustive-oracle comparison and report the \
+                   engine's stats only.  The way to probe depths where \
+                   enumerating all |tids|^depth prefixes is infeasible \
+                   (the $(b,make check-optimal) depth-8 gate).")
+  in
   Cmd.v
     (Cmd.info "explore"
-       ~doc:"Compare the DPOR explorer against exhaustive enumeration")
-    Term.(const run $ common_term $ obj $ nthreads $ depth $ mode)
+       ~doc:"Compare a DPOR-family engine against exhaustive enumeration")
+    Term.(const run $ common_term $ obj $ nthreads $ depth $ mode $ no_oracle)
 
 (* ---------------- litmus ---------------- *)
 

@@ -87,18 +87,22 @@ let prog_of_fn ?(fuel = 1_000_000) (fn : Csyntax.fn) args =
     let env =
       List.fold_left (fun env x -> Smap.add x (Value.int 0) env) env fn.Csyntax.locals
     in
-    let fuel = ref fuel in
-    (* CPS interpretation: [k] receives the environment after normal
-       completion; [Sreturn] bypasses it and ends the whole function. *)
-    let rec exec stmt env (k : env -> Prog.t) : Prog.t =
-      decr fuel;
-      if !fuel <= 0 then fault Prog.steps_bound_exceeded
+    (* CPS interpretation: [k] receives the environment and remaining
+       fuel after normal completion; [Sreturn] bypasses it and ends the
+       whole function.  Fuel is threaded as a value, never a shared ref:
+       the produced [Prog.t] is re-entered many times (every schedule
+       replay, and state fingerprinting probes continuations), and a
+       mutable fuel pool would drain across entries, changing live
+       semantics under observation. *)
+    let rec exec stmt env fuel (k : env -> int -> Prog.t) : Prog.t =
+      let fuel = fuel - 1 in
+      if fuel <= 0 then fault Prog.steps_bound_exceeded
       else
         match stmt with
-        | Csyntax.Sskip -> k env
+        | Csyntax.Sskip -> k env fuel
         | Csyntax.Sassign (x, e) -> (
           match eval_expr env e with
-          | Ok v -> k (Smap.add x v env)
+          | Ok v -> k (Smap.add x v env) fuel
           | Error msg -> fault msg)
         | Csyntax.Scall (dest, prim, arg_exprs) -> (
           match eval_exprs env arg_exprs with
@@ -111,20 +115,20 @@ let prog_of_fn ?(fuel = 1_000_000) (fn : Csyntax.fn) args =
                 k =
                   (fun v ->
                     match dest with
-                    | None -> k env
-                    | Some x -> k (Smap.add x v env));
+                    | None -> k env fuel
+                    | Some x -> k (Smap.add x v env) fuel);
               })
-        | Csyntax.Sseq (a, b) -> exec a env (fun env -> exec b env k)
+        | Csyntax.Sseq (a, b) -> exec a env fuel (fun env fuel -> exec b env fuel k)
         | Csyntax.Sif (cond, st, sf) -> (
           match eval_expr env cond with
-          | Ok (Value.Vint 0) -> exec sf env k
-          | Ok (Value.Vint _) -> exec st env k
+          | Ok (Value.Vint 0) -> exec sf env fuel k
+          | Ok (Value.Vint _) -> exec st env fuel k
           | Ok _ -> fault "non-integer branch condition"
           | Error msg -> fault msg)
         | Csyntax.Swhile (cond, body) -> (
           match eval_expr env cond with
-          | Ok (Value.Vint 0) -> k env
-          | Ok (Value.Vint _) -> exec body env (fun env -> exec stmt env k)
+          | Ok (Value.Vint 0) -> k env fuel
+          | Ok (Value.Vint _) -> exec body env fuel (fun env fuel -> exec stmt env fuel k)
           | Ok _ -> fault "non-integer loop condition"
           | Error msg -> fault msg)
         | Csyntax.Sreturn None -> Prog.ret_unit
@@ -133,7 +137,7 @@ let prog_of_fn ?(fuel = 1_000_000) (fn : Csyntax.fn) args =
           | Ok v -> Prog.ret v
           | Error msg -> fault msg)
     in
-    exec fn.Csyntax.body env (fun _ -> Prog.ret_unit)
+    exec fn.Csyntax.body env fuel (fun _ _ -> Prog.ret_unit)
 
 let module_of_fns ?fuel fns =
   Prog.Module.of_bodies

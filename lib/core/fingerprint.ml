@@ -68,6 +68,42 @@ let prog ?(budget = 2048) st p =
   in
   go st p
 
+(* Tid-blinded program fingerprint: like [prog], but every [Vint]
+   occurrence of the thread's own id in the structure the program emits
+   (primitive arguments, return values) is replaced by a marker.  Two
+   sibling workers whose programs differ only in their own tid then
+   fingerprint identically — the symmetry classes of the optimal
+   explorer's [sym] reduction (DESIGN.md S31).  Probe values fed INTO
+   continuations are not blinded: they are ours and identical across
+   threads. *)
+let prog_blind ~tid ?(budget = 2048) st p =
+  let rec blind (v : Value.t) =
+    match v with
+    | Vint n when n = tid -> Value.Vint 0x544944 (* "TID" marker *)
+    | Vpair (a, b) -> Value.Vpair (blind a, blind b)
+    | Vlist vs -> Value.Vlist (List.map blind vs)
+    | Vunit | Vbool _ | Vint _ -> v
+  in
+  let bvalue st v = value st (blind v) in
+  let remaining = ref budget in
+  let rec go st (p : Prog.t) =
+    if !remaining <= 0 then int st 0x544F
+    else begin
+      decr remaining;
+      match p with
+      | Ret v -> bvalue (int st 0x52) v
+      | Call { prim; args; k } ->
+        let st = list bvalue (string (int st 0x43) prim) args in
+        List.fold_left
+          (fun st pv ->
+            match k pv with
+            | sub -> go (value (int st 0x4B) pv) sub
+            | exception _ -> int (value (int st 0x58) pv) 0x454B)
+          st probes
+    end
+  in
+  go st p
+
 (* Argument vectors for probing module bodies: nullary, one int, two
    ints — the arities the case-study primitives use. *)
 let arg_probes = [ []; [ Value.Vint 0 ]; [ Value.Vint 0; Value.Vint 1 ] ]

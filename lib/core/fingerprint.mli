@@ -77,6 +77,14 @@ val prog : ?budget:int -> state -> Prog.t -> state
     long as continuations are pure — which every program built from
     {!Prog.call}/{!Prog.bind} and every ClightX interpretation is. *)
 
+val prog_blind : tid:int -> ?budget:int -> state -> Prog.t -> state
+(** Like {!prog}, but every [Vint] equal to [tid] in the structure the
+    program {e emits} (call arguments, return values) is replaced by a
+    marker before mixing.  Sibling worker programs that differ only in
+    their own thread id fingerprint identically — the symmetry-class
+    test of the optimal explorer's [sym] reduction (DESIGN.md S31).
+    Probe values fed into continuations are not blinded. *)
+
 val modul : ?budget:int -> state -> Prog.Module.t -> state
 (** Fingerprint of a module: for each primitive name (in
     {!Prog.Module.names} order), probe the body builder with a fixed set

@@ -62,6 +62,17 @@ let cache_client i =
     (Prog.call Map_spec.put_tag [ k; Value.int (20 + i) ])
     (Prog.call Map_spec.get_tag [ k ])
 
+(* Uniform workers for the symmetry-reduction gate: every thread runs
+   put-then-get on the one key, and the only tid-dependent integer in its
+   program is its own tid (the stored value) — so [Fingerprint.prog_blind]
+   places all N workers in a single symmetry class and the optimal
+   engine's [sym] flag can collapse the fresh-worker permutations. *)
+let sym_client i =
+  let k = Value.int 0 in
+  Prog.seq
+    (Prog.call Map_spec.put_tag [ k; Value.int i ])
+    (Prog.call Map_spec.get_tag [ k ])
+
 let composed_underlay () =
   Lock_intf.layer ~extra:(Block_cache.entry_prims ()) "Llock+cache"
 
@@ -132,13 +143,11 @@ let spec_fingerprint ~strategy s =
   let st =
     List.fold_left (fun st i -> Fingerprint.prog st (s.client i)) st s.tids
   in
-  let st =
-    Fingerprint.string st (Format.asprintf "%a" Explore.pp_strategy strategy)
-  in
+  let st = Fingerprint.string st (Ctx.Engine.to_string strategy) in
   Fingerprint.finish st
 
 let fingerprints ?(threads = 3) ?(shards = 2) ?(entries = 2)
-    ?(strategy = Explore.default_strategy) () =
+    ?(strategy = Ctx.Engine.default) () =
   List.map
     (fun s -> s.name, spec_fingerprint ~strategy s)
     (edge_specs ~threads ~shards ~entries)
@@ -214,6 +223,11 @@ let ht_game ~shards ~threads () =
   let tids = List.init threads (fun i -> i + 1) in
   ( Hashtable.underlay (),
     linked (Hashtable.module_ ~shards ()) (ht_client ~shards) tids )
+
+let sym_game ~shards ~threads () =
+  let tids = List.init threads (fun i -> i + 1) in
+  ( Hashtable.underlay (),
+    linked (Hashtable.module_ ~shards ()) sym_client tids )
 
 let cache_game ~entries ~threads () =
   let tids = List.init threads (fun i -> i + 1) in

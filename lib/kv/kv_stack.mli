@@ -39,7 +39,7 @@ val pp_report_canonical : Format.formatter -> report -> unit
 
 val fingerprints :
   ?threads:int -> ?shards:int -> ?entries:int ->
-  ?strategy:Explore.strategy -> unit -> (string * Fingerprint.t) list
+  ?strategy:Ctx.Engine.t -> unit -> (string * Fingerprint.t) list
 (** The cache key of every edge {!verify_ctx} would check, in order, for
     the invalidation tests ([jobs] takes no part in any key). *)
 
@@ -65,6 +65,13 @@ val ht_game :
 (** The hash-table contention game: each thread puts then gets on a
     2-key working set (thread 1 also deletes), linked down to the lock
     layer. *)
+
+val sym_game :
+  shards:int -> threads:int -> unit -> Layer.t * (Event.tid * Prog.t) list
+(** The symmetric N-worker game: every thread puts then gets the one key
+    and the only tid-dependent integer in each program is its own tid, so
+    all workers share one {!Ccal_core.Fingerprint.prog_blind} symmetry
+    class — the game the optimal engine's [sym] flag is measured on. *)
 
 val cache_game :
   entries:int -> threads:int -> unit -> Layer.t * (Event.tid * Prog.t) list

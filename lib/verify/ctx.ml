@@ -1,21 +1,19 @@
 (* The unified checker context (DESIGN.md S27).
 
    PR 2–4 grew the checkers a long tail of optional arguments — [?jobs],
-   [?cache], [?strategy], stats toggles — and this PR adds budget and
+   [?cache], [?strategy], stats toggles — and later PRs added budget and
    fault knobs on top.  Rather than widen every signature again, the
    knobs live in one record threaded uniformly through every checker
    entry point ([Races.check_ctx], [Linearizability.refine_ctx],
    [Progress.completes_within_ctx], [Dpor.explore_ctx],
-   [Explore.run_all_ctx], [Stack.verify_all_ctx]).  The legacy
-   per-argument entry points survive one release as [@deprecated]
-   wrappers over [of_legacy]. *)
+   [Explore.run_all_ctx], [Stack.verify_all_ctx]). *)
 
-type strategy = [ `Exhaustive of int | `Dpor of int | `Random of int ]
+module Engine = Ccal_core.Strategy.Engine
 
 type t = {
   jobs : int;  (** domains for the pool; 1 = the sequential oracle *)
   cache : Cache.t option;
-  strategy : strategy;  (** suite generator when no [?scheds] is given *)
+  strategy : Engine.t;  (** suite generator when no [?scheds] is given *)
   memory : Ccal_core.Memory.t;
       (** memory mode the games run under; enters every cache key, so an
           SC verdict is never served for a TSO query *)
@@ -33,7 +31,7 @@ let default =
   {
     jobs = 1;
     cache = None;
-    strategy = `Dpor 4;
+    strategy = Engine.default;
     memory = Ccal_core.Memory.default;
     budget = Budget.unlimited;
     token = Budget.no_token;
@@ -48,37 +46,27 @@ let default =
 let with_jobs jobs t = { t with jobs = max 1 jobs }
 let with_cache cache t = { t with cache = Some cache }
 let without_cache t = { t with cache = None }
-let with_strategy strategy t = { t with strategy }
+let with_strategy strategy t = { t with strategy = Engine.checked strategy }
 let with_memory memory t = { t with memory }
 let with_budget budget t = { t with budget; token = Budget.start budget }
 let with_faults faults t = { t with faults }
 let with_stats stats t = { t with stats }
 let with_trace trace t = { t with trace = Some trace }
 
-let make ?(jobs = 1) ?cache ?(strategy = `Dpor 4)
+let make ?(jobs = 1) ?cache ?(strategy = Engine.default)
     ?(memory = Ccal_core.Memory.default) ?budget ?(faults = Fault.none)
     ?(stats = false) ?trace () =
   let budget = Option.value budget ~default:Budget.unlimited in
   {
     jobs = max 1 jobs;
     cache;
-    strategy;
+    strategy = Engine.checked strategy;
     memory;
     budget;
     token = (if Budget.is_unlimited budget then Budget.no_token else Budget.start budget);
     faults;
     stats;
     trace;
-  }
-
-(* Bridge for the [@deprecated] wrappers: the old optional arguments,
-   verbatim, as a context. *)
-let of_legacy ?jobs ?cache ?strategy () =
-  {
-    default with
-    jobs = (match jobs with Some j -> max 1 j | None -> 1);
-    cache;
-    strategy = Option.value strategy ~default:(`Dpor 4);
   }
 
 let jobs_opt t = if t.jobs <= 1 then None else Some t.jobs
@@ -91,9 +79,6 @@ let pp fmt t =
   Format.fprintf fmt "jobs:%d cache:%s strategy:%s memory:%s budget:%a faults:%a"
     t.jobs
     (match t.cache with Some c -> Cache.dir c | None -> "off")
-    (match t.strategy with
-    | `Exhaustive d -> Printf.sprintf "exhaustive:%d" d
-    | `Dpor d -> Printf.sprintf "dpor:%d" d
-    | `Random n -> Printf.sprintf "random:%d" n)
+    (Engine.to_string t.strategy)
     (Ccal_core.Memory.to_string t.memory)
     Budget.pp t.budget Fault.pp t.faults

@@ -2,25 +2,25 @@
 
     One record for every knob the checkers used to take as scattered
     optional arguments — pool size, certificate cache, exploration
-    strategy — plus the budget/cancellation token and the fault plan
+    engine — plus the budget/cancellation token and the fault plan
     introduced with it.  Thread a context through the [*_ctx] entry
     points ([Races.check_ctx], [Linearizability.refine_ctx],
     [Progress.completes_within_ctx], [Dpor.explore_ctx],
-    [Explore.run_all_ctx], [Stack.verify_all_ctx]); the old signatures
-    remain for one release as [@deprecated] wrappers.
+    [Explore.run_all_ctx], [Stack.verify_all_ctx]).
 
     Nested checkers share the budget by sharing the context: a
     [Stack.verify_all_ctx] call passes its own context to every edge's
     races/linearizability scan, so one token covers the whole stack. *)
 
-type strategy = [ `Exhaustive of int | `Dpor of int | `Random of int ]
-(** Structurally identical to [Explore.strategy] (it must be — [Explore]
-    depends on this module's neighbours, not vice versa). *)
+module Engine = Ccal_core.Strategy.Engine
+(** The exploration-engine descriptor (DESIGN.md S31), re-exported so
+    checker callers write [Ctx.Engine.optimal ~dedup:true ~depth:8 ()]
+    without reaching into [Ccal_core]. *)
 
 type t = {
   jobs : int;  (** domains for the pool; 1 = the sequential oracle *)
   cache : Cache.t option;
-  strategy : strategy;  (** suite generator when no [?scheds] is given *)
+  strategy : Engine.t;  (** suite generator when no [?scheds] is given *)
   memory : Ccal_core.Memory.t;
       (** memory mode the games run under ([Sc] default, [Tso] for the
           buffered machine); folded into every cache key *)
@@ -32,12 +32,13 @@ type t = {
 }
 
 val default : t
-(** Sequential, uncached, [`Dpor 4], unlimited budget, no faults. *)
+(** Sequential, uncached, {!Engine.default} ([dpor:4]), unlimited
+    budget, no faults. *)
 
 val make :
   ?jobs:int ->
   ?cache:Cache.t ->
-  ?strategy:strategy ->
+  ?strategy:Engine.t ->
   ?memory:Ccal_core.Memory.t ->
   ?budget:Budget.t ->
   ?faults:Fault.plan ->
@@ -46,14 +47,21 @@ val make :
   unit ->
   t
 (** Build a context in one go; a non-unlimited [budget] starts its token
-    immediately (the deadline epoch is this call). *)
+    immediately (the deadline epoch is this call).  Raises
+    [Invalid_argument] on an invalid [strategy] descriptor (flag on an
+    engine that does not take it, non-positive depth) — the same named
+    errors {!Engine.validate} reports. *)
 
 (** {1 Builders} *)
 
 val with_jobs : int -> t -> t
 val with_cache : Cache.t -> t -> t
 val without_cache : t -> t
-val with_strategy : strategy -> t -> t
+
+val with_strategy : Engine.t -> t -> t
+(** Select the exploration engine.  Validates the descriptor
+    ({!Engine.validate}), raising [Invalid_argument] with the named
+    error on misuse — an invalid combination never reaches a checker. *)
 
 val with_memory : Ccal_core.Memory.t -> t -> t
 (** Select the memory mode ([--memory sc|tso] on the CLI).  Under [Tso]
@@ -70,10 +78,6 @@ val with_stats : bool -> t -> t
 val with_trace : string -> t -> t
 
 (** {1 Plumbing} *)
-
-val of_legacy : ?jobs:int -> ?cache:Cache.t -> ?strategy:strategy -> unit -> t
-(** The old optional arguments, verbatim, as a context — what the
-    [@deprecated] wrappers use. *)
 
 val jobs_opt : t -> int option
 (** [None] when sequential — the shape {!Parallel} and the legacy

@@ -1,4 +1,5 @@
 open Ccal_core
+module Engine = Strategy.Engine
 
 type independence = Exact | Commuting_events
 
@@ -7,6 +8,8 @@ type stats = {
   schedules_run : int;
   schedules_pruned : int;
   sleep_set_prunes : int;
+  dedup_hits : int;
+  sym_prunes : int;
   distinct_logs : int;
 }
 
@@ -87,7 +90,14 @@ let independent_moves independence reads m1 m2 =
         (fun e1 -> List.for_all (independent_events ~reads e1) es2)
         es1)
 
-let rec pow b n = if n <= 0 then 1 else b * pow b (n - 1)
+(* Saturating [b^n].  The deeper bounds the optimal engine reaches make
+   [|threads|^depth] overflow native ints (e.g. 8 threads at depth 21);
+   a wrapped count would silently report nonsense prune ratios, so the
+   count pins at [max_int] and [pp_stats] renders that distinctly. *)
+let sat_mul a b = if a > 0 && b > max_int / a then max_int else a * b
+let pow b n =
+  let rec go acc n = if n <= 0 then acc else go (sat_mul acc b) (n - 1) in
+  go 1 n
 
 (* A DFS node.  Thread states are immutable, so this is a complete,
    self-contained description of a subtree root: a child's sleep set
@@ -116,12 +126,18 @@ type fringe_item = Leaf of Event.tid list | Subtree of node
    sequential DFS on separate domains and their results are concatenated
    in fringe order.  Pre-order is preserved at every stage, so the prefix
    list (and the prune count, a sum) is identical for every jobs count. *)
-(* Cache key of a DPOR walk: the game identity plus every knob that
-   shapes the DFS.  The walk has no failure mode (a stuck leaf is just a
-   short prefix), so unlike verdicts its result is stored
-   unconditionally; the replay phase always runs live. *)
-let walk_key ?private_fuel ~independence ~reads ~memory ~depth layer threads =
-  let st = Fingerprint.string Fingerprint.empty "dpor" in
+(* Cache key of an engine walk: the engine descriptor plus the game
+   identity and every knob that shapes the walk.  The walk has no
+   failure mode (a stuck leaf is just a short prefix), so unlike
+   verdicts its result is stored unconditionally; the replay phase
+   always runs live.  [Explore] uses the same key for every cacheable
+   registered engine, so one scheme covers the whole suite cache. *)
+let suite_key ?private_fuel ~engine ~independence ~reads ~memory ~depth layer
+    threads =
+  let st = Fingerprint.string Fingerprint.empty "engine-suite" in
+  let st =
+    Fingerprint.string st (Engine.to_string { engine with Engine.depth })
+  in
   let st = Fingerprint.layer st layer in
   let st = Fingerprint.memory st memory in
   let st =
@@ -272,31 +288,307 @@ let prefixes_with_prunes_live ?private_fuel ?(independence = Exact)
       List.fold_left (fun acc (_, p) -> acc + p) grow_prunes parts )
   end
 
-let prefixes_with_prunes ?private_fuel ?(independence = Exact)
-    ?(reads = default_reads) ?jobs ?cache ?(memory = Memory.default) ~depth
-    layer threads =
+(* ------------------------------------------------------------------ *)
+(* The optimal engine (DESIGN.md S31)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Sleep-set DFS extended with the two state-level reductions the
+   sleep-set engine cannot perform:
+
+   - [dedup]: state-fingerprint deduplication.  Two prefixes that
+     converge on the same machine state — same per-thread continuations
+     and abstract states, same step count, same log (same canonical log
+     under [Commuting_events]) — root isomorphic subtrees whose leaf
+     outcomes are pairwise equivalent, because the post-prefix
+     round-robin tail is a pure function of that state.  The second
+     visit is pruned.  Soundness needs Godefroid's sleep-set caching
+     rule: a visit is covered only by an earlier visit that explored at
+     least as much, i.e. whose not-explored (slept ∪ symmetry-pruned)
+     tid set is a subset of the current one; the current sleep set's
+     moves are covered along the current path as usual.  The step count
+     lives in the key because the depth bound is part of the state: a
+     shallower twin has a longer round-robin tail.
+
+   - [sym]: symmetry reduction across identical fresh threads.  Two
+     real threads whose initial programs differ only in their own tid
+     (equal {!Fingerprint.prog_blind} fingerprints) are interchangeable
+     until either is scheduled or either tid leaks into the log as data;
+     at any node where several such threads are enabled, fresh, and
+     absent from the log's integers, only the first is explored.  The
+     pruned branches are covered up to the tid transposition, so leaf
+     logs are preserved only up to renaming — [sym] is opt-in and
+     excluded from the literal log-identity matrix.
+
+   The walk is sequential (the dedup table is global); [ctx.jobs] still
+   parallelises the replay phase, so verdicts stay jobs-independent. *)
+let optimal_walk_live ?private_fuel ~independence ~reads ~dedup ~sym ~memory
+    ~depth layer threads =
+  let threads = threads @ Game.pseudo_threads ~memory layer threads in
+  let classify slots log =
+    List.filter_map
+      (fun (i, st) ->
+        match Machine.step_move ?private_fuel layer i st log with
+        | Machine.Blocked_at _ -> None
+        | Machine.Finished _ -> Some (i, Fin)
+        | Machine.Moved (evs, st') -> Some (i, Step (evs, st'))
+        | Machine.Stuck _ -> Some (i, Halt))
+      slots
+  in
+  let apply slots log i = function
+    | Step (evs, st') ->
+      ( List.map (fun (j, st) -> if j = i then j, st' else j, st) slots,
+        Log.append_all evs log )
+    | Fin -> List.filter (fun (j, _) -> j <> i) slots, log
+    | Halt -> slots, log
+  in
+  (* Symmetry classes over the real tids: the tid-blinded fingerprint of
+     each initial program, computed once — freshness (tid never
+     scheduled) means the thread still sits in its initial state. *)
+  let sym_class =
+    if not sym then fun _ -> None
+    else
+      let classes =
+        List.filter_map
+          (fun (i, p) ->
+            if i < 0 then None
+            else
+              Some
+                ( i,
+                  Fingerprint.finish
+                    (Fingerprint.prog_blind ~tid:i Fingerprint.empty p) ))
+          threads
+      in
+      fun i -> List.assoc_opt i classes
+  in
+  let module Iset = Set.Make (Int) in
+  let add_value_ints acc v =
+    let rec go acc (v : Value.t) =
+      match v with
+      | Value.Vint n -> Iset.add n acc
+      | Value.Vpair (a, b) -> go (go acc a) b
+      | Value.Vlist vs -> List.fold_left go acc vs
+      | Value.Vunit | Value.Vbool _ -> acc
+    in
+    go acc v
+  in
+  let add_event_ints acc (e : Event.t) =
+    add_value_ints
+      (List.fold_left add_value_ints (Iset.add e.src acc) e.args)
+      e.ret
+  in
+  let state_key step slots log =
+    let st = Fingerprint.int Fingerprint.empty step in
+    let st =
+      Fingerprint.list
+        (fun st (i, (ts : Machine.thread_state)) ->
+          let st = Fingerprint.int st i in
+          let st = Fingerprint.prog ~budget:512 st ts.Machine.prog in
+          let st =
+            Fingerprint.list
+              (fun st (k, v) -> Fingerprint.value (Fingerprint.string st k) v)
+              st (Abs.fields ts.Machine.abs)
+          in
+          Fingerprint.bool st ts.Machine.crit)
+        st slots
+    in
+    let log_hash =
+      match independence with
+      | Exact -> Log.hash log
+      | Commuting_events -> Log.hash (canonical_log ~reads log)
+    in
+    Fingerprint.finish (Fingerprint.int st log_hash)
+  in
+  let seen : (Fingerprint.t, Iset.t list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let covered key not_explored =
+    match Hashtbl.find_opt seen key with
+    | None -> false
+    | Some stored -> List.exists (fun s -> Iset.subset s not_explored) !stored
+  in
+  let record key not_explored =
+    match Hashtbl.find_opt seen key with
+    | Some stored -> stored := not_explored :: !stored
+    | None -> Hashtbl.add seen key (ref [ not_explored ])
+  in
+  let recorded = ref [] in
+  let sleep_prunes = ref 0 in
+  let dedup_hits = ref 0 in
+  let sym_prunes = ref 0 in
+  let rec go n log_ints =
+    let emit_leaf () = recorded := List.rev n.rev_prefix :: !recorded in
+    (* A leaf does not branch, so any earlier visit of the same state at
+       the same step covers it wholesale: stored with the empty set. *)
+    let leaf_covered () =
+      dedup
+      &&
+      let key = state_key n.step n.slots n.log in
+      if covered key Iset.empty then begin
+        incr dedup_hits;
+        true
+      end
+      else begin
+        record key Iset.empty;
+        false
+      end
+    in
+    if n.step >= depth || n.slots = [] then begin
+      if not (leaf_covered ()) then emit_leaf ()
+    end
+    else
+      match classify n.slots n.log with
+      | [] -> if not (leaf_covered ()) then emit_leaf () (* deadlock *)
+      | enabled ->
+        (* Decide each enabled move before touching any child: slept,
+           symmetry-pruned, or explored. *)
+        let decisions =
+          let sym_reps = ref [] in
+          List.map
+            (fun (i, m) ->
+              if List.exists (fun (j, _) -> j = i) n.sleep then (i, m, `Sleep)
+              else
+                let symmetric =
+                  m <> Halt && i >= 0
+                  && (not (List.mem i n.rev_prefix))
+                  && (not (Iset.mem i log_ints))
+                  &&
+                  match sym_class i with
+                  | None -> false
+                  | Some c ->
+                    if
+                      List.exists
+                        (fun (c', i') ->
+                          Fingerprint.equal c c'
+                          && not (Iset.mem i' log_ints))
+                        !sym_reps
+                    then true
+                    else begin
+                      sym_reps := (c, i) :: !sym_reps;
+                      false
+                    end
+                in
+                if symmetric then (i, m, `Sym) else (i, m, `Explore))
+            enabled
+        in
+        let not_explored =
+          List.fold_left
+            (fun acc (i, _, d) ->
+              match d with `Sleep | `Sym -> Iset.add i acc | `Explore -> acc)
+            Iset.empty decisions
+        in
+        let deduped =
+          dedup
+          &&
+          let key = state_key n.step n.slots n.log in
+          if covered key not_explored then begin
+            incr dedup_hits;
+            true
+          end
+          else begin
+            record key not_explored;
+            false
+          end
+        in
+        if not deduped then begin
+          let explored = ref [] in
+          List.iter
+            (fun (i, m, d) ->
+              match d with
+              | `Sleep -> incr sleep_prunes
+              | `Sym -> incr sym_prunes
+              | `Explore ->
+                (match m with
+                | Halt ->
+                  recorded := List.rev (i :: n.rev_prefix) :: !recorded
+                | Fin | Step _ ->
+                  let sleep' =
+                    List.filter
+                      (fun (_, m') -> independent_moves independence reads m' m)
+                      (n.sleep @ List.rev !explored)
+                  in
+                  let slots', log' = apply n.slots n.log i m in
+                  let log_ints' =
+                    if not sym then log_ints
+                    else
+                      match m with
+                      | Step (evs, _) ->
+                        List.fold_left add_event_ints log_ints evs
+                      | Fin | Halt -> log_ints
+                  in
+                  go
+                    {
+                      slots = slots';
+                      log = log';
+                      step = n.step + 1;
+                      rev_prefix = i :: n.rev_prefix;
+                      sleep = sleep';
+                    }
+                    log_ints');
+                explored := (i, m) :: !explored)
+            decisions
+        end
+  in
+  go
+    {
+      slots = List.map (fun (i, p) -> i, Machine.initial layer i p) threads;
+      log = Log.empty;
+      step = 0;
+      rev_prefix = [];
+      sleep = [];
+    }
+    Iset.empty;
+  ( List.rev !recorded,
+    {
+      Engine.sleep_prunes = !sleep_prunes;
+      dedup_hits = !dedup_hits;
+      sym_prunes = !sym_prunes;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Engine dispatch, suite cache, schedulers                            *)
+(* ------------------------------------------------------------------ *)
+
+let walk_live ?private_fuel ?(independence = Exact) ?(reads = default_reads)
+    ?jobs ?(memory = Memory.default) ~engine ~depth layer threads =
+  match (engine : Engine.t).algo with
+  | Engine.Dpor ->
+    let prefixes, prunes =
+      prefixes_with_prunes_live ?private_fuel ~independence ~reads ?jobs
+        ~memory ~depth layer threads
+    in
+    prefixes, { Engine.no_walk_stats with Engine.sleep_prunes = prunes }
+  | Engine.Optimal ->
+    optimal_walk_live ?private_fuel ~independence ~reads
+      ~dedup:engine.Engine.dedup ~sym:engine.Engine.sym ~memory ~depth layer
+      threads
+  | Engine.Exhaustive | Engine.Random ->
+    invalid_arg
+      ("Dpor.walk: not a DPOR-family engine: " ^ Engine.to_string engine)
+
+let walk ?private_fuel ?(independence = Exact) ?(reads = default_reads) ?jobs
+    ?cache ?(memory = Memory.default) ~engine ~depth layer threads =
   let body () =
-    prefixes_with_prunes_live ?private_fuel ~independence ~reads ?jobs ~memory
-      ~depth layer threads
+    walk_live ?private_fuel ~independence ~reads ?jobs ~memory ~engine ~depth
+      layer threads
   in
   match cache with
   | None -> body ()
   | Some c -> (
     let key =
-      walk_key ?private_fuel ~independence ~reads ~memory ~depth layer threads
+      suite_key ?private_fuel ~engine ~independence ~reads ~memory ~depth
+        layer threads
     in
-    match Cache.find c ~kind:"dpor" key with
-    | Some (r : Event.tid list list * int) -> r
+    (* The stored shape is shared with [Explore]'s suite cache (one
+       ["engine"] kind for every cacheable engine), so the scheduler-name
+       tag rides along even though the dpor family's is constant. *)
+    match Cache.find c ~kind:"engine" key with
+    | Some ((_tag, prefixes, stats) : string * Event.tid list list * Engine.walk_stats)
+      ->
+      prefixes, stats
     | None ->
-      let r = body () in
-      Cache.store c ~kind:"dpor" key r;
-      r)
-
-let prefixes ?private_fuel ?independence ?reads ?jobs ?cache ?memory ~depth
-    layer threads =
-  fst
-    (prefixes_with_prunes ?private_fuel ?independence ?reads ?jobs ?cache
-       ?memory ~depth layer threads)
+      let prefixes, stats = body () in
+      Cache.store c ~kind:"engine" key ("dpor", prefixes, stats);
+      (prefixes, stats))
 
 let sched_of_prefix prefix =
   Sched.of_trace
@@ -305,59 +597,21 @@ let sched_of_prefix prefix =
          (String.concat "," (List.map string_of_int prefix)))
     prefix
 
-let schedules ?private_fuel ?independence ?reads ?jobs ?cache ?memory ~depth
-    layer threads =
-  List.map sched_of_prefix
-    (prefixes ?private_fuel ?independence ?reads ?jobs ?cache ?memory ~depth
-       layer threads)
-
-let explore ?max_steps ?private_fuel ?(independence = Exact) ?reads ?jobs
-    ?cache ?(memory = Memory.default) ~depth layer threads =
-  let prefixes, sleep_set_prunes =
-    Probe.span "dpor.prefixes" (fun () ->
-        prefixes_with_prunes ?private_fuel ~independence ?reads ?jobs ?cache
-          ~memory ~depth layer threads)
-  in
-  let outcomes =
-    Probe.span "dpor.replay" (fun () ->
-        Parallel.map ?jobs
-          (fun p ->
-            Game.replay
-              (Game.config ?max_steps ~memory layer threads
-                 (sched_of_prefix p)))
-          prefixes)
-  in
-  let logs = List.map (fun o -> o.Game.log) outcomes in
-  let representative =
-    match independence with
-    | Exact -> logs
-    | Commuting_events -> List.map (canonical_log ?reads) logs
-  in
-  let schedules_considered = pow (List.length threads) depth in
-  let schedules_run = List.length prefixes in
-  let distinct_logs =
-    Probe.span "dpor.dedup" (fun () -> List.length (Log.dedup representative))
-  in
-  Probe.add Probe.sleep_set_prunes sleep_set_prunes;
-  Probe.add Probe.logs_distinct distinct_logs;
-  {
-    prefixes;
-    outcomes;
-    stats =
-      {
-        schedules_considered;
-        schedules_run;
-        schedules_pruned = max 0 (schedules_considered - schedules_run);
-        sleep_set_prunes;
-        distinct_logs;
-      };
-  }
+let pp_count fmt n =
+  if n = max_int then Format.pp_print_string fmt ">max-int"
+  else Format.pp_print_int fmt n
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "@[<h>schedules: %d run / %d considered (%d pruned, %d sleep-set skips); %d distinct logs@]"
-    s.schedules_run s.schedules_considered s.schedules_pruned
-    s.sleep_set_prunes s.distinct_logs
+    "@[<h>schedules: %d run / %a considered (%a pruned, %d sleep-set skips%t); %d distinct logs@]"
+    s.schedules_run pp_count s.schedules_considered pp_count
+    s.schedules_pruned s.sleep_set_prunes
+    (fun fmt ->
+      if s.dedup_hits > 0 then
+        Format.fprintf fmt ", %d state-dedup hits" s.dedup_hits;
+      if s.sym_prunes > 0 then
+        Format.fprintf fmt ", %d symmetry prunes" s.sym_prunes)
+    s.distinct_logs
 
 (* ------------------------------------------------------------------ *)
 (* unified-context entry points (DESIGN.md S27)                        *)
@@ -369,30 +623,48 @@ let pp_stats fmt s =
    run needs.  Only the replay phase, which runs full games, charges the
    step budget. *)
 
-let prefixes_with_prunes_ctx ~ctx ?private_fuel ?independence ?reads ~depth
-    layer threads =
+(* The engine a context implies for the walk: the context's strategy
+   when it is DPOR-family, otherwise the default sleep-set engine (a
+   checker driving an [`Exhaustive]/[`Random] context never reaches the
+   walk — [Explore] dispatches those to their own implementations). *)
+let engine_of_ctx ctx =
+  match (ctx.Ctx.strategy : Engine.t).algo with
+  | Engine.Dpor | Engine.Optimal -> ctx.Ctx.strategy
+  | Engine.Exhaustive | Engine.Random -> Engine.default
+
+let walk_ctx ~ctx ?private_fuel ?independence ?reads ?engine ~depth layer
+    threads =
+  let engine =
+    match engine with Some e -> e | None -> engine_of_ctx ctx
+  in
   Ctx.arm ctx (fun () ->
-      prefixes_with_prunes ?private_fuel ?independence ?reads
-        ?jobs:(Ctx.jobs_opt ctx) ?cache:ctx.Ctx.cache ~memory:ctx.Ctx.memory
-        ~depth layer threads)
+      walk ?private_fuel ?independence ?reads ?jobs:(Ctx.jobs_opt ctx)
+        ?cache:ctx.Ctx.cache ~memory:ctx.Ctx.memory ~engine ~depth layer
+        threads)
 
-let prefixes_ctx ~ctx ?private_fuel ?independence ?reads ~depth layer threads =
+let prefixes_ctx ~ctx ?private_fuel ?independence ?reads ?engine ~depth layer
+    threads =
   fst
-    (prefixes_with_prunes_ctx ~ctx ?private_fuel ?independence ?reads ~depth
-       layer threads)
+    (walk_ctx ~ctx ?private_fuel ?independence ?reads ?engine ~depth layer
+       threads)
 
-let schedules_ctx ~ctx ?private_fuel ?independence ?reads ~depth layer threads =
+let schedules_ctx ~ctx ?private_fuel ?independence ?reads ?engine ~depth layer
+    threads =
   List.map sched_of_prefix
-    (prefixes_ctx ~ctx ?private_fuel ?independence ?reads ~depth layer threads)
+    (prefixes_ctx ~ctx ?private_fuel ?independence ?reads ?engine ~depth layer
+       threads)
 
 let explore_ctx ~ctx ?max_steps ?private_fuel ?(independence = Exact) ?reads
-    ~depth layer threads =
+    ?engine ~depth layer threads =
   Ctx.arm ctx @@ fun () ->
-  let prefixes, sleep_set_prunes =
+  let engine =
+    match engine with Some e -> e | None -> engine_of_ctx ctx
+  in
+  let prefixes, walk_stats =
     Probe.span "dpor.prefixes" (fun () ->
-        prefixes_with_prunes ?private_fuel ~independence ?reads
-          ?jobs:(Ctx.jobs_opt ctx) ?cache:ctx.Ctx.cache ~memory:ctx.Ctx.memory
-          ~depth layer threads)
+        walk ?private_fuel ~independence ?reads ?jobs:(Ctx.jobs_opt ctx)
+          ?cache:ctx.Ctx.cache ~memory:ctx.Ctx.memory ~engine ~depth layer
+          threads)
   in
   let replay =
     Probe.span "dpor.replay" (fun () ->
@@ -417,7 +689,7 @@ let explore_ctx ~ctx ?max_steps ?private_fuel ?(independence = Exact) ?reads
   let distinct_logs =
     Probe.span "dpor.dedup" (fun () -> List.length (Log.dedup representative))
   in
-  Probe.add Probe.sleep_set_prunes sleep_set_prunes;
+  Probe.add Probe.sleep_set_prunes walk_stats.Engine.sleep_prunes;
   Probe.add Probe.logs_distinct distinct_logs;
   let result =
     {
@@ -429,7 +701,9 @@ let explore_ctx ~ctx ?max_steps ?private_fuel ?(independence = Exact) ?reads
           schedules_run = replay.Parallel.scanned;
           schedules_pruned =
             max 0 (schedules_considered - List.length prefixes);
-          sleep_set_prunes;
+          sleep_set_prunes = walk_stats.Engine.sleep_prunes;
+          dedup_hits = walk_stats.Engine.dedup_hits;
+          sym_prunes = walk_stats.Engine.sym_prunes;
           distinct_logs;
         };
     }
@@ -437,3 +711,36 @@ let explore_ctx ~ctx ?max_steps ?private_fuel ?(independence = Exact) ?reads
   if replay.Parallel.ran_out then
     Budget.Exhausted { spent = Budget.spent ctx.Ctx.token; partial = result }
   else Budget.Complete result
+
+(* ------------------------------------------------------------------ *)
+(* Registered engine implementations                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The two DPOR-family implementations behind the [Explore] registry.
+   They run the live walks; [Explore.scheds_of_strategy_ctx] layers the
+   suite cache on top with {!suite_key} so every cacheable engine shares
+   one keying scheme. *)
+
+module Sleep_impl : Engine.IMPL = struct
+  let algo = Engine.Dpor
+  let cacheable = true
+
+  let suite ~engine ~jobs ~memory ?private_fuel layer threads =
+    let prefixes, stats =
+      walk_live ?private_fuel ~jobs ~memory ~engine ~depth:engine.Engine.depth
+        layer threads
+    in
+    Engine.Prefixes { tag = "dpor"; prefixes; stats }
+end
+
+module Optimal_impl : Engine.IMPL = struct
+  let algo = Engine.Optimal
+  let cacheable = true
+
+  let suite ~engine ~jobs ~memory ?private_fuel layer threads =
+    let prefixes, stats =
+      walk_live ?private_fuel ~jobs ~memory ~engine ~depth:engine.Engine.depth
+        layer threads
+    in
+    Engine.Prefixes { tag = "dpor"; prefixes; stats }
+end

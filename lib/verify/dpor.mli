@@ -4,18 +4,28 @@
     {!Explore.exhaustive_scheds} does so blindly, running all
     [|tids|^depth] scheduling prefixes even though most are permutations
     of independent moves producing logs already seen.  This module walks
-    the whole-machine game as a DFS over the {e enabled} moves only,
-    carrying sleep sets so that once a move's subtree is explored, its
-    commuting reorderings are pruned from sibling subtrees.
+    the whole-machine game as a DFS over the {e enabled} moves only.
+    Two DPOR-family engines share that transition core
+    ({!Ccal_core.Strategy.Engine}):
+
+    - [dpor] — sleep-set DPOR: once a move's subtree is explored, its
+      commuting reorderings are pruned from sibling subtrees.  The walk
+      splits its DFS frontier over the domain pool.
+    - [optimal] — the sleep-set walk extended with state-fingerprint
+      deduplication ([,dedup]: subtrees rooted at a previously-visited
+      machine state are pruned under Godefroid's sleep-subset rule) and
+      symmetry reduction across identical fresh threads ([,sym]).
+      Sequential walk; the replay phase still parallelises.
 
     Each surviving branch is a scheduling prefix; running it back through
     {!Ccal_core.Game.run} (via {!Ccal_core.Sched.of_trace}) reproduces the
     exact outcome the exhaustive oracle would have computed, so DPOR is a
     drop-in schedule generator: same logs, fewer runs.  The
     [test/test_dpor.ml] harness checks distinct-log-set equality against
-    the oracle. *)
+    the oracle for every engine. *)
 
 open Ccal_core
+module Engine = Strategy.Engine
 
 type independence =
   | Exact
@@ -35,10 +45,15 @@ type independence =
 
 type stats = {
   schedules_considered : int;
-      (** what exhaustive enumeration would run: [|threads|^depth] *)
+      (** what exhaustive enumeration would run: [|threads|^depth],
+          saturating at [max_int] (rendered as [">max-int"] by
+          {!pp_stats}) *)
   schedules_run : int;  (** branches actually replayed *)
   schedules_pruned : int;  (** [considered - run] *)
   sleep_set_prunes : int;  (** branches skipped because asleep *)
+  dedup_hits : int;
+      (** subtrees pruned at a revisited state fingerprint ([,dedup]) *)
+  sym_prunes : int;  (** branches pruned by thread symmetry ([,sym]) *)
   distinct_logs : int;
       (** distinct leaf logs — under [Commuting_events], distinct
           canonical forms *)
@@ -62,32 +77,49 @@ val canonical_log : ?reads:string list -> Log.t -> Log.t
     trace: two logs are equal up to commuting independent events iff
     their canonical forms are equal. *)
 
+val suite_key :
+  ?private_fuel:int ->
+  engine:Engine.t ->
+  independence:independence ->
+  reads:string list ->
+  memory:Memory.t ->
+  depth:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Fingerprint.t
+(** Cache key of an engine walk: the canonical engine descriptor (with
+    [depth] substituted) plus the complete game identity and every walk
+    knob.  [Explore.scheds_of_strategy_ctx] reuses the same scheme for
+    every cacheable registered engine, so one key shape covers the whole
+    suite cache (kind ["engine"]). *)
+
 val explore_ctx :
   ctx:Ctx.t ->
   ?max_steps:int ->
   ?private_fuel:int ->
   ?independence:independence ->
   ?reads:string list ->
+  ?engine:Engine.t ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
   result Budget.outcome
-(** Explore the game to [depth] scheduling choices, pruning with sleep
-    sets, and replay every surviving prefix.  [independence] defaults to
-    {!Exact}.  [ctx.jobs] parallelises both phases over a {!Parallel}
-    domain pool: the DFS splits its frontier into independent subtrees (a
-    child's sleep set depends only on its parent and earlier siblings,
-    all known before descent), and the replays are a deterministic
-    parallel map — prefixes, outcomes, and stats are identical for every
-    jobs count.  [ctx.cache] memoizes the DFS walk (prefixes + sleep-set
-    prune count), keyed on the game identity and every DFS knob; the
-    replay phase always runs live, so failures reproduce from the real
-    game.
+(** Explore the game to [depth] scheduling choices with [engine]
+    (default: the context's strategy when it is DPOR-family, else
+    {!Engine.default}; [engine.depth] is ignored in favour of [depth]),
+    then replay every surviving prefix.  [independence] defaults to
+    {!Exact}.  [ctx.jobs] parallelises the replay phase always, and the
+    [dpor] engine's DFS (the frontier splits into independent subtrees);
+    the [optimal] engine's walk is sequential (its dedup table is
+    global) — prefixes, outcomes, and stats are identical for every jobs
+    count under every engine.  [ctx.cache] memoizes the walk (prefixes +
+    prune counters) under {!suite_key}; the replay phase always runs
+    live, so failures reproduce from the real game.
 
     The walk itself is never budgeted (depth-bounded and cheap); the
     replay phase charges [ctx.token] per game.  An [Exhausted] result
     still carries the {e complete} prefix frontier with the outcomes of
-    the replayed prefix — [stats.schedules_run] says how far it got.
+    the replayed prefixes — [stats.schedules_run] says how far it got.
 
     [ctx.memory] selects the memory mode.  Under [Tso] the DFS adds the
     flusher pseudo-threads ({!Ccal_core.Game.flusher_threads}) to its
@@ -96,11 +128,25 @@ val explore_ctx :
     (different buffers, and the commit's first argument is the cell).
     The mode is folded into the walk's cache key. *)
 
+val walk_ctx :
+  ctx:Ctx.t ->
+  ?private_fuel:int ->
+  ?independence:independence ->
+  ?reads:string list ->
+  ?engine:Engine.t ->
+  depth:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Event.tid list list * Engine.walk_stats
+(** The walk only (no replay): surviving prefixes plus the prune
+    counters — exactly what the suite cache stores. *)
+
 val prefixes_ctx :
   ctx:Ctx.t ->
   ?private_fuel:int ->
   ?independence:independence ->
   ?reads:string list ->
+  ?engine:Engine.t ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
@@ -112,6 +158,7 @@ val schedules_ctx :
   ?private_fuel:int ->
   ?independence:independence ->
   ?reads:string list ->
+  ?engine:Engine.t ->
   depth:int ->
   Layer.t ->
   (Event.tid * Prog.t) list ->
@@ -120,60 +167,15 @@ val schedules_ctx :
     replacement for {!Explore.exhaustive_scheds} used by the checkers.
     Schedulers are stateful; each is good for one run. *)
 
-val prefixes_with_prunes_ctx :
-  ctx:Ctx.t ->
-  ?private_fuel:int ->
-  ?independence:independence ->
-  ?reads:string list ->
-  depth:int ->
-  Layer.t ->
-  (Event.tid * Prog.t) list ->
-  Event.tid list list * int
-(** Prefixes plus the sleep-set prune count (what the walk cache
-    stores). *)
+(** {1 Registered implementations}
 
-(** {1 Deprecated entry points}
+    The DPOR-family entries of the [Explore] engine registry.  New
+    engines implement {!Engine.IMPL} and register the same way — no
+    checker changes (DESIGN.md S31). *)
 
-    The pre-[Ctx] signatures, kept for one release. *)
-
-val explore :
-  ?max_steps:int ->
-  ?private_fuel:int ->
-  ?independence:independence ->
-  ?reads:string list ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
-  ?memory:Memory.t ->
-  depth:int ->
-  Layer.t ->
-  (Event.tid * Prog.t) list ->
-  result
-[@@deprecated "use explore_ctx"]
-
-val prefixes :
-  ?private_fuel:int ->
-  ?independence:independence ->
-  ?reads:string list ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
-  ?memory:Memory.t ->
-  depth:int ->
-  Layer.t ->
-  (Event.tid * Prog.t) list ->
-  Event.tid list list
-[@@deprecated "use prefixes_ctx"]
-
-val schedules :
-  ?private_fuel:int ->
-  ?independence:independence ->
-  ?reads:string list ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
-  ?memory:Memory.t ->
-  depth:int ->
-  Layer.t ->
-  (Event.tid * Prog.t) list ->
-  Sched.t list
-[@@deprecated "use schedules_ctx"]
+module Sleep_impl : Engine.IMPL
+module Optimal_impl : Engine.IMPL
 
 val pp_stats : Format.formatter -> stats -> unit
+(** Saturated counts ([max_int]) render as [">max-int"], never as a
+    bare wrapped integer. *)

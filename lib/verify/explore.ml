@@ -1,58 +1,128 @@
 open Ccal_core
+module Engine = Strategy.Engine
 
-let exhaustive_scheds ~tids ~depth =
+let exhaustive_prefixes ~tids ~depth =
   let rec traces d =
     if d <= 0 then [ [] ]
     else
       let shorter = traces (d - 1) in
       List.concat_map (fun t -> List.map (fun tr -> t :: tr) shorter) tids
   in
-  (* Content-bearing names, not the default "trace": the certificate
-     cache identifies a scheduler suite by its names, so two exhaustive
-     suites of different prefixes must not alias. *)
-  List.map
-    (fun tr ->
-      Sched.of_trace
-        ~name:
-          (Printf.sprintf "exh:[%s]"
-             (String.concat "," (List.map string_of_int tr)))
-        tr)
-    (traces depth)
+  traces depth
+
+(* Content-bearing names, not the default "trace": the certificate cache
+   identifies a scheduler suite by its names, so two suites of different
+   prefixes must not alias.  The dpor family shares the "dpor" tag —
+   identical prefixes from [dpor] and flagless [optimal] then share
+   verdict cache entries, which is sound because the replayed games are
+   identical. *)
+let sched_of_prefix ~tag tr =
+  Sched.of_trace
+    ~name:
+      (Printf.sprintf "%s:[%s]" tag
+         (String.concat "," (List.map string_of_int tr)))
+    tr
+
+let exhaustive_scheds ~tids ~depth =
+  List.map (sched_of_prefix ~tag:"exh") (exhaustive_prefixes ~tids ~depth)
 
 let random_scheds ~count = List.init count (fun k -> Sched.random ~seed:(k + 1))
 
 let full_suite ~tids ?(depth = 4) ?(random = 16) () =
   (Sched.round_robin :: exhaustive_scheds ~tids ~depth) @ random_scheds ~count:random
 
-type strategy =
-  [ `Exhaustive of int
-  | `Dpor of int
-  | `Random of int
-  ]
+(* ------------------------------------------------------------------ *)
+(* The engine registry (DESIGN.md S31)                                 *)
+(* ------------------------------------------------------------------ *)
 
-let default_strategy = `Dpor 4
+let registry : (string, (module Engine.IMPL)) Hashtbl.t = Hashtbl.create 8
 
-let pp_strategy fmt = function
-  | `Exhaustive d -> Format.fprintf fmt "exhaustive(depth=%d)" d
-  | `Dpor d -> Format.fprintf fmt "dpor(depth=%d)" d
-  | `Random n -> Format.fprintf fmt "random(count=%d)" n
+let register_engine (module I : Engine.IMPL) =
+  Hashtbl.replace registry (Engine.algo_name I.algo) (module I : Engine.IMPL)
 
-let scheds_of_strategy_ctx ~ctx ?private_fuel layer threads =
-  match ctx.Ctx.strategy with
-  | `Exhaustive depth ->
+let find_engine algo = Hashtbl.find_opt registry (Engine.algo_name algo)
+
+module Exhaustive_impl : Engine.IMPL = struct
+  let algo = Engine.Exhaustive
+
+  (* Never cached: materializing all [|tids|^depth] prefixes is the cost,
+     and a cache entry would be as large as recomputing it. *)
+  let cacheable = false
+
+  let suite ~engine ~jobs:_ ~memory ?private_fuel:_ layer threads =
     (* Pseudo-threads (TSO flushers, the crash thread) are schedulable
        too, so the exhaustive prefix alphabet must include their tids. *)
-    let effective =
-      threads @ Game.pseudo_threads ~memory:ctx.Ctx.memory layer threads
-    in
-    exhaustive_scheds ~tids:(List.map fst effective) ~depth
-  | `Dpor depth -> Dpor.schedules_ctx ~ctx ?private_fuel ~depth layer threads
-  | `Random count -> random_scheds ~count
+    let effective = threads @ Game.pseudo_threads ~memory layer threads in
+    Engine.Prefixes
+      {
+        tag = "exh";
+        prefixes =
+          exhaustive_prefixes ~tids:(List.map fst effective)
+            ~depth:engine.Engine.depth;
+        stats = Engine.no_walk_stats;
+      }
+end
 
-let scheds_of_strategy ?private_fuel ?jobs ?cache layer threads strategy =
-  scheds_of_strategy_ctx
-    ~ctx:(Ctx.of_legacy ?jobs ?cache ~strategy ())
-    ?private_fuel layer threads
+module Random_impl : Engine.IMPL = struct
+  let algo = Engine.Random
+  let cacheable = false
+
+  let suite ~engine ~jobs:_ ~memory:_ ?private_fuel:_ _layer _threads =
+    (* [depth] doubles as the suite size for the random engine. *)
+    Engine.Schedulers (random_scheds ~count:engine.Engine.depth)
+end
+
+let () =
+  register_engine (module Exhaustive_impl);
+  register_engine (module Random_impl);
+  register_engine (module Dpor.Sleep_impl);
+  register_engine (module Dpor.Optimal_impl)
+
+let suite_of_strategy_ctx ~ctx ?private_fuel layer threads =
+  let engine = ctx.Ctx.strategy in
+  (match Engine.validate engine with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
+  let (module I : Engine.IMPL) =
+    match find_engine engine.Engine.algo with
+    | Some impl -> impl
+    | None ->
+      invalid_arg
+        ("no registered exploration engine: " ^ Engine.algo_name engine.Engine.algo)
+  in
+  let live () =
+    I.suite ~engine ~jobs:ctx.Ctx.jobs ~memory:ctx.Ctx.memory ?private_fuel
+      layer threads
+  in
+  match ctx.Ctx.cache with
+  | Some c when I.cacheable -> (
+    (* One keying scheme for every cacheable engine: [Dpor.suite_key]
+       under kind "engine", storing (tag, prefixes, stats) — the same
+       shape [Dpor.walk] reads and writes, so the walk cache and the
+       suite cache are one cache. *)
+    let key =
+      Dpor.suite_key ?private_fuel ~engine ~independence:Dpor.Exact
+        ~reads:Dpor.default_reads ~memory:ctx.Ctx.memory
+        ~depth:engine.Engine.depth layer threads
+    in
+    match Cache.find c ~kind:"engine" key with
+    | Some
+        ((tag, prefixes, stats) :
+          string * Event.tid list list * Engine.walk_stats) ->
+      Engine.Prefixes { tag; prefixes; stats }
+    | None -> (
+      match live () with
+      | Engine.Prefixes { tag; prefixes; stats } as s ->
+        Cache.store c ~kind:"engine" key (tag, prefixes, stats);
+        s
+      | Engine.Schedulers _ as s -> s))
+  | _ -> live ()
+
+let scheds_of_strategy_ctx ~ctx ?private_fuel layer threads =
+  match suite_of_strategy_ctx ~ctx ?private_fuel layer threads with
+  | Engine.Schedulers ss -> ss
+  | Engine.Prefixes { tag; prefixes; _ } ->
+    List.map (sched_of_prefix ~tag) prefixes
 
 (* Cache key of a [run_all] call: the complete game identity — layer,
    linked client programs, scheduler suite (by name), fuel.  [jobs] is
@@ -107,12 +177,6 @@ let run_all_ctx ~ctx ?max_steps layer threads scheds =
         then Cache.store c ~kind:"runall" key outcomes;
         r
       | Budget.Exhausted _ as r -> r))
-
-let run_all ?max_steps ?jobs ?cache layer threads scheds =
-  Budget.value
-    (run_all_ctx
-       ~ctx:(Ctx.of_legacy ?jobs ?cache ())
-       ?max_steps layer threads scheds)
 
 let all_logs outcomes = List.map (fun o -> o.Game.log) outcomes
 

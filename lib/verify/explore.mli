@@ -7,12 +7,19 @@
     the paper's ∀-quantified Coq proofs (DESIGN.md, Substitutions).
 
     {!exhaustive_scheds} is the reference oracle: all [|tids|^depth]
-    prefixes, no pruning.  The default engine behind the checkers is the
-    sleep-set DPOR explorer ({!Dpor}), selected through {!strategy}; the
-    oracle remains available both as the [`Exhaustive] strategy and as the
-    ground truth the equivalence tests compare DPOR against. *)
+    prefixes, no pruning.  Which engine actually generates a checker's
+    suite is selected by the {!Engine} descriptor in [Ctx.t]
+    (DESIGN.md S31): implementations satisfy {!Engine.IMPL} and live in
+    a registry keyed by algorithm name, so the checkers dispatch through
+    {!scheds_of_strategy_ctx} and never name an engine module.  The
+    oracle remains available both as the [exhaustive] engine and as the
+    ground truth the equivalence tests compare the DPOR family against. *)
 
 open Ccal_core
+
+module Engine = Strategy.Engine
+(** Re-export: the descriptor, its constructors/parser, and the
+    {!Engine.IMPL} contract engine implementations satisfy. *)
 
 val exhaustive_scheds : tids:Event.tid list -> depth:int -> Sched.t list
 (** All [|tids|^depth] scheduling prefixes (round-robin afterwards).
@@ -25,18 +32,29 @@ val full_suite : tids:Event.tid list -> ?depth:int -> ?random:int -> unit -> Sch
 (** Exhaustive prefixes (default depth 4) plus random schedules (default
     16) plus round-robin. *)
 
-type strategy =
-  [ `Exhaustive of int  (** all [|tids|^depth] prefixes — the oracle *)
-  | `Dpor of int  (** sleep-set DPOR to the given depth bound — default *)
-  | `Random of int  (** [count] seeded random schedulers *)
-  ]
-(** How a checker enumerates schedulers. *)
+(** {1 The engine registry} *)
 
-val default_strategy : strategy
-(** [`Dpor 4] — what the checkers use when no explicit scheduler list or
-    strategy is supplied. *)
+val register_engine : (module Engine.IMPL) -> unit
+(** Register an engine implementation under its algorithm name
+    (replacing any previous registration).  The built-ins — exhaustive,
+    random, and the {!Dpor} family (sleep-set and optimal) — are
+    registered at load time; a new engine is one module plus one call
+    here, and every checker picks it up through [ctx.strategy] with no
+    further changes. *)
 
-val pp_strategy : Format.formatter -> strategy -> unit
+val suite_of_strategy_ctx :
+  ctx:Ctx.t ->
+  ?private_fuel:int ->
+  Layer.t ->
+  (Event.tid * Prog.t) list ->
+  Engine.suite
+(** Materialize [ctx.strategy] through the registry: validate the
+    descriptor (raising [Invalid_argument] with the named error on an
+    invalid combination or an unregistered algorithm), run the
+    implementation, and memoize cacheable [Prefixes] suites in
+    [ctx.cache] under {!Dpor.suite_key} (kind ["engine"] — the same
+    entries {!Dpor.walk_ctx} reads and writes, so the walk cache and the
+    suite cache are one cache). *)
 
 val scheds_of_strategy_ctx :
   ctx:Ctx.t ->
@@ -44,13 +62,25 @@ val scheds_of_strategy_ctx :
   Layer.t ->
   (Event.tid * Prog.t) list ->
   Sched.t list
-(** Materialize [ctx.strategy] into a scheduler suite for the given game.
-    [`Dpor] walks the game itself to find the non-redundant prefixes;
-    the layer and threads must therefore be the ones the returned
-    schedulers will drive.  [ctx.jobs] parallelises the DPOR walk
-    ({!Dpor.schedules_ctx}); the suite is identical for every jobs count.
-    [ctx.cache] memoizes the DPOR walk.  The walk is never budgeted
-    (see {!Dpor.explore_ctx}). *)
+(** {!suite_of_strategy_ctx} as a scheduler list — the form the checkers
+    consume.  Prefix suites become trace schedulers with content-bearing
+    names ([tag:[t0,t1,…]]); the DPOR-walking engines need the layer and
+    threads to be the ones the returned schedulers will drive.
+    [ctx.jobs] parallelises the sleep-set walk; every suite is identical
+    for every jobs count.  The walk is never budgeted (see
+    {!Dpor.explore_ctx}). *)
+
+(** {2 Built-in implementations} *)
+
+module Exhaustive_impl : Engine.IMPL
+(** All [|tids|^depth] prefixes over the real and pseudo threads — the
+    oracle.  Never cached (the entry would be as large as the work). *)
+
+module Random_impl : Engine.IMPL
+(** [depth]-many seeded random schedulers (an opaque [Schedulers]
+    suite — deterministic, but not prefix-shaped, so never cached). *)
+
+(** {1 Running suites} *)
 
 val run_all_ctx :
   ctx:Ctx.t ->
@@ -68,30 +98,6 @@ val run_all_ctx :
     [ctx.token] is charged per game step; an [Exhausted] result carries
     the outcome prefix that was fully evaluated before the budget
     tripped, bit-identical for every jobs count under a step budget. *)
-
-(** {1 Deprecated entry points}
-
-    The pre-[Ctx] signatures, kept for one release. *)
-
-val scheds_of_strategy :
-  ?private_fuel:int ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
-  Layer.t ->
-  (Event.tid * Prog.t) list ->
-  strategy ->
-  Sched.t list
-[@@deprecated "use scheds_of_strategy_ctx"]
-
-val run_all :
-  ?max_steps:int ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
-  Layer.t ->
-  (Event.tid * Prog.t) list ->
-  Sched.t list ->
-  Game.outcome list
-[@@deprecated "use run_all_ctx"]
 
 val all_logs : Game.outcome list -> Log.t list
 

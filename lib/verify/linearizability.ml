@@ -162,35 +162,3 @@ let check_cert_ctx ~ctx ?max_steps ?scheds (cert : Calculus.cert) ~client =
     ~overlay:cert.Calculus.judgment.Calculus.overlay
     ~rel:cert.Calculus.judgment.Calculus.rel ~client
     ~tids:cert.Calculus.judgment.Calculus.focus ()
-
-(* The pre-[Ctx] entry points, kept for one release; with an unlimited
-   budget the outcome is always [Complete]. *)
-
-let refine ?max_steps ?expect_all_done ?jobs ?cache ~underlay ~impl ~overlay
-    ~rel ~client ~tids ~scheds () =
-  Budget.value
-    (refine_ctx
-       ~ctx:(Ctx.of_legacy ?jobs ?cache ())
-       ?max_steps ?expect_all_done ~underlay ~impl ~overlay ~rel ~client
-       ~tids ~scheds ())
-
-let refine_cert ?max_steps ?expect_all_done ?jobs ?cache
-    (cert : Calculus.cert) ~client ~scheds =
-  Budget.value
-    (refine_cert_ctx
-       ~ctx:(Ctx.of_legacy ?jobs ?cache ())
-       ?max_steps ?expect_all_done cert ~client ~scheds)
-
-let check ?max_steps ?strategy ?scheds ?jobs ~underlay ~impl ~overlay ~rel
-    ~client ~tids () =
-  Budget.value
-    (check_ctx
-       ~ctx:(Ctx.of_legacy ?jobs ?strategy ())
-       ?max_steps ?scheds ~underlay ~impl ~overlay ~rel ~client ~tids ())
-
-let check_cert ?max_steps ?strategy ?scheds ?jobs (cert : Calculus.cert)
-    ~client =
-  Budget.value
-    (check_cert_ctx
-       ~ctx:(Ctx.of_legacy ?jobs ?strategy ())
-       ?max_steps ?scheds cert ~client)

@@ -81,59 +81,3 @@ val check_cert_ctx :
   Calculus.cert ->
   client:(Event.tid -> Prog.t) ->
   (report, Refinement.failure) result Budget.outcome
-
-(** {1 Deprecated entry points}
-
-    The pre-[Ctx] signatures, kept for one release. *)
-
-val refine :
-  ?max_steps:int ->
-  ?expect_all_done:bool ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
-  underlay:Layer.t ->
-  impl:Prog.Module.t ->
-  overlay:Layer.t ->
-  rel:Sim_rel.t ->
-  client:(Event.tid -> Prog.t) ->
-  tids:Event.tid list ->
-  scheds:Sched.t list ->
-  unit ->
-  (Refinement.report, Refinement.failure) result
-[@@deprecated "use refine_ctx"]
-
-val refine_cert :
-  ?max_steps:int ->
-  ?expect_all_done:bool ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
-  Calculus.cert ->
-  client:(Event.tid -> Prog.t) ->
-  scheds:Sched.t list ->
-  (Refinement.report, Refinement.failure) result
-[@@deprecated "use refine_cert_ctx"]
-
-val check :
-  ?max_steps:int ->
-  ?strategy:Explore.strategy ->
-  ?scheds:Sched.t list ->
-  ?jobs:int ->
-  underlay:Layer.t ->
-  impl:Prog.Module.t ->
-  overlay:Layer.t ->
-  rel:Sim_rel.t ->
-  client:(Event.tid -> Prog.t) ->
-  tids:Event.tid list ->
-  unit ->
-  (report, Refinement.failure) result
-[@@deprecated "use check_ctx"]
-
-val check_cert :
-  ?max_steps:int ->
-  ?strategy:Explore.strategy ->
-  ?scheds:Sched.t list ->
-  ?jobs:int ->
-  Calculus.cert ->
-  client:(Event.tid -> Prog.t) ->
-  (report, Refinement.failure) result
-[@@deprecated "use check_cert_ctx"]

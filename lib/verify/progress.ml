@@ -63,12 +63,6 @@ let completes_within_ctx ~ctx ?scheds ~bound layer threads =
     Budget.Exhausted { spent = Budget.spent ctx.Ctx.token; partial = report }
   else Budget.Complete report
 
-let completes_within ?strategy ?scheds ?jobs ~bound layer threads =
-  Budget.value
-    (completes_within_ctx
-       ~ctx:(Ctx.of_legacy ?jobs ?strategy ())
-       ?scheds ~bound layer threads)
-
 let lock_of (e : Event.t) =
   match e.args with
   | Value.Vint b :: _ -> Some b

@@ -32,16 +32,6 @@ val completes_within_ctx :
     failing schedule cuts the scan and completes with [Error]
     immediately). *)
 
-val completes_within :
-  ?strategy:Explore.strategy ->
-  ?scheds:Sched.t list ->
-  ?jobs:int ->
-  bound:int ->
-  Layer.t ->
-  (Event.tid * Prog.t) list ->
-  (bound_report, string) result
-[@@deprecated "use completes_within_ctx"]
-
 val fifo_order :
   ticket_tag:string ->
   enter_tag:string ->

@@ -93,8 +93,7 @@ let check_key ?max_steps ~suite ~memory layer threads =
     match suite with
     | `Scheds ss -> Fingerprint.scheds (Fingerprint.int st 1) ss
     | `Strategy s ->
-      Fingerprint.string (Fingerprint.int st 2)
-        (Format.asprintf "%a" Explore.pp_strategy s)
+      Fingerprint.string (Fingerprint.int st 2) (Ctx.Engine.to_string s)
   in
   Fingerprint.finish (Fingerprint.option Fingerprint.int st max_steps)
 
@@ -186,8 +185,3 @@ let check_ctx ~ctx ?max_steps ?scheds ?resume layer threads =
       | Exhausted { partial; _ } as v ->
         Cache.store c ~kind:"races.partial" key partial;
         v))
-
-let check ?max_steps ?strategy ?scheds ?jobs ?cache layer threads =
-  check_ctx
-    ~ctx:(Ctx.of_legacy ?jobs ?cache ?strategy ())
-    ?max_steps ?scheds layer threads

@@ -61,18 +61,3 @@ val check_ctx :
     the next identically-keyed call; it is invalidated exactly when the
     full verdict lands.  Under a pure step budget the partial is
     bit-identical for every jobs count. *)
-
-(** {1 Deprecated entry points}
-
-    The pre-[Ctx] signature, kept for one release. *)
-
-val check :
-  ?max_steps:int ->
-  ?strategy:Explore.strategy ->
-  ?scheds:Sched.t list ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
-  Layer.t ->
-  (Event.tid * Prog.t) list ->
-  verdict
-[@@deprecated "use check_ctx"]

@@ -142,8 +142,7 @@ let edge_keys ~lock ~seeds ~strategy ~memory =
     match strategy with
     | None -> Fingerprint.string (Fingerprint.int st 1) (Printf.sprintf "seeds:%d" seeds)
     | Some s ->
-      Fingerprint.string (Fingerprint.int st 2)
-        (Format.asprintf "%a" Explore.pp_strategy s)
+      Fingerprint.string (Fingerprint.int st 2) (Ctx.Engine.to_string s)
   in
   (* The memory mode is part of EVERY edge key — even the edges whose
      underlay is already an atomic interface — so a verdict computed
@@ -652,13 +651,3 @@ let verify_all_ctx ~ctx ?(lock = `Ticket) ?(seeds = 4) ?strategy
         | Ok edge -> go (edge :: acc) rest)
   in
   go [] edge_thunks
-
-let verify_all ?lock ?seeds ?strategy ?jobs ?cache () =
-  match
-    Budget.value
-      (verify_all_ctx
-         ~ctx:(Ctx.of_legacy ?jobs ?cache ())
-         ?lock ?seeds ?strategy ())
-  with
-  | Ok p -> Ok p.completed
-  | Error msg -> Error msg

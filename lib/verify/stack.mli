@@ -44,7 +44,7 @@ val pp_report_canonical : Format.formatter -> report -> unit
 val edge_fingerprints :
   ?lock:[ `Ticket | `Mcs ] ->
   ?seeds:int ->
-  ?strategy:Explore.strategy ->
+  ?strategy:Ctx.Engine.t ->
   ?memory:Ccal_core.Memory.t ->
   unit ->
   (string * Fingerprint.t) list
@@ -63,14 +63,14 @@ val verify_all_ctx :
   ctx:Ctx.t ->
   ?lock:[ `Ticket | `Mcs ] ->
   ?seeds:int ->
-  ?strategy:Explore.strategy ->
+  ?strategy:Ctx.Engine.t ->
   ?adversarial:bool ->
   unit ->
   (progress, string) result Budget.outcome
 (** Certify and link the whole stack.  When [strategy] is given, every
     game-driving edge (the linking theorems, the Pcomp compatibility
     corpus and the soundness games) derives its scheduler suite from that
-    strategy over the edge's own game — [`Dpor] walks each game and
+    engine over the edge's own game — the DPOR family walks each game and
     replays only non-redundant prefixes; otherwise the seeded default
     suite ([seeds], default 4) is used.  ([ctx.strategy] is {e not} used:
     the stack's historical default is the seeded suite, so the strategy
@@ -110,17 +110,3 @@ val verify_all_ctx :
     ({!Explore.run_all_ctx}, {!Dpor}, {!Linearizability.refine_cert_ctx}),
     which keep their own finer-grained entries.  The adversarial edge is
     never cached. *)
-
-(** {1 Deprecated entry points}
-
-    The pre-[Ctx] signature, kept for one release. *)
-
-val verify_all :
-  ?lock:[ `Ticket | `Mcs ] ->
-  ?seeds:int ->
-  ?strategy:Explore.strategy ->
-  ?jobs:int ->
-  ?cache:Cache.t ->
-  unit ->
-  (report, string) result
-[@@deprecated "use verify_all_ctx"]

@@ -382,7 +382,7 @@ let test_seeds_invalidate_exactly_game_edges () =
 let test_strategy_invalidates_exactly_game_edges () =
   let base = V.Stack.edge_fingerprints () in
   let changed =
-    changed_edges base (V.Stack.edge_fingerprints ~strategy:(`Dpor 4) ())
+    changed_edges base (V.Stack.edge_fingerprints ~strategy:(V.Ctx.Engine.dpor ~depth:4) ())
   in
   Alcotest.(check (list string))
     "exactly the suite-driven edges" game_driving_edges changed

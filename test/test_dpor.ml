@@ -280,6 +280,212 @@ let test_split_llock_6t_depth7 () =
   check_bool "DPOR pruned the bulk of the tree" true
     (2 * stats.V.Dpor.schedules_run <= stats.V.Dpor.schedules_considered)
 
+(* ---- the engine matrix ----
+
+   The Strategy API redesign promises every registered engine the same
+   verdicts: for each corpus game, the distinct-log set reached by the
+   sleep-set engine ([dpor]), the optimal engine flagless, and the optimal
+   engine with state-dedup must all equal the exhaustive oracle's — and
+   the flagless optimal walk must be bit-identical (prefixes, stats,
+   outcomes) to the sleep-set walk it extends. *)
+
+module E = V.Ctx.Engine
+
+let explore_with ~engine layer threads depth =
+  let r =
+    V.Budget.value
+      (V.Dpor.explore_ctx ~ctx:V.Ctx.default ~engine ~depth layer threads)
+  in
+  let logs =
+    Log.dedup
+      (List.map (fun (o : Game.outcome) -> o.Game.log) r.V.Dpor.outcomes)
+  in
+  logs, r
+
+let check_engine_matrix name layer threads depth =
+  let tids = List.map fst threads in
+  let exh_logs =
+    Log.dedup
+      (V.Explore.all_logs
+         (V.Budget.value
+            (V.Explore.run_all_ctx ~ctx:V.Ctx.default layer threads
+               (V.Explore.exhaustive_scheds ~tids ~depth))))
+  in
+  let engines =
+    [ "dpor", E.dpor ~depth;
+      "optimal", E.optimal ~depth ();
+      "optimal,dedup", E.optimal ~dedup:true ~depth () ]
+  in
+  let results =
+    List.map
+      (fun (ename, engine) ->
+        let logs, r = explore_with ~engine layer threads depth in
+        check_int
+          (Printf.sprintf "%s/%s: distinct log count vs oracle" name ename)
+          (List.length exh_logs) (List.length logs);
+        check_bool
+          (Printf.sprintf "%s/%s: log set equals oracle" name ename)
+          true
+          (log_sets_equal logs exh_logs);
+        ename, r)
+      engines
+  in
+  (* flagless optimal is the sleep-set walk run sequentially: the entire
+     result must coincide, not just the log set *)
+  let walk r =
+    ( r.V.Dpor.prefixes,
+      r.V.Dpor.stats,
+      List.map
+        (fun (o : Game.outcome) -> o.Game.log, o.Game.status)
+        r.V.Dpor.outcomes )
+  in
+  let dpor_r = List.assoc "dpor" results in
+  let opt_r = List.assoc "optimal" results in
+  check_bool (name ^ ": flagless optimal = dpor walk") true
+    (walk opt_r = walk dpor_r);
+  let dd_r = List.assoc "optimal,dedup" results in
+  check_bool (name ^ ": dedup stats sane") true
+    (dd_r.V.Dpor.stats.V.Dpor.dedup_hits >= 0)
+
+let test_matrix_ticket () =
+  check_engine_matrix "ticket" (Ticket_lock.l0 ()) (ticket_threads 2) 4
+
+let test_matrix_mcs () =
+  check_engine_matrix "mcs" (Mcs_lock.l0 ()) (mcs_threads 2) 4
+
+let test_matrix_queue () =
+  check_engine_matrix "queue" (Queue_shared.underlay ()) (queue_threads 2) 4
+
+let test_matrix_rwlock () =
+  let reader =
+    Prog.seq (Prog.call "acq_r" [ vi 4 ]) (Prog.call "rel_r" [ vi 4 ])
+  in
+  let writer =
+    Prog.seq (Prog.call "acq_w" [ vi 4 ]) (Prog.call "rel_w" [ vi 4 ])
+  in
+  check_engine_matrix "rwlock" (Rwlock.overlay ())
+    [ 1, reader; 2, reader; 3, writer ]
+    4
+
+let test_matrix_kv () =
+  let layer, threads = Ccal_kv.Kv_stack.ht_game ~shards:2 ~threads:2 () in
+  check_engine_matrix "kv-ht" layer threads 4
+
+(* ---- symmetry reduction ----
+
+   [optimal,sym] prunes enabled moves of fresh threads whose programs are
+   identical up to their own tid ([Fingerprint.prog_blind]); it keeps one
+   representative per symmetry class, so its logs are a subset of the
+   flagless frontier and the distinct count collapses to the orbit
+   count.  The lock game (every client is acq/rel/ret over its own tid)
+   is fully symmetric: 3 threads at depth 5 collapse 18 runs to 3. *)
+
+let test_sym_prunes_lock () =
+  let threads = List.init 3 (fun k -> k + 1, lock_client (k + 1)) in
+  let layer = Lock_intf.layer "Llock" in
+  let flag_logs, flag_r = explore_with ~engine:(E.optimal ~depth:5 ()) layer threads 5 in
+  let sym_logs, sym_r =
+    explore_with ~engine:(E.optimal ~sym:true ~depth:5 ()) layer threads 5
+  in
+  check_bool "sym pruned at least one branch" true
+    (sym_r.V.Dpor.stats.V.Dpor.sym_prunes > 0);
+  check_bool "sym ran strictly fewer schedules" true
+    (sym_r.V.Dpor.stats.V.Dpor.schedules_run
+    < flag_r.V.Dpor.stats.V.Dpor.schedules_run);
+  check_bool "sym logs are a subset of the flagless logs" true
+    (List.for_all (fun l -> List.exists (Log.equal l) flag_logs) sym_logs);
+  check_bool "sym kept at least one representative" true
+    (List.length sym_logs >= 1)
+
+(* ---- state-dedup soundness property ----
+
+   Random two-thread programs over the TSO cell layer (stores, loads and
+   fences over two locations — silent buffer commits and all): the
+   distinct leaf-log set under [optimal,dedup] must equal the flagless
+   optimal engine's.  Dedup may only prune subtrees whose every leaf log
+   is reachable elsewhere; dropping a distinct log is unsound. *)
+
+let prop_dedup_never_drops_logs =
+  let op_of_code c =
+    match c mod 5 with
+    | 0 -> Prog.call "astore" [ vi 1; vi 1 ]
+    | 1 -> Prog.call "astore" [ vi 2; vi 2 ]
+    | 2 -> Prog.call "aload" [ vi 1 ]
+    | 3 -> Prog.call "aload" [ vi 2 ]
+    | _ -> Prog.call "mfence" []
+  in
+  let prog_of_codes codes = Prog.seq_all (List.map op_of_code codes) in
+  qtc ~count:40 "state-dedup never drops a distinct leaf log"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 3) (int_range 0 9))
+        (list_of_size Gen.(1 -- 3) (int_range 0 9)))
+    (fun (a, b) ->
+      let layer = Ccal_machine.Tso.layer () in
+      let threads = [ 1, prog_of_codes a; 2, prog_of_codes b ] in
+      let flag_logs, _ = explore_with ~engine:(E.optimal ~depth:4 ()) layer threads 4 in
+      let dd_logs, _ =
+        explore_with ~engine:(E.optimal ~dedup:true ~depth:4 ()) layer threads 4
+      in
+      log_sets_equal flag_logs dd_logs)
+
+(* ---- saturation ---- *)
+
+let test_considered_saturates () =
+  (* 3^40 overflows 63-bit ints; the counter must pin at [max_int] and
+     render as ">max-int", never wrap to a small or negative number *)
+  let threads = List.init 3 (fun k -> k + 1, lock_client (k + 1)) in
+  let _, r = explore_with ~engine:(E.dpor ~depth:40) (Lock_intf.layer "Llock") threads 40 in
+  check_int "considered saturates at max_int" max_int
+    r.V.Dpor.stats.V.Dpor.schedules_considered;
+  let rendered = Format.asprintf "%a" V.Dpor.pp_stats r.V.Dpor.stats in
+  check_bool "saturated count renders as >max-int" true
+    (let needle = ">max-int" in
+     let n = String.length needle and m = String.length rendered in
+     let rec scan i =
+       i + n <= m && (String.sub rendered i n = needle || scan (i + 1))
+     in
+     scan 0)
+
+(* ---- the --strategy grammar ---- *)
+
+let test_engine_of_string_accepts () =
+  let ok s expected =
+    match E.of_string s with
+    | Ok e -> check_bool ("parse " ^ s) true (E.to_string e = expected)
+    | Error msg -> Alcotest.failf "%s rejected: %s" s msg
+  in
+  ok "dpor" "dpor:4";
+  ok "dpor:7" "dpor:7";
+  ok "default" "dpor:4";
+  ok "optimal" "optimal:4";
+  ok "optimal:8,dedup,sym" "optimal:8,dedup,sym";
+  ok "optimal,sym" "optimal:4,sym";
+  ok "exhaustive:3" "exhaustive:3";
+  ok "random:5" "random:5"
+
+let test_engine_of_string_rejects () =
+  let rejects s fragment =
+    match E.of_string s with
+    | Ok e -> Alcotest.failf "%s accepted as %s" s (E.to_string e)
+    | Error msg ->
+      check_bool
+        (Printf.sprintf "%s rejection names the problem (%S in %S)" s fragment
+           msg)
+        true
+        (let n = String.length fragment and m = String.length msg in
+         let rec scan i =
+           i + n <= m && (String.sub msg i n = fragment || scan (i + 1))
+         in
+         scan 0)
+  in
+  rejects "dpor,dedup" "dedup";
+  rejects "exhaustive:2,sym" "sym";
+  rejects "optimal:0" "positive";
+  rejects "optimal:x" "integer";
+  rejects "default:3" "no depth";
+  rejects "frobnicate" "unknown strategy"
+
 (* ---- scheduler coverage properties ---- *)
 
 let test_splitmix_corner_cases () =
@@ -415,6 +621,17 @@ let suite =
     tc "split: condvar across jobs grid" test_split_condvar;
     tc "split: Llock 6 threads depth 7 (279,936 considered)"
       test_split_llock_6t_depth7;
+    tc "engine matrix: ticket (dpor/optimal/dedup vs oracle)"
+      test_matrix_ticket;
+    tc "engine matrix: MCS" test_matrix_mcs;
+    tc "engine matrix: shared queue" test_matrix_queue;
+    tc "engine matrix: rwlock" test_matrix_rwlock;
+    tc "engine matrix: kv hash table" test_matrix_kv;
+    tc "symmetry reduction prunes the lock game" test_sym_prunes_lock;
+    prop_dedup_never_drops_logs;
+    tc "schedules_considered saturates at max_int" test_considered_saturates;
+    tc "Engine.of_string accepts the grammar" test_engine_of_string_accepts;
+    tc "Engine.of_string rejects by name" test_engine_of_string_rejects;
     tc "splitmix corner cases" test_splitmix_corner_cases;
     prop_splitmix_nonneg;
     prop_of_trace_follows_then_round_robin;

@@ -399,7 +399,7 @@ let test_fingerprints_stable_and_sensitive () =
   check_bool "strategy changes every key" true
     (distinct fps
        (Kv_stack.fingerprints ~threads:2 ~shards:2 ~entries:2
-          ~strategy:(`Exhaustive 3) ()));
+          ~strategy:(Ctx.Engine.exhaustive ~depth:3) ()));
   (* entries only parameterizes the cache edges; the hash-table edge key
      must NOT move *)
   let fps' = Kv_stack.fingerprints ~threads:2 ~shards:2 ~entries:3 () in

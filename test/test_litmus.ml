@@ -248,7 +248,7 @@ let qcheck_drf =
 
 (* ---- negative controls: the unfenced variants break under TSO ---- *)
 
-let negative_ctx memory = V.Ctx.make ~memory ~strategy:(`Dpor 10) ()
+let negative_ctx memory = V.Ctx.make ~memory ~strategy:(V.Ctx.Engine.dpor ~depth:10) ()
 
 let verdict_str = function
   | V.Races.Race_free { runs } -> Printf.sprintf "race-free (%d runs)" runs
@@ -328,7 +328,7 @@ let with_cache f =
 
 let race_name ?cache ?(jobs = 1) () =
   let ctx =
-    V.Ctx.make ~memory:Memory.Tso ~strategy:(`Dpor 10) ?cache ~jobs ()
+    V.Ctx.make ~memory:Memory.Tso ~strategy:(V.Ctx.Engine.dpor ~depth:10) ?cache ~jobs ()
   in
   match
     V.Races.check_ctx ~ctx (Unfenced.layer Memory.Tso)

@@ -170,7 +170,7 @@ let seeded_suite _layer _threads = Sched.default_suite ~seeds:10
 
 let dpor_suite depth layer threads =
   Ccal_verify.Explore.scheds_of_strategy_ctx
-    ~ctx:(Ccal_verify.Ctx.with_strategy (`Dpor depth) Ccal_verify.Ctx.default)
+    ~ctx:(Ccal_verify.Ctx.with_strategy (Ccal_verify.Ctx.Engine.dpor ~depth) Ccal_verify.Ctx.default)
     layer threads
 
 (* Assert every waiting span of every log stays under the Sec. 4.1
